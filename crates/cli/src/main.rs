@@ -1,0 +1,12 @@
+//! `mmlib` — manage an mmlib model store from the command line.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match mmlib_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

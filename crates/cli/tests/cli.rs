@@ -1,0 +1,138 @@
+//! End-to-end tests of the `mmlib` CLI command layer.
+
+use mmlib_cli::{run, CliError};
+use mmlib_core::SaveService;
+use mmlib_model::{ArchId, Model};
+use mmlib_store::ModelStorage;
+
+fn args(store: &std::path::Path, rest: &[&str]) -> Vec<String> {
+    let mut v = vec!["--store".to_string(), store.to_string_lossy().into_owned()];
+    v.extend(rest.iter().map(|s| s.to_string()));
+    v
+}
+
+fn seed_store(dir: &std::path::Path) -> (String, String) {
+    let svc = SaveService::new(ModelStorage::open(dir).unwrap());
+    let mut model = Model::new_initialized(ArchId::TinyCnn, 1);
+    model.set_fully_trainable();
+    let initial = svc.save_full(&model, None, "initial").unwrap();
+    // Nudge the classifier and save an update.
+    model.visit_trainable_mut(&mut |path, param, _| {
+        if path.starts_with("fc") {
+            param.data_mut()[0] += 1.0;
+        }
+    });
+    let (update, _) = svc.save_update(&model, &initial, "partially_updated").unwrap();
+    (initial.to_string(), update.to_string())
+}
+
+#[test]
+fn list_shows_models_and_dependents() {
+    let dir = tempfile::tempdir().unwrap();
+    let (initial, update) = seed_store(dir.path());
+    let out = run(&args(dir.path(), &["list"])).unwrap();
+    assert!(out.contains(&initial));
+    assert!(out.contains(&update));
+    assert!(out.contains("2 model(s)"));
+    assert!(out.contains("BA") && out.contains("PUA"));
+}
+
+#[test]
+fn show_renders_the_document() {
+    let dir = tempfile::tempdir().unwrap();
+    let (initial, _) = seed_store(dir.path());
+    let out = run(&args(dir.path(), &["show", &initial])).unwrap();
+    assert!(out.contains("\"approach\": \"baseline\""));
+    assert!(out.contains("\"arch\": \"tinycnn\""));
+}
+
+#[test]
+fn chain_prints_the_recovery_path() {
+    let dir = tempfile::tempdir().unwrap();
+    let (initial, update) = seed_store(dir.path());
+    let out = run(&args(dir.path(), &["chain", &update])).unwrap();
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 2);
+    assert!(lines[0].contains(&update));
+    assert!(lines[1].contains(&initial));
+}
+
+#[test]
+fn verify_recovers_and_reports() {
+    let dir = tempfile::tempdir().unwrap();
+    let (_, update) = seed_store(dir.path());
+    let out = run(&args(dir.path(), &["verify", &update])).unwrap();
+    assert!(out.contains("verified OK"));
+    assert!(out.contains("chain depth 1"));
+}
+
+#[test]
+fn recover_writes_a_state_dict_file() {
+    let dir = tempfile::tempdir().unwrap();
+    let (_, update) = seed_store(dir.path());
+    let out_file = dir.path().join("recovered.mmsd");
+    let out = run(&args(dir.path(), &["recover", &update, "--out", out_file.to_str().unwrap()]))
+        .unwrap();
+    assert!(out.contains("recovered tinycnn"));
+    let bytes = std::fs::read(&out_file).unwrap();
+    let entries = mmlib_tensor::ser::state_from_bytes(&bytes).unwrap();
+    assert!(!entries.is_empty());
+}
+
+#[test]
+fn delete_refuses_bases_then_deletes_leaves() {
+    let dir = tempfile::tempdir().unwrap();
+    let (initial, update) = seed_store(dir.path());
+    assert!(matches!(
+        run(&args(dir.path(), &["delete", &initial])),
+        Err(CliError::Failed(_))
+    ));
+    let out = run(&args(dir.path(), &["delete", &update])).unwrap();
+    assert!(out.contains("deleted"));
+    let out = run(&args(dir.path(), &["delete", &initial])).unwrap();
+    assert!(out.contains("deleted"));
+    let out = run(&args(dir.path(), &["list"])).unwrap();
+    assert!(out.contains("0 model(s)"));
+}
+
+#[test]
+fn gc_keeps_requested_chains() {
+    let dir = tempfile::tempdir().unwrap();
+    let (_, update) = seed_store(dir.path());
+    let out = run(&args(dir.path(), &["gc", "--keep", &update])).unwrap();
+    assert!(out.contains("removed 0 model(s)"), "{out}");
+    let out = run(&args(dir.path(), &["gc"])).unwrap();
+    assert!(out.contains("removed 2 model(s)"), "{out}");
+}
+
+#[test]
+fn stats_summarizes() {
+    let dir = tempfile::tempdir().unwrap();
+    seed_store(dir.path());
+    let out = run(&args(dir.path(), &["stats"])).unwrap();
+    assert!(out.contains("models: 2"));
+    assert!(out.contains("BA: 1"));
+    assert!(out.contains("PUA: 1"));
+    assert!(out.contains("leaves (deletable): 1"));
+}
+
+#[test]
+fn usage_errors_are_reported() {
+    let dir = tempfile::tempdir().unwrap();
+    assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+    assert!(matches!(run(&args(dir.path(), &[])), Err(CliError::Usage(_))));
+    assert!(matches!(run(&args(dir.path(), &["frobnicate"])), Err(CliError::Usage(_))));
+    assert!(matches!(run(&args(dir.path(), &["show"])), Err(CliError::Usage(_))));
+}
+
+#[test]
+fn probe_reports_reproducibility() {
+    let dir = tempfile::tempdir().unwrap();
+    let (initial, _) = seed_store(dir.path());
+    let out = run(&args(dir.path(), &["probe", &initial])).unwrap();
+    assert!(out.contains("REPRODUCIBLE under Deterministic"), "{out}");
+    assert!(matches!(
+        run(&args(dir.path(), &["probe", &initial, "bogus"])),
+        Err(CliError::Usage(_))
+    ));
+}

@@ -1,0 +1,88 @@
+//! Byte-plane transform for `f32` streams.
+//!
+//! An IEEE-754 `f32` is sign+exponent in its high bytes and mantissa in its
+//! low bytes. After an XOR delta between two *related* models, high bytes
+//! are mostly zero (magnitudes barely move) while low bytes stay noisy.
+//! Interleaved, that structure is invisible to a run-length coder; split
+//! into four planes (all byte-0s, then all byte-1s, ...), the zero-heavy
+//! planes collapse.
+
+/// Splits little-endian `f32` words into 4 byte planes, concatenated
+/// `plane0 | plane1 | plane2 | plane3` (plane 3 holds sign + high exponent).
+pub fn split(words: &[u32]) -> Vec<u8> {
+    let n = words.len();
+    let mut out = vec![0u8; n * 4];
+    for (i, w) in words.iter().enumerate() {
+        let bytes = w.to_le_bytes();
+        out[i] = bytes[0];
+        out[n + i] = bytes[1];
+        out[2 * n + i] = bytes[2];
+        out[3 * n + i] = bytes[3];
+    }
+    out
+}
+
+/// Inverse of [`split`]. Returns `None` if the length is not a multiple of 4.
+pub fn merge(planes: &[u8]) -> Option<Vec<u32>> {
+    if planes.len() % 4 != 0 {
+        return None;
+    }
+    let n = planes.len() / 4;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(u32::from_le_bytes([
+            planes[i],
+            planes[n + i],
+            planes[2 * n + i],
+            planes[3 * n + i],
+        ]));
+    }
+    Some(out)
+}
+
+/// The four plane slices of a split buffer.
+pub fn planes(split: &[u8]) -> Option<[&[u8]; 4]> {
+    if split.len() % 4 != 0 {
+        return None;
+    }
+    let n = split.len() / 4;
+    Some([&split[..n], &split[n..2 * n], &split[2 * n..3 * n], &split[3 * n..]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_merge_round_trip() {
+        let words: Vec<u32> = (0..1000u32).map(|i| i.wrapping_mul(0x9e3779b9)).collect();
+        assert_eq!(merge(&split(&words)).unwrap(), words);
+        assert_eq!(merge(&split(&[])).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn plane3_holds_the_high_byte() {
+        let words = vec![0xaabbccddu32];
+        let s = split(&words);
+        assert_eq!(s, vec![0xdd, 0xcc, 0xbb, 0xaa]);
+        let p = planes(&s).unwrap();
+        assert_eq!(p[3], &[0xaa]);
+    }
+
+    #[test]
+    fn misaligned_input_is_rejected() {
+        assert!(merge(&[1, 2, 3]).is_none());
+        assert!(planes(&[1, 2, 3, 4, 5]).is_none());
+    }
+
+    #[test]
+    fn small_deltas_concentrate_zeros_in_high_planes() {
+        // Two nearby weight values: XOR touches mostly mantissa bytes.
+        let a = 0.123456f32;
+        let b = 0.123466f32;
+        let delta = a.to_bits() ^ b.to_bits();
+        let s = split(&vec![delta; 64]);
+        let p = planes(&s).unwrap();
+        assert!(p[3].iter().all(|&b| b == 0), "sign/exponent plane should be zero");
+    }
+}

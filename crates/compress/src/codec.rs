@@ -1,0 +1,330 @@
+//! The composed parameter-update codec.
+//!
+//! Encodes a set of named tensors (the changed layers of a parameter
+//! update), each either
+//!
+//! * **delta-coded** against the same-named tensor of the base model:
+//!   `xor-delta → byte planes → per-plane zero-RLE`, or
+//! * **raw** (the tensor's own bytes, zero-RLE'd), used for tensors with no
+//!   base counterpart or whenever delta coding would not shrink the tensor.
+//!
+//! The encoder picks per tensor whichever is smaller, so the encoded update
+//! is never larger than raw + small framing. A SHA-256 trailer seals the
+//! frame. Decoding is bit-exact by construction and verified by checksum.
+//!
+//! ```text
+//! frame  := MAGIC "MMCU" version(u16) count(varint) entry* sha256(32)
+//! entry  := name_len(varint) name mode(u8) rank(varint) dims(varint*)
+//!           payload_len(varint) payload
+//! mode   := 0 raw-rle | 1 delta-rle
+//! ```
+
+use mmlib_tensor::hash::{Digest, Sha256};
+use mmlib_tensor::{Shape, Tensor};
+
+use crate::{byteplane, delta, rle, varint};
+
+const MAGIC: &[u8; 4] = b"MMCU";
+const VERSION: u16 = 1;
+
+const MODE_RAW: u8 = 0;
+const MODE_DELTA: u8 = 1;
+
+/// Errors from encoding/decoding updates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The frame is malformed or truncated.
+    Corrupt(String),
+    /// The frame checksum does not match.
+    ChecksumMismatch,
+    /// A delta-coded entry has no (or a mismatching) base tensor.
+    MissingBase(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Corrupt(m) => write!(f, "corrupt update frame: {m}"),
+            CodecError::ChecksumMismatch => write!(f, "update frame checksum mismatch"),
+            CodecError::MissingBase(n) => write!(f, "delta entry {n} has no matching base tensor"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// An encoded update with its size statistics.
+#[derive(Debug, Clone)]
+pub struct EncodedUpdate {
+    /// The framed bytes.
+    pub bytes: Vec<u8>,
+    /// Raw (uncompressed) size of the encoded tensors.
+    pub raw_bytes: u64,
+    /// How many tensors used delta mode.
+    pub delta_entries: usize,
+    /// How many tensors fell back to raw mode.
+    pub raw_entries: usize,
+}
+
+impl EncodedUpdate {
+    /// Compression ratio (raw / encoded); > 1 means the codec helped.
+    pub fn ratio(&self) -> f64 {
+        self.raw_bytes as f64 / self.bytes.len().max(1) as f64
+    }
+}
+
+fn rle_planes(words: &[u32]) -> Vec<u8> {
+    rle::encode(&byteplane::split(words))
+}
+
+/// Encodes `entries` (name → tensor), delta-coding against `base` when a
+/// same-named, same-shaped base tensor exists and it pays off.
+pub fn encode_update<'a>(
+    entries: &[(&'a str, &'a Tensor)],
+    base: &dyn Fn(&str) -> Option<&'a Tensor>,
+) -> EncodedUpdate {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    varint::write_u64(entries.len() as u64, &mut out);
+
+    let mut raw_bytes = 0u64;
+    let mut delta_entries = 0usize;
+    let mut raw_entries = 0usize;
+    for (name, tensor) in entries {
+        raw_bytes += tensor.nbytes() as u64;
+        let own_words: Vec<u32> = tensor.data().iter().map(|v| v.to_bits()).collect();
+        let raw_payload = rle_planes(&own_words);
+        let delta_payload = base(name)
+            .and_then(|b| delta::xor_words(tensor, b))
+            .map(|d| rle_planes(&d));
+
+        let (mode, payload) = match delta_payload {
+            Some(dp) if dp.len() < raw_payload.len() => (MODE_DELTA, dp),
+            _ => (MODE_RAW, raw_payload),
+        };
+        if mode == MODE_DELTA {
+            delta_entries += 1;
+        } else {
+            raw_entries += 1;
+        }
+
+        varint::write_u64(name.len() as u64, &mut out);
+        out.extend_from_slice(name.as_bytes());
+        out.push(mode);
+        varint::write_u64(tensor.shape().rank() as u64, &mut out);
+        for &d in tensor.shape().dims() {
+            varint::write_u64(d as u64, &mut out);
+        }
+        varint::write_u64(payload.len() as u64, &mut out);
+        out.extend_from_slice(&payload);
+    }
+
+    let mut h = Sha256::new();
+    h.update(&out);
+    let digest = h.finalize();
+    out.extend_from_slice(&digest.0);
+    EncodedUpdate { bytes: out, raw_bytes, delta_entries, raw_entries }
+}
+
+/// Decodes an update frame, resolving delta entries against `base`.
+pub fn decode_update<'a>(
+    bytes: &[u8],
+    base: &dyn Fn(&str) -> Option<&'a Tensor>,
+) -> Result<Vec<(String, Tensor)>, CodecError> {
+    if bytes.len() < 4 + 2 + 1 + 32 {
+        return Err(CodecError::Corrupt("too short".into()));
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - 32);
+    let mut h = Sha256::new();
+    h.update(payload);
+    let computed = h.finalize();
+    let stored = Digest({
+        let mut d = [0u8; 32];
+        d.copy_from_slice(trailer);
+        d
+    });
+    if stored != computed {
+        return Err(CodecError::ChecksumMismatch);
+    }
+
+    let mut pos = 0usize;
+    if &payload[..4] != MAGIC {
+        return Err(CodecError::Corrupt("bad magic".into()));
+    }
+    pos += 4;
+    let version = u16::from_le_bytes([payload[4], payload[5]]);
+    if version != VERSION {
+        return Err(CodecError::Corrupt(format!("unsupported version {version}")));
+    }
+    pos += 2;
+
+    let read_varint = |pos: &mut usize| -> Result<u64, CodecError> {
+        let (v, used) =
+            varint::read_u64(&payload[*pos..]).ok_or(CodecError::Corrupt("bad varint".into()))?;
+        *pos += used;
+        Ok(v)
+    };
+
+    let count = read_varint(&mut pos)? as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let name_len = read_varint(&mut pos)? as usize;
+        if pos + name_len > payload.len() {
+            return Err(CodecError::Corrupt("truncated name".into()));
+        }
+        let name = std::str::from_utf8(&payload[pos..pos + name_len])
+            .map_err(|_| CodecError::Corrupt("name not utf-8".into()))?
+            .to_string();
+        pos += name_len;
+        if pos >= payload.len() {
+            return Err(CodecError::Corrupt("truncated mode".into()));
+        }
+        let mode = payload[pos];
+        pos += 1;
+        let rank = read_varint(&mut pos)? as usize;
+        if rank > 8 {
+            return Err(CodecError::Corrupt(format!("implausible rank {rank}")));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(read_varint(&mut pos)? as usize);
+        }
+        let shape = Shape::new(dims);
+        let numel = shape.numel();
+        if numel > (1 << 33) {
+            return Err(CodecError::Corrupt(format!("implausible element count {numel}")));
+        }
+        let payload_len = read_varint(&mut pos)? as usize;
+        if pos + payload_len > payload.len() {
+            return Err(CodecError::Corrupt("truncated payload".into()));
+        }
+        let body = &payload[pos..pos + payload_len];
+        pos += payload_len;
+
+        let planes = rle::decode(body, numel * 4)
+            .ok_or(CodecError::Corrupt("bad rle stream".into()))?;
+        let words =
+            byteplane::merge(&planes).ok_or(CodecError::Corrupt("bad byte planes".into()))?;
+        let tensor = match mode {
+            MODE_RAW => {
+                let data: Vec<f32> = words.into_iter().map(f32::from_bits).collect();
+                Tensor::from_vec(shape, data)
+                    .map_err(|e| CodecError::Corrupt(format!("bad tensor: {e}")))?
+            }
+            MODE_DELTA => {
+                let b = base(&name).ok_or_else(|| CodecError::MissingBase(name.clone()))?;
+                if b.shape() != &shape {
+                    return Err(CodecError::MissingBase(name.clone()));
+                }
+                delta::apply(b, &words).ok_or_else(|| CodecError::MissingBase(name.clone()))?
+            }
+            other => return Err(CodecError::Corrupt(format!("unknown mode {other}"))),
+        };
+        out.push((name, tensor));
+    }
+    if pos != payload.len() {
+        return Err(CodecError::Corrupt("trailing bytes".into()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmlib_tensor::Pcg32;
+    use std::collections::BTreeMap;
+
+    fn nearby(base: &Tensor, step: f32) -> Tensor {
+        let mut t = base.clone();
+        for v in t.data_mut().iter_mut() {
+            *v += step * *v * 1e-4;
+        }
+        t
+    }
+
+    #[test]
+    fn delta_mode_round_trips_and_compresses() {
+        let mut rng = Pcg32::seeded(1);
+        let base = Tensor::rand_normal([64, 64], 0.5, 0.2, &mut rng);
+        let derived = nearby(&base, 1.0);
+        let entries = vec![("fc.weight", &derived)];
+        let base_fn = |name: &str| (name == "fc.weight").then_some(&base);
+        let enc = encode_update(&entries, &base_fn);
+        assert_eq!(enc.delta_entries, 1);
+        assert!(enc.ratio() > 1.2, "ratio {}", enc.ratio());
+        let dec = decode_update(&enc.bytes, &base_fn).unwrap();
+        assert_eq!(dec.len(), 1);
+        assert!(dec[0].1.bit_eq(&derived));
+    }
+
+    #[test]
+    fn raw_fallback_round_trips_unrelated_tensors() {
+        let mut rng = Pcg32::seeded(2);
+        let base = Tensor::rand_normal([32, 32], 0.0, 1.0, &mut rng);
+        let unrelated = Tensor::rand_normal([32, 32], 0.0, 1.0, &mut rng);
+        let entries = vec![("w", &unrelated)];
+        let base_fn = |name: &str| (name == "w").then_some(&base);
+        let enc = encode_update(&entries, &base_fn);
+        let dec = decode_update(&enc.bytes, &base_fn).unwrap();
+        assert!(dec[0].1.bit_eq(&unrelated));
+        // Never (meaningfully) larger than raw.
+        assert!(enc.bytes.len() as u64 <= enc.raw_bytes + 128);
+    }
+
+    #[test]
+    fn entries_without_base_are_raw() {
+        let t = Tensor::ones([10]);
+        let entries = vec![("new.layer", &t)];
+        let none = |_: &str| None;
+        let enc = encode_update(&entries, &none);
+        assert_eq!(enc.raw_entries, 1);
+        let dec = decode_update(&enc.bytes, &none).unwrap();
+        assert!(dec[0].1.bit_eq(&t));
+    }
+
+    #[test]
+    fn missing_base_at_decode_is_reported() {
+        let mut rng = Pcg32::seeded(3);
+        let base = Tensor::rand_normal([128], 0.5, 0.1, &mut rng);
+        let derived = nearby(&base, 1.0);
+        let entries = vec![("w", &derived)];
+        let with_base = |name: &str| (name == "w").then_some(&base);
+        let enc = encode_update(&entries, &with_base);
+        if enc.delta_entries == 1 {
+            let none = |_: &str| None;
+            assert!(matches!(decode_update(&enc.bytes, &none), Err(CodecError::MissingBase(_))));
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let t = Tensor::ones([100]);
+        let entries = vec![("w", &t)];
+        let none = |_: &str| None;
+        let enc = encode_update(&entries, &none);
+        for pos in [0usize, 6, enc.bytes.len() / 2, enc.bytes.len() - 33] {
+            let mut bad = enc.bytes.clone();
+            bad[pos] ^= 1;
+            assert!(decode_update(&bad, &none).is_err(), "corruption at {pos} accepted");
+        }
+        assert!(decode_update(&enc.bytes[..enc.bytes.len() - 1], &none).is_err());
+    }
+
+    #[test]
+    fn multi_entry_updates_preserve_order() {
+        let mut rng = Pcg32::seeded(4);
+        let tensors: BTreeMap<String, Tensor> = (0..5)
+            .map(|i| (format!("layer{i}.weight"), Tensor::rand_normal([16, 16], 0.0, 1.0, &mut rng)))
+            .collect();
+        let entries: Vec<(&str, &Tensor)> =
+            tensors.iter().map(|(n, t)| (n.as_str(), t)).collect();
+        let none = |_: &str| None;
+        let enc = encode_update(&entries, &none);
+        let dec = decode_update(&enc.bytes, &none).unwrap();
+        for ((n1, t1), (n2, t2)) in entries.iter().zip(&dec) {
+            assert_eq!(*n1, n2);
+            assert!(t1.bit_eq(t2));
+        }
+    }
+}

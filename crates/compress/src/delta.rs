@@ -1,0 +1,80 @@
+//! XOR deltas between equal-shape tensors.
+//!
+//! XOR (rather than arithmetic subtraction) is used because it is exactly
+//! invertible on the *bit patterns* — no rounding, no NaN/∞ special cases —
+//! which is what mmlib's bit-exact recovery contract requires.
+
+use mmlib_tensor::Tensor;
+
+/// `a XOR b` as raw `u32` words. Returns `None` on shape mismatch.
+pub fn xor_words(a: &Tensor, b: &Tensor) -> Option<Vec<u32>> {
+    if a.shape() != b.shape() {
+        return None;
+    }
+    Some(
+        a.data()
+            .iter()
+            .zip(b.data())
+            .map(|(x, y)| x.to_bits() ^ y.to_bits())
+            .collect(),
+    )
+}
+
+/// Applies an XOR delta to `base`, reconstructing the derived tensor.
+/// Returns `None` if the delta length does not match.
+pub fn apply(base: &Tensor, delta: &[u32]) -> Option<Tensor> {
+    if base.numel() != delta.len() {
+        return None;
+    }
+    let data: Vec<f32> = base
+        .data()
+        .iter()
+        .zip(delta)
+        .map(|(x, d)| f32::from_bits(x.to_bits() ^ d))
+        .collect();
+    Tensor::from_vec(base.shape().clone(), data).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmlib_tensor::Pcg32;
+
+    #[test]
+    fn delta_apply_round_trip() {
+        let mut rng = Pcg32::seeded(1);
+        let base = Tensor::rand_normal([64, 3, 3, 3], 0.0, 1.0, &mut rng);
+        let mut derived = base.clone();
+        for v in derived.data_mut().iter_mut().step_by(7) {
+            *v += 0.001;
+        }
+        let delta = xor_words(&derived, &base).unwrap();
+        let back = apply(&base, &delta).unwrap();
+        assert!(back.bit_eq(&derived));
+    }
+
+    #[test]
+    fn identical_tensors_have_zero_delta() {
+        let mut rng = Pcg32::seeded(2);
+        let t = Tensor::rand_normal([100], 0.0, 1.0, &mut rng);
+        let delta = xor_words(&t, &t).unwrap();
+        assert!(delta.iter().all(|&d| d == 0));
+    }
+
+    #[test]
+    fn special_values_survive() {
+        let base = Tensor::from_vec([4], vec![0.0, -0.0, f32::INFINITY, 1.0]).unwrap();
+        let derived = Tensor::from_vec([4], vec![f32::NAN, 0.0, -1.5, 1.0]).unwrap();
+        let delta = xor_words(&derived, &base).unwrap();
+        let back = apply(&base, &delta).unwrap();
+        assert!(back.bit_eq(&derived));
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let a = Tensor::zeros([2, 2]);
+        let b = Tensor::zeros([4]);
+        assert!(xor_words(&a, &b).is_none());
+        assert!(apply(&a, &[0; 3]).is_none());
+    }
+}

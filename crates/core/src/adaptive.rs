@@ -1,0 +1,263 @@
+//! Adaptive approach selection (paper §4.7, "Adaptive Approach").
+//!
+//! The paper closes by proposing "a heuristic that decides which is the
+//! most suitable approach (BA, PUA, or the MPA) for every model", based on
+//! the observation that BA/PUA costs scale with the *model parameters*
+//! while MPA costs scale with the *training dataset*. This module
+//! implements that heuristic, following the decision discussion of §4.7:
+//!
+//! * If recovery time has the highest priority → **baseline**.
+//! * Otherwise estimate per-approach storage —
+//!   BA ≈ full parameter bytes, PUA ≈ trainable-parameter bytes (the
+//!   expected update), MPA ≈ dataset bytes (or ≈ 0 when the dataset is
+//!   managed externally) — and pick the cheapest, honoring an optional hard
+//!   storage cap and an optional recovery-time budget (MPA's replay time
+//!   estimate must fit).
+
+use mmlib_model::Model;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+use crate::meta::ApproachKind;
+
+/// Inputs to the selection heuristic for one save decision.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SaveScenario {
+    /// Full model state size in bytes (BA's cost).
+    pub model_bytes: u64,
+    /// Expected parameter-update size in bytes (PUA's cost): the trainable
+    /// subset for partial updates, the full state for full updates.
+    pub update_bytes: u64,
+    /// Training-dataset size in bytes (MPA's dominant cost).
+    pub dataset_bytes: u64,
+    /// True when a dedicated system manages the dataset, so MPA stores only
+    /// a reference (§4.7's "scenario in which the MPA could be preferred").
+    pub dataset_external: bool,
+    /// Estimated wall time to replay the training once (MPA's recover cost
+    /// per chain link).
+    pub estimated_train_time: Duration,
+    /// How deep the base chain already is (recursive recovery multiplies
+    /// replay/merge costs).
+    pub chain_depth: u32,
+}
+
+/// Selection policy knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct Policy {
+    /// Recovery time beats storage: always choose the baseline (§4.7,
+    /// "if ... the TTR has the highest priority, the BA is the preferred
+    /// choice").
+    pub prioritize_recovery: bool,
+    /// Optional hard cap on bytes per save.
+    pub max_storage_bytes: Option<u64>,
+    /// Optional budget for a single recovery of this model.
+    pub max_recover_time: Option<Duration>,
+}
+
+
+/// A scored decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision {
+    /// The chosen approach.
+    pub approach: ApproachKind,
+    /// Estimated storage for the chosen approach.
+    pub estimated_bytes: u64,
+    /// Human-readable rationale.
+    pub rationale: String,
+}
+
+impl SaveScenario {
+    /// Builds a scenario from a model (sizes derive from its current
+    /// trainability) and dataset facts.
+    pub fn from_model(
+        model: &Model,
+        dataset_bytes: u64,
+        dataset_external: bool,
+        estimated_train_time: Duration,
+        chain_depth: u32,
+    ) -> SaveScenario {
+        SaveScenario {
+            model_bytes: model.state_nbytes(),
+            update_bytes: model.trainable_param_count() * 4,
+            dataset_bytes,
+            dataset_external,
+            estimated_train_time,
+            chain_depth,
+        }
+    }
+
+    /// Estimated storage consumption per approach.
+    pub fn estimated_bytes(&self, approach: ApproachKind) -> u64 {
+        match approach {
+            ApproachKind::Baseline => self.model_bytes,
+            ApproachKind::ParamUpdate => self.update_bytes,
+            ApproachKind::Provenance => {
+                if self.dataset_external {
+                    // Wrappers + metadata only; small and model-independent.
+                    64 * 1024
+                } else {
+                    self.dataset_bytes
+                }
+            }
+        }
+    }
+
+    /// Estimated single-recovery wall time per approach, relative to one
+    /// training replay (BA/PUA loads are folded into a small constant).
+    pub fn estimated_recover_time(&self, approach: ApproachKind) -> Duration {
+        match approach {
+            ApproachKind::Baseline => Duration::from_millis(100),
+            ApproachKind::ParamUpdate => {
+                Duration::from_millis(100) * (self.chain_depth + 1)
+            }
+            ApproachKind::Provenance => {
+                self.estimated_train_time * (self.chain_depth + 1)
+            }
+        }
+    }
+}
+
+/// Chooses the approach for one save under a policy.
+pub fn choose_approach(scenario: &SaveScenario, policy: &Policy) -> Decision {
+    if policy.prioritize_recovery {
+        return Decision {
+            approach: ApproachKind::Baseline,
+            estimated_bytes: scenario.estimated_bytes(ApproachKind::Baseline),
+            rationale: "recovery time prioritized: baseline avoids chain resolution".into(),
+        };
+    }
+    let mut candidates: Vec<ApproachKind> = ApproachKind::all().to_vec();
+    if let Some(budget) = policy.max_recover_time {
+        candidates.retain(|a| scenario.estimated_recover_time(*a) <= budget);
+    }
+    if let Some(cap) = policy.max_storage_bytes {
+        let capped: Vec<ApproachKind> = candidates
+            .iter()
+            .copied()
+            .filter(|a| scenario.estimated_bytes(*a) <= cap)
+            .collect();
+        if !capped.is_empty() {
+            candidates = capped;
+        }
+    }
+    if candidates.is_empty() {
+        // Budgets were unsatisfiable; the lossless fallback is the baseline.
+        return Decision {
+            approach: ApproachKind::Baseline,
+            estimated_bytes: scenario.estimated_bytes(ApproachKind::Baseline),
+            rationale: "no approach met the configured budgets; falling back to baseline".into(),
+        };
+    }
+    let best = candidates
+        .into_iter()
+        .min_by_key(|a| scenario.estimated_bytes(*a))
+        .expect("non-empty");
+    Decision {
+        approach: best,
+        estimated_bytes: scenario.estimated_bytes(best),
+        rationale: format!(
+            "cheapest storage among feasible approaches \
+             (BA {} B, PUA {} B, MPA {} B)",
+            scenario.estimated_bytes(ApproachKind::Baseline),
+            scenario.estimated_bytes(ApproachKind::ParamUpdate),
+            scenario.estimated_bytes(ApproachKind::Provenance),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(model_mb: u64, update_mb: u64, dataset_mb: u64) -> SaveScenario {
+        SaveScenario {
+            model_bytes: model_mb * 1_000_000,
+            update_bytes: update_mb * 1_000_000,
+            dataset_bytes: dataset_mb * 1_000_000,
+            dataset_external: false,
+            estimated_train_time: Duration::from_secs(10),
+            chain_depth: 2,
+        }
+    }
+
+    #[test]
+    fn recovery_priority_always_picks_baseline() {
+        let s = scenario(242, 8, 94);
+        let d = choose_approach(&s, &Policy { prioritize_recovery: true, ..Default::default() });
+        assert_eq!(d.approach, ApproachKind::Baseline);
+    }
+
+    #[test]
+    fn partial_resnet152_prefers_param_update() {
+        // Paper Fig. 7(d): partial ResNet-152 update (8 MB) beats the
+        // snapshot (242 MB) and the CF-512 dataset (94 MB).
+        let s = scenario(242, 8, 94);
+        let d = choose_approach(&s, &Policy::default());
+        assert_eq!(d.approach, ApproachKind::ParamUpdate);
+    }
+
+    #[test]
+    fn full_resnet152_small_dataset_prefers_provenance() {
+        // Paper Fig. 7(c): fully updated ResNet-152 — the 94 MB dataset
+        // beats both parameter-bound costs (242 MB).
+        let s = scenario(242, 242, 94);
+        let d = choose_approach(&s, &Policy::default());
+        assert_eq!(d.approach, ApproachKind::Provenance);
+    }
+
+    #[test]
+    fn full_mobilenet_large_dataset_avoids_provenance() {
+        // Paper Fig. 7(a): fully updated MobileNetV2 (14 MB) vs CF-512
+        // (94 MB): MPA loses; BA and PUA tie, PUA wins on metadata sharing.
+        let s = scenario(14, 14, 94);
+        let d = choose_approach(&s, &Policy::default());
+        assert_ne!(d.approach, ApproachKind::Provenance);
+    }
+
+    #[test]
+    fn external_dataset_flips_to_provenance() {
+        // §4.7: when the training data is centrally stored anyway, MPA's
+        // storage reduces to the training information.
+        let mut s = scenario(14, 14, 94);
+        s.dataset_external = true;
+        let d = choose_approach(&s, &Policy::default());
+        assert_eq!(d.approach, ApproachKind::Provenance);
+    }
+
+    #[test]
+    fn recover_budget_excludes_provenance() {
+        let s = scenario(242, 242, 10); // MPA cheapest on storage
+        let d = choose_approach(
+            &s,
+            &Policy { max_recover_time: Some(Duration::from_secs(5)), ..Default::default() },
+        );
+        // 3 chain links x 10 s replay exceeds the 5 s budget.
+        assert_ne!(d.approach, ApproachKind::Provenance);
+    }
+
+    #[test]
+    fn impossible_budgets_fall_back_to_baseline() {
+        let s = scenario(242, 242, 242);
+        let d = choose_approach(
+            &s,
+            &Policy {
+                max_storage_bytes: Some(1),
+                max_recover_time: Some(Duration::from_nanos(1)),
+                ..Default::default()
+            },
+        );
+        assert_eq!(d.approach, ApproachKind::Baseline);
+        assert!(d.rationale.contains("falling back"));
+    }
+
+    #[test]
+    fn storage_cap_prefers_fitting_approach() {
+        let s = scenario(242, 8, 94);
+        let d = choose_approach(
+            &s,
+            &Policy { max_storage_bytes: Some(10_000_000), ..Default::default() },
+        );
+        assert_eq!(d.approach, ApproachKind::ParamUpdate);
+    }
+}

@@ -1,0 +1,130 @@
+//! Baseline approach (BA, paper §3.1): complete independent snapshots.
+//!
+//! Save: environment doc + layer-hash doc + model-info doc; architecture
+//! code and the full serialized state dict as files. Recovery loads
+//! everything back, rebuilds the architecture (running its initialization
+//! routine — the step that makes GoogLeNet's recovery anomalously slow,
+//! Fig. 12), overwrites the parameters, and verifies.
+
+use std::time::Instant;
+
+use mmlib_model::Model;
+use mmlib_tensor::ser::{state_from_bytes, state_to_bytes};
+
+use crate::error::CoreError;
+use crate::merkle::MerkleTree;
+use crate::meta::{ModelInfoDoc, ModelRelation, SavedModelId};
+use crate::recovery::{RecoverBreakdown, SaveService};
+
+impl SaveService {
+    /// Saves a complete snapshot of `model` (the baseline approach).
+    ///
+    /// `base` is recorded as metadata only — the baseline "explicitly
+    /// excludes loading documents holding base model information" at
+    /// recovery. `relation` documents how this model relates to its base.
+    pub fn save_full(
+        &self,
+        model: &Model,
+        base: Option<&SavedModelId>,
+        relation: &str,
+    ) -> Result<SavedModelId, CoreError> {
+        let relation = parse_relation(relation, base)?;
+        let env_doc = self.save_environment()?;
+
+        // Architecture code file.
+        let code_file = self.storage().put_file(model.arch.source_code().as_bytes())?;
+
+        // Full state dict file.
+        let entries = model.state_entries();
+        let bytes = state_to_bytes(
+            entries.iter().map(|(p, t, _, _)| (p.as_str(), *t)).collect::<Vec<_>>(),
+        );
+        let weights_file = self.storage().put_file(&bytes)?;
+
+        // Layer hashes: the baseline's optional recovery checksums —
+        // mmlib always stores them, as the paper's PUA interop requires a
+        // base's hashes to be loadable without recovering it.
+        let tree = MerkleTree::from_model(model);
+        let hash_doc = self.save_layer_hashes(&tree)?;
+
+        self.save_model_info(&ModelInfoDoc {
+            approach: crate::meta::ApproachKind::Baseline,
+            arch: model.arch.name().to_string(),
+            relation,
+            base_model: base.map(|b| b.doc_id().as_str().to_string()),
+            environment_doc: env_doc.as_str().to_string(),
+            code_file: Some(code_file.as_str().to_string()),
+            weights_file: Some(weights_file.as_str().to_string()),
+            update_encoding: None,
+            layer_hash_doc: hash_doc.as_str().to_string(),
+            root_hash: tree.root().to_hex(),
+            train_doc: None,
+            dataset: None,
+        })
+    }
+
+    /// Recovers a baseline snapshot (no recursion).
+    pub(crate) fn recover_full(
+        &self,
+        info: &ModelInfoDoc,
+        id: &SavedModelId,
+        breakdown: &mut RecoverBreakdown,
+    ) -> Result<Model, CoreError> {
+        let arch = self.arch_of(info, id)?;
+        let weights_id = info.weights_file.as_ref().ok_or_else(|| CoreError::BadModelDocument {
+            id: id.clone(),
+            reason: "baseline document lacks a weights file".into(),
+        })?;
+
+        let start = Instant::now();
+        let bytes = self.read_file(weights_id)?;
+        // The code file is loaded too (it is part of the exact
+        // representation), although the Rust build resolves the
+        // architecture from its identifier.
+        if let Some(code_id) = &info.code_file {
+            let _ = self.read_file(code_id)?;
+        }
+        breakdown.load += start.elapsed();
+
+        let start = Instant::now();
+        // Rebuild the architecture object. This runs the architecture's
+        // init routine before the parameters are overwritten — exactly what
+        // `torchvision.models.X()` + `load_state_dict` does, and the origin
+        // of the GoogLeNet recovery anomaly (paper Fig. 12).
+        let mut model = Model::new_initialized(arch, 0);
+        let entries = state_from_bytes(&bytes)?;
+        model.load_state_dict(&entries)?;
+        breakdown.recover += start.elapsed();
+        Ok(model)
+    }
+}
+
+pub(crate) fn parse_relation(
+    relation: &str,
+    base: Option<&SavedModelId>,
+) -> Result<ModelRelation, CoreError> {
+    let parsed = match relation {
+        "initial" => ModelRelation::Initial,
+        "fully_updated" => ModelRelation::FullyUpdated,
+        "partially_updated" => ModelRelation::PartiallyUpdated,
+        other => {
+            return Err(CoreError::BadModelDocument {
+                id: SavedModelId(mmlib_store::DocId::from_string("unsaved".into())),
+                reason: format!("unknown relation {other:?}"),
+            })
+        }
+    };
+    if parsed == ModelRelation::Initial && base.is_some() {
+        return Err(CoreError::BadModelDocument {
+            id: SavedModelId(mmlib_store::DocId::from_string("unsaved".into())),
+            reason: "initial models cannot have a base".into(),
+        });
+    }
+    if parsed != ModelRelation::Initial && base.is_none() {
+        return Err(CoreError::BadModelDocument {
+            id: SavedModelId(mmlib_store::DocId::from_string("unsaved".into())),
+            reason: format!("{relation} requires a base model"),
+        });
+    }
+    Ok(parsed)
+}

@@ -1,0 +1,180 @@
+//! Environment capture and checking.
+//!
+//! Paper §3.1/§3.3: the model architecture's behaviour depends on "the
+//! framework version, all third-party libraries, the language interpreter,
+//! operating system kernel, as well as the driver versions, and the hardware
+//! specification" — so every save records the environment, and recovery
+//! verifies the current environment against it (a step the paper measures
+//! at over one second and toggles in some experiments).
+
+use serde::{Deserialize, Serialize};
+
+/// A captured execution environment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnvironmentInfo {
+    /// mmlib's own version (the "framework version").
+    pub mmlib_version: String,
+    /// Compiler the library was built with (stands in for the interpreter).
+    pub rustc_semver: String,
+    /// Third-party library versions linked into the substrate.
+    pub libraries: Vec<(String, String)>,
+    /// OS type (e.g. `Linux`).
+    pub os_type: String,
+    /// Kernel release (e.g. `6.18.5`).
+    pub kernel_release: String,
+    /// Machine hostname.
+    pub hostname: String,
+    /// CPU model string.
+    pub cpu_model: String,
+    /// Logical CPU count.
+    pub cpu_count: usize,
+    /// Total memory in kilobytes.
+    pub total_memory_kb: u64,
+}
+
+fn read_trimmed(path: &str) -> Option<String> {
+    std::fs::read_to_string(path).ok().map(|s| s.trim().to_string())
+}
+
+fn cpu_model() -> String {
+    if let Ok(cpuinfo) = std::fs::read_to_string("/proc/cpuinfo") {
+        for line in cpuinfo.lines() {
+            if let Some(rest) = line.strip_prefix("model name") {
+                if let Some((_, v)) = rest.split_once(':') {
+                    return v.trim().to_string();
+                }
+            }
+        }
+    }
+    "unknown".to_string()
+}
+
+fn total_memory_kb() -> u64 {
+    if let Ok(meminfo) = std::fs::read_to_string("/proc/meminfo") {
+        for line in meminfo.lines() {
+            if let Some(rest) = line.strip_prefix("MemTotal:") {
+                if let Some(kb) = rest.split_whitespace().next() {
+                    return kb.parse().unwrap_or(0);
+                }
+            }
+        }
+    }
+    0
+}
+
+impl EnvironmentInfo {
+    /// Captures the current environment by querying the OS and the build.
+    pub fn capture() -> EnvironmentInfo {
+        EnvironmentInfo {
+            mmlib_version: env!("CARGO_PKG_VERSION").to_string(),
+            rustc_semver: rustc_version_string(),
+            libraries: vec![
+                ("mmlib-tensor".into(), env!("CARGO_PKG_VERSION").into()),
+                ("mmlib-model".into(), env!("CARGO_PKG_VERSION").into()),
+                ("mmlib-train".into(), env!("CARGO_PKG_VERSION").into()),
+                ("mmlib-data".into(), env!("CARGO_PKG_VERSION").into()),
+            ],
+            os_type: read_trimmed("/proc/sys/kernel/ostype")
+                .unwrap_or_else(|| std::env::consts::OS.to_string()),
+            kernel_release: read_trimmed("/proc/sys/kernel/osrelease").unwrap_or_default(),
+            hostname: read_trimmed("/proc/sys/kernel/hostname").unwrap_or_default(),
+            cpu_model: cpu_model(),
+            cpu_count: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            total_memory_kb: total_memory_kb(),
+        }
+    }
+
+    /// Compares a saved environment against the current one.
+    ///
+    /// Returns the list of mismatching fields, empty when the environments
+    /// are *compatible* for exact reproduction. Hostname and memory size are
+    /// reported informationally but do **not** count as mismatches: the
+    /// paper explicitly recovers models "identically ... on another
+    /// machine" of the same hardware/software configuration.
+    pub fn mismatches_against(&self, current: &EnvironmentInfo) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut check = |field: &str, a: &str, b: &str| {
+            if a != b {
+                out.push(format!("{field}: saved={a:?} current={b:?}"));
+            }
+        };
+        check("mmlib_version", &self.mmlib_version, &current.mmlib_version);
+        check("rustc_semver", &self.rustc_semver, &current.rustc_semver);
+        check("os_type", &self.os_type, &current.os_type);
+        check("kernel_release", &self.kernel_release, &current.kernel_release);
+        check("cpu_model", &self.cpu_model, &current.cpu_model);
+        for (name, ver) in &self.libraries {
+            match current.libraries.iter().find(|(n, _)| n == name) {
+                Some((_, cur)) if cur == ver => {}
+                Some((_, cur)) => out.push(format!("library {name}: saved={ver} current={cur}")),
+                None => out.push(format!("library {name}: missing in current environment")),
+            }
+        }
+        out
+    }
+}
+
+fn rustc_version_string() -> String {
+    // The toolchain that produced this binary is not introspectable at run
+    // time without shelling out; record the compile-time target instead,
+    // which is what determines kernel-level numeric behaviour.
+    format!("rustc({})", std::env::consts::ARCH)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_is_populated() {
+        let env = EnvironmentInfo::capture();
+        assert!(!env.mmlib_version.is_empty());
+        assert!(!env.os_type.is_empty());
+        assert!(env.cpu_count >= 1);
+        assert_eq!(env.libraries.len(), 4);
+    }
+
+    #[test]
+    fn identical_environments_match() {
+        let env = EnvironmentInfo::capture();
+        assert!(env.mismatches_against(&env.clone()).is_empty());
+    }
+
+    #[test]
+    fn version_drift_is_detected() {
+        let saved = EnvironmentInfo::capture();
+        let mut current = saved.clone();
+        current.mmlib_version = "9.9.9".into();
+        current.libraries[0].1 = "0.0.0".into();
+        let mismatches = saved.mismatches_against(&current);
+        assert_eq!(mismatches.len(), 2);
+        assert!(mismatches[0].contains("mmlib_version"));
+    }
+
+    #[test]
+    fn hostname_difference_is_not_a_mismatch() {
+        let saved = EnvironmentInfo::capture();
+        let mut current = saved.clone();
+        current.hostname = "other-node".into();
+        current.total_memory_kb += 1;
+        assert!(saved.mismatches_against(&current).is_empty());
+    }
+
+    #[test]
+    fn missing_library_is_detected() {
+        let saved = EnvironmentInfo::capture();
+        let mut current = saved.clone();
+        current.libraries.remove(0);
+        let mismatches = saved.mismatches_against(&current);
+        assert_eq!(mismatches.len(), 1);
+        assert!(mismatches[0].contains("missing"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let env = EnvironmentInfo::capture();
+        let json = serde_json::to_string(&env).unwrap();
+        let back: EnvironmentInfo = serde_json::from_str(&json).unwrap();
+        assert_eq!(env, back);
+    }
+}

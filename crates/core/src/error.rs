@@ -1,0 +1,99 @@
+//! Unified error type for mmlib-core.
+
+use mmlib_data::container::ContainerError;
+use mmlib_model::model::ModelError;
+use mmlib_store::StoreError;
+use mmlib_tensor::TensorError;
+
+use crate::meta::SavedModelId;
+
+/// Errors from saving, recovering, or verifying models.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Storage layer failure.
+    Store(StoreError),
+    /// Tensor (de)serialization failure.
+    Tensor(TensorError),
+    /// State-dict application failure.
+    Model(ModelError),
+    /// Dataset container failure.
+    Container(ContainerError),
+    /// A saved-model document is missing or malformed.
+    BadModelDocument {
+        /// The offending model id.
+        id: SavedModelId,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The recovered model failed its integrity verification.
+    VerificationFailed {
+        /// The model whose recovery failed verification.
+        id: SavedModelId,
+        /// Diagnostic detail (which hash mismatched).
+        reason: String,
+    },
+    /// The current environment does not match the saved environment.
+    EnvironmentMismatch {
+        /// Human-readable list of mismatching fields.
+        mismatches: Vec<String>,
+    },
+    /// A base-model chain exceeded the configured depth limit (cycle guard).
+    BaseChainTooDeep {
+        /// The model whose chain overflowed.
+        id: SavedModelId,
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// A provenance wrapper references an unknown class.
+    UnknownWrapperClass(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Store(e) => write!(f, "store error: {e}"),
+            CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CoreError::Model(e) => write!(f, "model error: {e}"),
+            CoreError::Container(e) => write!(f, "dataset container error: {e}"),
+            CoreError::BadModelDocument { id, reason } => {
+                write!(f, "bad model document {id}: {reason}")
+            }
+            CoreError::VerificationFailed { id, reason } => {
+                write!(f, "verification failed for {id}: {reason}")
+            }
+            CoreError::EnvironmentMismatch { mismatches } => {
+                write!(f, "environment mismatch: {}", mismatches.join("; "))
+            }
+            CoreError::BaseChainTooDeep { id, limit } => {
+                write!(f, "base-model chain of {id} exceeds depth limit {limit}")
+            }
+            CoreError::UnknownWrapperClass(c) => write!(f, "unknown wrapper class {c}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<StoreError> for CoreError {
+    fn from(e: StoreError) -> Self {
+        CoreError::Store(e)
+    }
+}
+
+impl From<TensorError> for CoreError {
+    fn from(e: TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+
+impl From<ModelError> for CoreError {
+    fn from(e: ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+impl From<ContainerError> for CoreError {
+    fn from(e: ContainerError) -> Self {
+        CoreError::Container(e)
+    }
+}

@@ -1,0 +1,191 @@
+//! Document schemas for saved models.
+//!
+//! Paper §3.1: metadata lives in JSON documents organized hierarchically —
+//! a model-info document references an environment document, a layer-hash
+//! document, stored files, its base model, and (for the provenance
+//! approach) the wrapped training objects.
+
+use mmlib_store::DocId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a saved model — the id of its model-info document.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SavedModelId(pub DocId);
+
+impl SavedModelId {
+    /// The underlying document id.
+    pub fn doc_id(&self) -> &DocId {
+        &self.0
+    }
+}
+
+impl fmt::Display for SavedModelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Which save approach produced a model document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ApproachKind {
+    /// Baseline: complete independent snapshot (§3.1).
+    Baseline,
+    /// Parameter update: base reference + changed layers (§3.2).
+    ParamUpdate,
+    /// Model provenance: base reference + training provenance (§3.3).
+    Provenance,
+}
+
+impl ApproachKind {
+    /// All approaches in paper order.
+    pub fn all() -> [ApproachKind; 3] {
+        [ApproachKind::Baseline, ApproachKind::ParamUpdate, ApproachKind::Provenance]
+    }
+
+    /// The paper's abbreviation (BA / PUA / MPA).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            ApproachKind::Baseline => "BA",
+            ApproachKind::ParamUpdate => "PUA",
+            ApproachKind::Provenance => "MPA",
+        }
+    }
+}
+
+impl fmt::Display for ApproachKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// How a model relates to its base (paper §2.1 / Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ModelRelation {
+    /// No base model (the U1 initial model).
+    Initial,
+    /// Same architecture, all parameters retrained.
+    FullyUpdated,
+    /// Same architecture, only a trainable subset (the classifier) retrained.
+    PartiallyUpdated,
+}
+
+impl ModelRelation {
+    /// Applies the relation's trainability to a model (the paper trains all
+    /// parameters for fully updated versions and "only the last fully
+    /// connected layers" for partially updated ones).
+    pub fn apply_trainability(self, model: &mut mmlib_model::Model) {
+        match self {
+            ModelRelation::Initial | ModelRelation::FullyUpdated => model.set_fully_trainable(),
+            ModelRelation::PartiallyUpdated => model.set_classifier_only_trainable(),
+        }
+    }
+}
+
+/// Reference to a training dataset inside a provenance document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetRef {
+    /// Table 1 short name (`"CF-512"` ...).
+    pub name: String,
+    /// Byte-size scale factor the dataset was materialized with.
+    pub scale: f64,
+    /// The stored single-file container, or `None` when the dataset is
+    /// managed externally (paper §3.3, "Managing Data sets": then only the
+    /// reference is saved).
+    pub container_file: Option<String>,
+    /// SHA-256 over the dataset content (identity + all blobs).
+    pub content_digest: String,
+}
+
+/// The body of a `model_info` document — one per saved model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelInfoDoc {
+    /// The approach that saved this model.
+    pub approach: ApproachKind,
+    /// Architecture name ([`mmlib_model::ArchId::name`]).
+    pub arch: String,
+    /// Relation to the base model.
+    pub relation: ModelRelation,
+    /// Base model-info document id, absent for initial models.
+    pub base_model: Option<String>,
+    /// Environment document id.
+    pub environment_doc: String,
+    /// Architecture-code file id (full snapshots only; derived models
+    /// reference the base's code through the chain).
+    pub code_file: Option<String>,
+    /// Serialized parameters: the full state dict (baseline) or the pruned
+    /// parameter update (param-update). Absent for provenance saves.
+    pub weights_file: Option<String>,
+    /// Encoding of the weights file: `None`/`"state_dict"` for the plain
+    /// binary state dict, `"delta_v1"` for the XOR-delta compressed update
+    /// (the storage-extension codec in `mmlib-compress`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub update_encoding: Option<String>,
+    /// Layer-hash (Merkle) document id.
+    pub layer_hash_doc: String,
+    /// Merkle root over the model's layer hashes (hex) — the recovery
+    /// checksum of §3.1.
+    pub root_hash: String,
+    /// Train-service wrapper document id (provenance saves only).
+    pub train_doc: Option<String>,
+    /// Training dataset reference (provenance saves only).
+    pub dataset: Option<DatasetRef>,
+}
+
+/// Document kinds used by mmlib.
+pub mod kinds {
+    /// Model-info documents.
+    pub const MODEL_INFO: &str = "model_info";
+    /// Environment captures.
+    pub const ENVIRONMENT: &str = "environment";
+    /// Layer-hash (Merkle) documents.
+    pub const LAYER_HASHES: &str = "layer_hashes";
+    /// Wrapper objects (train service, dataloader, optimizer).
+    pub const WRAPPER: &str = "wrapper";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approach_abbrevs_match_paper() {
+        assert_eq!(ApproachKind::Baseline.abbrev(), "BA");
+        assert_eq!(ApproachKind::ParamUpdate.abbrev(), "PUA");
+        assert_eq!(ApproachKind::Provenance.abbrev(), "MPA");
+    }
+
+    #[test]
+    fn model_info_doc_serde_round_trip() {
+        let doc = ModelInfoDoc {
+            approach: ApproachKind::ParamUpdate,
+            arch: "resnet152".into(),
+            relation: ModelRelation::PartiallyUpdated,
+            base_model: Some("abc-1".into()),
+            environment_doc: "abc-2".into(),
+            code_file: None,
+            weights_file: Some("f-1".into()),
+            update_encoding: None,
+            layer_hash_doc: "abc-3".into(),
+            root_hash: "00".repeat(32),
+            train_doc: None,
+            dataset: None,
+        };
+        let json = serde_json::to_value(&doc).unwrap();
+        assert_eq!(json["approach"], "param_update");
+        assert_eq!(json["relation"], "partially_updated");
+        let back: ModelInfoDoc = serde_json::from_value(json).unwrap();
+        assert_eq!(doc, back);
+    }
+
+    #[test]
+    fn relation_trainability_application() {
+        let mut m = mmlib_model::Model::new_initialized(mmlib_model::ArchId::ResNet18, 0);
+        ModelRelation::PartiallyUpdated.apply_trainability(&mut m);
+        assert_eq!(m.trainable_param_count(), 513_000);
+        ModelRelation::FullyUpdated.apply_trainability(&mut m);
+        assert_eq!(m.trainable_param_count(), m.param_count());
+    }
+}

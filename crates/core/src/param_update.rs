@@ -1,0 +1,210 @@
+//! Parameter-update approach (PUA, paper §3.2): save only what changed.
+//!
+//! Saving a derived model `M` (`B → M`) compares M's per-layer hashes to
+//! B's *stored* hashes — loading only B's Merkle document, never its
+//! parameters ("we can identify the changed layers by only recovering and
+//! comparing the direct base model's hash values instead of recursively
+//! recovering it fully"). Only the changed layers' tensors are serialized.
+//!
+//! Recovery is recursive: recover B (which may itself be an update), then
+//! merge M's parameter update with M's values winning conflicts.
+
+use std::time::Instant;
+
+use mmlib_model::Model;
+use mmlib_tensor::ser::{state_from_bytes, state_to_bytes};
+
+use crate::error::CoreError;
+use crate::merkle::{MerkleDiff, MerkleTree};
+use crate::meta::{ApproachKind, ModelInfoDoc, SavedModelId};
+use crate::recovery::{RecoverBreakdown, RecoverOptions, SaveService};
+
+impl SaveService {
+    /// Saves `model` as a parameter update against `base`.
+    ///
+    /// Returns the saved id and the Merkle diff that determined the update
+    /// (exposed for the Fig. 4 comparison-count experiments).
+    pub fn save_update(
+        &self,
+        model: &Model,
+        base: &SavedModelId,
+        relation: &str,
+    ) -> Result<(SavedModelId, MerkleDiff), CoreError> {
+        let relation = crate::baseline::parse_relation(relation, Some(base))?;
+
+        // Load only the base's hash document — not its parameters.
+        let base_info = self.load_model_info(base)?;
+        if base_info.arch != model.arch.name() {
+            return Err(CoreError::BadModelDocument {
+                id: base.clone(),
+                reason: format!(
+                    "parameter update requires matching architectures (base {}, model {})",
+                    base_info.arch,
+                    model.arch.name()
+                ),
+            });
+        }
+        let base_tree = self.load_layer_hashes(&base_info, base)?;
+        let tree = MerkleTree::from_model(model);
+        let diff = base_tree.diff(&tree);
+
+        // Serialize only the changed layers' state entries (parameters and
+        // buffers — both are part of the exact representation).
+        let changed: std::collections::BTreeSet<&str> =
+            diff.changed.iter().map(|s| s.as_str()).collect();
+        let entries = model.state_entries();
+        let update: Vec<(&str, &mmlib_tensor::Tensor)> = entries
+            .iter()
+            .filter(|(path, _, _, _)| {
+                let layer = path.rsplit_once('.').map_or("", |(l, _)| l);
+                changed.contains(layer)
+            })
+            .map(|(p, t, _, _)| (p.as_str(), *t))
+            .collect();
+        let bytes = state_to_bytes(update);
+        let weights_file = self.storage().put_file(&bytes)?;
+
+        let env_doc = self.save_environment()?;
+        let hash_doc = self.save_layer_hashes(&tree)?;
+        let id = self.save_model_info(&ModelInfoDoc {
+            approach: ApproachKind::ParamUpdate,
+            arch: model.arch.name().to_string(),
+            relation,
+            base_model: Some(base.doc_id().as_str().to_string()),
+            environment_doc: env_doc.as_str().to_string(),
+            code_file: None, // derived models share the base's code
+            weights_file: Some(weights_file.as_str().to_string()),
+            update_encoding: None,
+            layer_hash_doc: hash_doc.as_str().to_string(),
+            root_hash: tree.root().to_hex(),
+            train_doc: None,
+            dataset: None,
+        })?;
+        Ok((id, diff))
+    }
+
+    /// Saves `model` as a **delta-compressed** parameter update against
+    /// `base` — the storage extension of the §4.7 trade-off discussion.
+    ///
+    /// Unlike [`SaveService::save_update`], this needs the base model's
+    /// parameters *in memory* (`base_model`) to form XOR deltas. That is the
+    /// common U3 situation: the node just derived `model` from `base_model`
+    /// and still holds both. The base's integrity is checked against the
+    /// stored root hash before any delta is formed.
+    pub fn save_update_compressed(
+        &self,
+        model: &Model,
+        base_model: &Model,
+        base: &SavedModelId,
+        relation: &str,
+    ) -> Result<(SavedModelId, MerkleDiff, mmlib_compress::EncodedUpdate), CoreError> {
+        let relation = crate::baseline::parse_relation(relation, Some(base))?;
+        let base_info = self.load_model_info(base)?;
+        if base_info.arch != model.arch.name() || base_model.arch != model.arch {
+            return Err(CoreError::BadModelDocument {
+                id: base.clone(),
+                reason: "delta update requires matching architectures".into(),
+            });
+        }
+        // The in-memory base must be the stored base, or deltas would
+        // decode against the wrong parameters.
+        crate::verify::verify_against_root(base_model, &base_info.root_hash, base)?;
+
+        let base_tree = self.load_layer_hashes(&base_info, base)?;
+        let tree = MerkleTree::from_model(model);
+        let diff = base_tree.diff(&tree);
+        let changed: std::collections::BTreeSet<&str> =
+            diff.changed.iter().map(|s| s.as_str()).collect();
+
+        let entries = model.state_entries();
+        let update: Vec<(&str, &mmlib_tensor::Tensor)> = entries
+            .iter()
+            .filter(|(path, _, _, _)| {
+                let layer = path.rsplit_once('.').map_or("", |(l, _)| l);
+                changed.contains(layer)
+            })
+            .map(|(p, t, _, _)| (p.as_str(), *t))
+            .collect();
+
+        let base_entries = base_model.state_entries();
+        let base_map: std::collections::BTreeMap<&str, &mmlib_tensor::Tensor> =
+            base_entries.iter().map(|(p, t, _, _)| (p.as_str(), *t)).collect();
+        let base_fn = |name: &str| base_map.get(name).copied();
+        let encoded = mmlib_compress::encode_update(&update, &base_fn);
+        let weights_file = self.storage().put_file(&encoded.bytes)?;
+
+        let env_doc = self.save_environment()?;
+        let hash_doc = self.save_layer_hashes(&tree)?;
+        let id = self.save_model_info(&ModelInfoDoc {
+            approach: ApproachKind::ParamUpdate,
+            arch: model.arch.name().to_string(),
+            relation,
+            base_model: Some(base.doc_id().as_str().to_string()),
+            environment_doc: env_doc.as_str().to_string(),
+            code_file: None,
+            weights_file: Some(weights_file.as_str().to_string()),
+            update_encoding: Some("delta_v1".to_string()),
+            layer_hash_doc: hash_doc.as_str().to_string(),
+            root_hash: tree.root().to_hex(),
+            train_doc: None,
+            dataset: None,
+        })?;
+        Ok((id, diff, encoded))
+    }
+
+    /// Recovers a parameter-update model: recover the base, merge the update.
+    pub(crate) fn recover_update(
+        &self,
+        info: &ModelInfoDoc,
+        id: &SavedModelId,
+        opts: &RecoverOptions,
+        depth: usize,
+        breakdown: &mut RecoverBreakdown,
+    ) -> Result<Model, CoreError> {
+        let base_id = info.base_model.as_ref().ok_or_else(|| CoreError::BadModelDocument {
+            id: id.clone(),
+            reason: "parameter-update document lacks a base model".into(),
+        })?;
+        let base_id = SavedModelId(mmlib_store::DocId::from_string(base_id.clone()));
+        let mut model = self.recover_inner(&base_id, opts, depth + 1, breakdown)?;
+
+        let weights_id = info.weights_file.as_ref().ok_or_else(|| CoreError::BadModelDocument {
+            id: id.clone(),
+            reason: "parameter-update document lacks an update file".into(),
+        })?;
+        let start = Instant::now();
+        let bytes = self.read_file(weights_id)?;
+        breakdown.load += start.elapsed();
+
+        let start = Instant::now();
+        let entries = match info.update_encoding.as_deref() {
+            None | Some("state_dict") => state_from_bytes(&bytes)?,
+            Some("delta_v1") => {
+                // Decode XOR deltas against the just-recovered base.
+                let base_entries = model.state_entries();
+                let base_map: std::collections::BTreeMap<&str, &mmlib_tensor::Tensor> =
+                    base_entries.iter().map(|(p, t, _, _)| (p.as_str(), *t)).collect();
+                let base_fn = |name: &str| base_map.get(name).copied();
+                let decoded = mmlib_compress::decode_update(&bytes, &base_fn).map_err(|e| {
+                    CoreError::BadModelDocument {
+                        id: id.clone(),
+                        reason: format!("undecodable delta update: {e}"),
+                    }
+                })?;
+                drop(base_map);
+                drop(base_entries);
+                decoded
+            }
+            Some(other) => {
+                return Err(CoreError::BadModelDocument {
+                    id: id.clone(),
+                    reason: format!("unknown update encoding {other:?}"),
+                })
+            }
+        };
+        // Merge policy (§3.2): prioritize M's information on conflicts.
+        model.apply_update(&entries)?;
+        breakdown.recover += start.elapsed();
+        Ok(model)
+    }
+}

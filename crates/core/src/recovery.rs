@@ -1,0 +1,229 @@
+//! The save/recover service: shared plumbing and the recursive recovery
+//! dispatcher.
+//!
+//! One [`SaveService`] exposes all three approaches (the approach used is
+//! recorded per model document, so a store may mix them) and one
+//! [`SaveService::recover`] entry point that resolves base-model chains
+//! recursively — the paper's recursive recovery of §3.2/§3.3.
+
+use std::time::{Duration, Instant};
+
+use mmlib_model::{ArchId, Model};
+use mmlib_store::{DocId, FileId, ModelStorage};
+
+use crate::env::EnvironmentInfo;
+use crate::error::CoreError;
+use crate::merkle::MerkleTree;
+use crate::meta::{kinds, ApproachKind, ModelInfoDoc, SavedModelId};
+
+/// Options controlling a recovery.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoverOptions {
+    /// Verify the current environment against the saved one (the paper's
+    /// >1 s "check env" step; §4.4 disables it in one experiment).
+    pub check_env: bool,
+    /// Verify the recovered parameters against the stored Merkle root.
+    pub verify: bool,
+    /// Maximum base-chain depth (cycle/corruption guard).
+    pub max_chain_depth: usize,
+}
+
+impl Default for RecoverOptions {
+    fn default() -> Self {
+        RecoverOptions { check_env: true, verify: true, max_chain_depth: 1024 }
+    }
+}
+
+/// Wall-time breakdown of one recovery (paper Fig. 12's categories).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoverBreakdown {
+    /// Reading documents and files.
+    pub load: Duration,
+    /// Building the model object and applying state / updates / replayed
+    /// training.
+    pub recover: Duration,
+    /// Environment verification.
+    pub check_env: Duration,
+    /// Parameter verification against the stored Merkle root.
+    pub verify: Duration,
+    /// Number of base models recovered along the chain (0 for a snapshot).
+    pub recovered_bases: u32,
+}
+
+impl RecoverBreakdown {
+    /// Total recovery wall time.
+    pub fn total(&self) -> Duration {
+        self.load + self.recover + self.check_env + self.verify
+    }
+}
+
+/// A recovered model plus its recovery-time breakdown.
+pub struct RecoveredModel {
+    /// The recovered model (bit-exact to the saved one when `verify` is on).
+    pub model: Model,
+    /// How the recovery time was spent.
+    pub breakdown: RecoverBreakdown,
+}
+
+impl std::fmt::Debug for RecoveredModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecoveredModel")
+            .field("arch", &self.model.arch)
+            .field("breakdown", &self.breakdown)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The model management service: save with any approach, recover uniformly.
+pub struct SaveService {
+    storage: ModelStorage,
+    environment: EnvironmentInfo,
+}
+
+impl SaveService {
+    /// Creates a service over a storage backend, capturing the current
+    /// environment once.
+    pub fn new(storage: ModelStorage) -> SaveService {
+        SaveService { storage, environment: EnvironmentInfo::capture() }
+    }
+
+    /// The underlying storage (metrics: `bytes_written`).
+    pub fn storage(&self) -> &ModelStorage {
+        &self.storage
+    }
+
+    /// The environment captured at service construction.
+    pub fn environment(&self) -> &EnvironmentInfo {
+        &self.environment
+    }
+
+    // ---- shared save plumbing -------------------------------------------
+
+    /// Persists the environment document.
+    pub(crate) fn save_environment(&self) -> Result<DocId, CoreError> {
+        Ok(self.storage.insert_doc(
+            kinds::ENVIRONMENT,
+            serde_json::to_value(&self.environment).expect("EnvironmentInfo serializes"),
+        )?)
+    }
+
+    /// Persists a layer-hash (Merkle) document.
+    pub(crate) fn save_layer_hashes(&self, tree: &MerkleTree) -> Result<DocId, CoreError> {
+        Ok(self
+            .storage
+            .insert_doc(kinds::LAYER_HASHES, serde_json::to_value(tree).expect("MerkleTree serializes"))?)
+    }
+
+    /// Persists a model-info document and wraps its id.
+    pub(crate) fn save_model_info(&self, info: &ModelInfoDoc) -> Result<SavedModelId, CoreError> {
+        let id = self
+            .storage
+            .insert_doc(kinds::MODEL_INFO, serde_json::to_value(info).expect("ModelInfoDoc serializes"))?;
+        Ok(SavedModelId(id))
+    }
+
+    /// Loads and decodes a model-info document.
+    pub(crate) fn load_model_info(&self, id: &SavedModelId) -> Result<ModelInfoDoc, CoreError> {
+        let doc = self.storage.get_doc(id.doc_id())?;
+        if doc.kind != kinds::MODEL_INFO {
+            return Err(CoreError::BadModelDocument {
+                id: id.clone(),
+                reason: format!("document kind is {:?}, expected model_info", doc.kind),
+            });
+        }
+        serde_json::from_value(doc.body).map_err(|e| CoreError::BadModelDocument {
+            id: id.clone(),
+            reason: format!("undecodable body: {e}"),
+        })
+    }
+
+    /// Loads the stored Merkle tree of a saved model.
+    pub(crate) fn load_layer_hashes(&self, info: &ModelInfoDoc, id: &SavedModelId) -> Result<MerkleTree, CoreError> {
+        let doc = self.storage.get_doc(&DocId::from_string(info.layer_hash_doc.clone()))?;
+        serde_json::from_value(doc.body).map_err(|e| CoreError::BadModelDocument {
+            id: id.clone(),
+            reason: format!("undecodable layer-hash doc: {e}"),
+        })
+    }
+
+    /// Decodes the architecture recorded in a model document.
+    pub(crate) fn arch_of(&self, info: &ModelInfoDoc, id: &SavedModelId) -> Result<ArchId, CoreError> {
+        ArchId::from_name(&info.arch).ok_or_else(|| CoreError::BadModelDocument {
+            id: id.clone(),
+            reason: format!("unknown architecture {:?}", info.arch),
+        })
+    }
+
+    /// Reads a stored file by its string id.
+    pub(crate) fn read_file(&self, id: &str) -> Result<Vec<u8>, CoreError> {
+        Ok(self.storage.get_file(&FileId::from_string(id.to_string()))?)
+    }
+
+    // ---- environment check ----------------------------------------------
+
+    /// Checks the environment document of a saved model against the current
+    /// environment, mirroring the paper's recover-time "check env" step.
+    pub(crate) fn check_environment(&self, info: &ModelInfoDoc) -> Result<(), CoreError> {
+        let doc = self.storage.get_doc(&DocId::from_string(info.environment_doc.clone()))?;
+        let saved: EnvironmentInfo = serde_json::from_value(doc.body)
+            .map_err(|e| CoreError::Store(e.into()))?;
+        let mismatches = saved.mismatches_against(&self.environment);
+        if mismatches.is_empty() {
+            Ok(())
+        } else {
+            Err(CoreError::EnvironmentMismatch { mismatches })
+        }
+    }
+
+    // ---- recovery dispatch ------------------------------------------------
+
+    /// Recovers a saved model, resolving its base chain recursively.
+    ///
+    /// Returns the model together with a wall-time breakdown accumulated
+    /// over the whole chain. Verification (when enabled) runs once, on the
+    /// final model, against the stored Merkle root of the *requested* id —
+    /// intermediate chain steps only feed parameters forward.
+    pub fn recover(&self, id: &SavedModelId, opts: RecoverOptions) -> Result<RecoveredModel, CoreError> {
+        let mut breakdown = RecoverBreakdown::default();
+        let model = self.recover_inner(id, &opts, 0, &mut breakdown)?;
+
+        // Verification of the final model.
+        if opts.verify {
+            let start = Instant::now();
+            let info = self.load_model_info(id)?;
+            crate::verify::verify_against_root(&model, &info.root_hash, id)?;
+            breakdown.verify += start.elapsed();
+        }
+        Ok(RecoveredModel { model, breakdown })
+    }
+
+    pub(crate) fn recover_inner(
+        &self,
+        id: &SavedModelId,
+        opts: &RecoverOptions,
+        depth: usize,
+        breakdown: &mut RecoverBreakdown,
+    ) -> Result<Model, CoreError> {
+        if depth > opts.max_chain_depth {
+            return Err(CoreError::BaseChainTooDeep { id: id.clone(), limit: opts.max_chain_depth });
+        }
+        let start = Instant::now();
+        let info = self.load_model_info(id)?;
+        breakdown.load += start.elapsed();
+        if depth > 0 {
+            breakdown.recovered_bases += 1;
+        }
+
+        if opts.check_env {
+            let start = Instant::now();
+            self.check_environment(&info)?;
+            breakdown.check_env += start.elapsed();
+        }
+
+        match info.approach {
+            ApproachKind::Baseline => self.recover_full(&info, id, breakdown),
+            ApproachKind::ParamUpdate => self.recover_update(&info, id, opts, depth, breakdown),
+            ApproachKind::Provenance => self.recover_provenance(&info, id, opts, depth, breakdown),
+        }
+    }
+}

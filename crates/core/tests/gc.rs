@@ -1,0 +1,144 @@
+//! Tests of deletion and garbage collection over dependency chains.
+
+use mmlib_core::gc::{collect_garbage, delete_model, dependency_graph};
+use mmlib_core::meta::{ModelRelation, SavedModelId};
+use mmlib_core::{CoreError, RecoverOptions, SaveService, TrainProvenance};
+use mmlib_data::loader::LoaderConfig;
+use mmlib_data::{DataLoader, Dataset, DatasetId};
+use mmlib_model::{ArchId, Model};
+use mmlib_store::ModelStorage;
+use mmlib_tensor::ExecMode;
+use mmlib_train::{ImageNetTrainService, Sgd, SgdConfig, TrainConfig, TrainService};
+
+const SCALE: f64 = 0.0001;
+
+fn svc(dir: &std::path::Path) -> SaveService {
+    SaveService::new(ModelStorage::open(dir).unwrap())
+}
+
+fn train_step(model: &mut Model, seed: u64) -> TrainProvenance {
+    model.set_classifier_only_trainable();
+    let loader_config = LoaderConfig {
+        batch_size: 2,
+        resolution: 8,
+        seed,
+        max_images: Some(4),
+        ..Default::default()
+    };
+    let sgd_config = SgdConfig::default();
+    let train_config = TrainConfig {
+        epochs: 1,
+        max_batches_per_epoch: Some(2),
+        seed,
+        mode: ExecMode::Deterministic,
+    };
+    let sgd = Sgd::new(sgd_config);
+    let prov = TrainProvenance {
+        dataset_id: DatasetId::CocoOutdoor512,
+        dataset_scale: SCALE,
+        dataset_external: false,
+        loader_config,
+        optimizer: sgd_config.into(),
+        optimizer_state_before: sgd.state_bytes(),
+        train_config,
+        relation: ModelRelation::PartiallyUpdated,
+    };
+    let loader = DataLoader::new(Dataset::new(DatasetId::CocoOutdoor512, SCALE), loader_config);
+    let mut trainer = ImageNetTrainService::new(loader, sgd, train_config);
+    trainer.train(model);
+    prov
+}
+
+/// Builds: initial -> u1 -> u2 (PUA chain), plus one provenance side-branch
+/// from u1. Returns (service, [initial, u1, u2, side], final model).
+fn build_store(dir: &std::path::Path) -> (SaveService, Vec<SavedModelId>, Model) {
+    let s = svc(dir);
+    let mut model = Model::new_initialized(ArchId::TinyCnn, 1);
+    model.set_fully_trainable();
+    let initial = s.save_full(&model, None, "initial").unwrap();
+
+    train_step(&mut model, 10);
+    let (u1, _) = s.save_update(&model, &initial, "partially_updated").unwrap();
+
+    // Side branch from u1 (provenance).
+    let mut side_model = model.duplicate();
+    let prov = train_step(&mut side_model, 20);
+    let side = s.save_provenance(&side_model, &u1, &prov).unwrap();
+
+    train_step(&mut model, 11);
+    let (u2, _) = s.save_update(&model, &u1, "partially_updated").unwrap();
+
+    (s, vec![initial, u1, u2, side], model)
+}
+
+#[test]
+fn dependency_graph_sees_the_structure() {
+    let dir = tempfile::tempdir().unwrap();
+    let (s, ids, _) = build_store(dir.path());
+    let graph = dependency_graph(&s).unwrap();
+    assert_eq!(graph.models.len(), 4);
+    // initial has one dependent (u1); u1 has two (u2 and side).
+    assert_eq!(graph.dependents[&ids[0]].len(), 1);
+    assert_eq!(graph.dependents[&ids[1]].len(), 2);
+    // Leaves: u2 and side.
+    let leaves = graph.leaves();
+    assert_eq!(leaves.len(), 2);
+    assert!(leaves.contains(&ids[2]) && leaves.contains(&ids[3]));
+    // Chain of u2: u2 -> u1 -> initial.
+    assert_eq!(graph.chain_of(&ids[2]).len(), 3);
+}
+
+#[test]
+fn deleting_a_base_with_dependents_is_refused() {
+    let dir = tempfile::tempdir().unwrap();
+    let (s, ids, _) = build_store(dir.path());
+    let err = delete_model(&s, &ids[1]).unwrap_err();
+    assert!(matches!(err, CoreError::BadModelDocument { .. }));
+    // Still recoverable afterwards.
+    assert!(s.recover(&ids[2], RecoverOptions::default()).is_ok());
+}
+
+#[test]
+fn deleting_a_leaf_works_and_frees_bytes() {
+    let dir = tempfile::tempdir().unwrap();
+    let (s, ids, _) = build_store(dir.path());
+    let report = delete_model(&s, &ids[3]).unwrap();
+    assert_eq!(report.removed_models, vec![ids[3].clone()]);
+    assert!(report.reclaimed_bytes > 0, "provenance models own a dataset container");
+    // The deleted model is gone; the rest of the chain still recovers.
+    assert!(s.recover(&ids[3], RecoverOptions::default()).is_err());
+    assert!(s.recover(&ids[2], RecoverOptions::default()).is_ok());
+}
+
+#[test]
+fn gc_keeps_live_chains_and_sweeps_the_rest() {
+    let dir = tempfile::tempdir().unwrap();
+    let (s, ids, model) = build_store(dir.path());
+    // Keep only u2: its chain (u2, u1, initial) must survive; side is swept.
+    let report = collect_garbage(&s, &[ids[2].clone()]).unwrap();
+    assert_eq!(report.removed_models, vec![ids[3].clone()]);
+    let rec = s.recover(&ids[2], RecoverOptions::default()).unwrap();
+    assert!(rec.model.models_equal(&model));
+    // The swept provenance model's wrapper docs are gone too.
+    let graph = dependency_graph(&s).unwrap();
+    assert_eq!(graph.models.len(), 3);
+}
+
+#[test]
+fn gc_with_no_live_roots_sweeps_everything() {
+    let dir = tempfile::tempdir().unwrap();
+    let (s, _ids, _) = build_store(dir.path());
+    let report = collect_garbage(&s, &[]).unwrap();
+    assert_eq!(report.removed_models.len(), 4);
+    assert!(dependency_graph(&s).unwrap().models.is_empty());
+    // All wrapper docs swept as orphans.
+    assert!(s.storage().docs().ids().unwrap().is_empty());
+}
+
+#[test]
+fn gc_rejects_unknown_live_roots() {
+    let dir = tempfile::tempdir().unwrap();
+    let (s, _, _) = build_store(dir.path());
+    let bogus = SavedModelId(mmlib_store::DocId::from_string("nope-9".into()));
+    assert!(collect_garbage(&s, &[bogus]).is_err());
+}

@@ -1,0 +1,167 @@
+//! The paper's Table 1 dataset inventory.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one of the evaluation datasets (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetId {
+    /// ImageNet 2012 validation set: 50,000 images, 6.3 GB. Used in U2.
+    INetVal,
+    /// Mini ImageNet validation subset: 1,400 images, 200 MB. Used in U2.
+    MiniINetVal,
+    /// Coco-food-512: 512 images, 94.3 MB. Used in U3.
+    CocoFood512,
+    /// Coco-outdoor-512: 512 images, 71.6 MB. Used in U3.
+    CocoOutdoor512,
+}
+
+impl DatasetId {
+    /// All datasets in Table 1 order.
+    pub fn all() -> [DatasetId; 4] {
+        [
+            DatasetId::INetVal,
+            DatasetId::MiniINetVal,
+            DatasetId::CocoFood512,
+            DatasetId::CocoOutdoor512,
+        ]
+    }
+
+    /// The paper's short name.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            DatasetId::INetVal => "INet_val",
+            DatasetId::MiniINetVal => "mINet_val",
+            DatasetId::CocoFood512 => "CF-512",
+            DatasetId::CocoOutdoor512 => "CO-512",
+        }
+    }
+
+    /// Parses a short name.
+    pub fn from_short_name(name: &str) -> Option<DatasetId> {
+        DatasetId::all().into_iter().find(|d| d.short_name() == name)
+    }
+
+    /// Number of images (Table 1).
+    pub fn paper_images(self) -> u64 {
+        match self {
+            DatasetId::INetVal => 50_000,
+            DatasetId::MiniINetVal => 1_400,
+            DatasetId::CocoFood512 | DatasetId::CocoOutdoor512 => 512,
+        }
+    }
+
+    /// Total size in bytes (Table 1; decimal units as in the paper).
+    pub fn paper_bytes(self) -> u64 {
+        match self {
+            DatasetId::INetVal => 6_300_000_000,
+            DatasetId::MiniINetVal => 200_000_000,
+            DatasetId::CocoFood512 => 94_300_000,
+            DatasetId::CocoOutdoor512 => 71_600_000,
+        }
+    }
+
+    /// The use case the paper employs the dataset in ("U2" / "U3").
+    pub fn paper_use_case(self) -> &'static str {
+        match self {
+            DatasetId::INetVal | DatasetId::MiniINetVal => "U2",
+            DatasetId::CocoFood512 | DatasetId::CocoOutdoor512 => "U3",
+        }
+    }
+
+    /// A per-dataset seed: blob content and labels derive from it, so every
+    /// machine materializes bit-identical data.
+    pub fn seed(self) -> u64 {
+        match self {
+            DatasetId::INetVal => 0x494e4554,
+            DatasetId::MiniINetVal => 0x6d494e45,
+            DatasetId::CocoFood512 => 0x43462d35,
+            DatasetId::CocoOutdoor512 => 0x434f2d35,
+        }
+    }
+
+    /// The concrete spec at a byte-size scale factor (image count is never
+    /// scaled: the training replay length must stay faithful).
+    pub fn spec(self, scale: f64) -> DatasetSpec {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        DatasetSpec {
+            id: self,
+            images: self.paper_images(),
+            total_bytes: ((self.paper_bytes() as f64) * scale).round() as u64,
+            scale,
+        }
+    }
+}
+
+/// A concrete dataset specification (possibly size-scaled).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Which Table 1 dataset this is.
+    pub id: DatasetId,
+    /// Number of images.
+    pub images: u64,
+    /// Total blob bytes across all images.
+    pub total_bytes: u64,
+    /// The scale factor applied to the paper's byte size.
+    pub scale: f64,
+}
+
+impl DatasetSpec {
+    /// Size in bytes of image `i`'s blob. The total is distributed as evenly
+    /// as integers allow (the first `total % images` images get one extra
+    /// byte), so `Σ blob_bytes(i) == total_bytes` exactly.
+    pub fn blob_bytes(&self, i: u64) -> u64 {
+        assert!(i < self.images);
+        let base = self.total_bytes / self.images;
+        let extra = self.total_bytes % self.images;
+        base + u64::from(i < extra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_inventory_matches_paper() {
+        assert_eq!(DatasetId::INetVal.paper_images(), 50_000);
+        assert_eq!(DatasetId::INetVal.paper_bytes(), 6_300_000_000);
+        assert_eq!(DatasetId::MiniINetVal.paper_images(), 1_400);
+        assert_eq!(DatasetId::MiniINetVal.paper_bytes(), 200_000_000);
+        assert_eq!(DatasetId::CocoFood512.paper_images(), 512);
+        assert_eq!(DatasetId::CocoFood512.paper_bytes(), 94_300_000);
+        assert_eq!(DatasetId::CocoOutdoor512.paper_images(), 512);
+        assert_eq!(DatasetId::CocoOutdoor512.paper_bytes(), 71_600_000);
+        assert_eq!(DatasetId::INetVal.paper_use_case(), "U2");
+        assert_eq!(DatasetId::CocoFood512.paper_use_case(), "U3");
+    }
+
+    #[test]
+    fn blob_sizes_sum_to_total() {
+        for id in DatasetId::all() {
+            let spec = id.spec(0.001);
+            let sum: u64 = (0..spec.images).map(|i| spec.blob_bytes(i)).sum();
+            assert_eq!(sum, spec.total_bytes, "{}", id.short_name());
+        }
+    }
+
+    #[test]
+    fn scaling_preserves_image_count() {
+        let spec = DatasetId::CocoFood512.spec(0.125);
+        assert_eq!(spec.images, 512);
+        assert_eq!(spec.total_bytes, 11_787_500);
+    }
+
+    #[test]
+    fn short_names_round_trip() {
+        for id in DatasetId::all() {
+            assert_eq!(DatasetId::from_short_name(id.short_name()), Some(id));
+        }
+        assert_eq!(DatasetId::from_short_name("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn zero_scale_rejected() {
+        DatasetId::INetVal.spec(0.0);
+    }
+}

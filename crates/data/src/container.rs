@@ -1,0 +1,193 @@
+//! Single-file dataset container.
+//!
+//! The provenance approach "compresses [the dataset] to a single file, saves
+//! it, and references the file" (§3.3). The evaluation images are JPEGs —
+//! already entropy-coded, so a container gains structure, not compression.
+//! This container concatenates the blobs behind an index and seals the file
+//! with a SHA-256 trailer:
+//!
+//! ```text
+//! MAGIC "MMDC" | version u16 | name_len u16 | name | images u64 | total u64
+//! | per-image: len u32 | blob bytes ...
+//! | trailer: sha256 over everything above (32 bytes)
+//! ```
+
+use mmlib_tensor::hash::{Digest, Sha256};
+
+use crate::catalog::DatasetId;
+use crate::dataset::Dataset;
+
+const MAGIC: &[u8; 4] = b"MMDC";
+const VERSION: u16 = 1;
+
+/// Errors from container encoding/decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainerError {
+    /// Header, index, or payload is malformed or truncated.
+    Corrupt(String),
+    /// The SHA-256 trailer does not match the content.
+    ChecksumMismatch {
+        /// Digest recorded in the trailer.
+        stored: Digest,
+        /// Digest recomputed over the payload.
+        computed: Digest,
+    },
+    /// The container names a dataset this build does not know.
+    UnknownDataset(String),
+}
+
+impl std::fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContainerError::Corrupt(m) => write!(f, "corrupt dataset container: {m}"),
+            ContainerError::ChecksumMismatch { stored, computed } => {
+                write!(f, "container checksum mismatch: stored {stored}, computed {computed}")
+            }
+            ContainerError::UnknownDataset(n) => write!(f, "unknown dataset {n}"),
+        }
+    }
+}
+
+impl std::error::Error for ContainerError {}
+
+/// Packs a dataset into the single-file container format.
+pub fn pack(dataset: &Dataset) -> Vec<u8> {
+    let name = dataset.id().short_name();
+    let mut out = Vec::with_capacity(dataset.total_bytes() as usize + 64);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(name.as_bytes());
+    out.extend_from_slice(&dataset.len().to_le_bytes());
+    out.extend_from_slice(&dataset.total_bytes().to_le_bytes());
+    for i in 0..dataset.len() {
+        let blob = dataset.blob(i);
+        out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+        out.extend_from_slice(&blob);
+    }
+    let mut h = Sha256::new();
+    h.update(&out);
+    out.extend_from_slice(&h.finalize().0);
+    out
+}
+
+/// A decoded container: the named dataset and its blob payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Unpacked {
+    /// The dataset the container claims to hold.
+    pub id: DatasetId,
+    /// Per-image blobs in index order.
+    pub blobs: Vec<Vec<u8>>,
+}
+
+/// Unpacks and verifies a container produced by [`pack`].
+pub fn unpack(bytes: &[u8]) -> Result<Unpacked, ContainerError> {
+    if bytes.len() < 4 + 2 + 2 + 32 {
+        return Err(ContainerError::Corrupt("too short".into()));
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - 32);
+    let mut h = Sha256::new();
+    h.update(payload);
+    let computed = h.finalize();
+    let stored = Digest({
+        let mut d = [0u8; 32];
+        d.copy_from_slice(trailer);
+        d
+    });
+    if stored != computed {
+        return Err(ContainerError::ChecksumMismatch { stored, computed });
+    }
+
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], ContainerError> {
+        if *pos + n > payload.len() {
+            return Err(ContainerError::Corrupt("truncated".into()));
+        }
+        let s = &payload[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+
+    if take(&mut pos, 4)? != MAGIC {
+        return Err(ContainerError::Corrupt("bad magic".into()));
+    }
+    let version = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap());
+    if version != VERSION {
+        return Err(ContainerError::Corrupt(format!("unsupported version {version}")));
+    }
+    let name_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+    let name = std::str::from_utf8(take(&mut pos, name_len)?)
+        .map_err(|_| ContainerError::Corrupt("name not utf-8".into()))?
+        .to_string();
+    let id = DatasetId::from_short_name(&name).ok_or(ContainerError::UnknownDataset(name))?;
+    let images = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+    let total = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+    let mut blobs = Vec::with_capacity(images.min(1 << 24) as usize);
+    let mut seen = 0u64;
+    for _ in 0..images {
+        let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        blobs.push(take(&mut pos, len)?.to_vec());
+        seen += len as u64;
+    }
+    if pos != payload.len() {
+        return Err(ContainerError::Corrupt("trailing bytes before checksum".into()));
+    }
+    if seen != total {
+        return Err(ContainerError::Corrupt(format!(
+            "index total {total} disagrees with payload {seen}"
+        )));
+    }
+    Ok(Unpacked { id, blobs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset::new(DatasetId::CocoFood512, 0.0002)
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let d = tiny();
+        let packed = pack(&d);
+        let un = unpack(&packed).unwrap();
+        assert_eq!(un.id, d.id());
+        assert_eq!(un.blobs.len() as u64, d.len());
+        for (i, blob) in un.blobs.iter().enumerate() {
+            assert_eq!(blob, &d.blob(i as u64));
+        }
+    }
+
+    #[test]
+    fn container_size_tracks_dataset_size() {
+        let d = tiny();
+        let packed = pack(&d);
+        let overhead = packed.len() as u64 - d.total_bytes();
+        // index: 4 bytes per image + header + trailer
+        assert_eq!(overhead, 4 * d.len() + 4 + 2 + 2 + 6 + 8 + 8 + 32);
+    }
+
+    #[test]
+    fn flipping_any_payload_bit_is_detected() {
+        let d = tiny();
+        let packed = pack(&d);
+        for &pos in &[0usize, 10, 100, packed.len() / 2, packed.len() - 40] {
+            let mut corrupt = packed.clone();
+            corrupt[pos] ^= 0x01;
+            match unpack(&corrupt) {
+                Err(ContainerError::ChecksumMismatch { .. }) | Err(ContainerError::Corrupt(_)) => {}
+                other => panic!("corruption at {pos} not detected: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let packed = pack(&tiny());
+        assert!(unpack(&packed[..packed.len() - 1]).is_err());
+        assert!(unpack(&packed[..10]).is_err());
+        assert!(unpack(&[]).is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! A deterministic, shuffling, augmenting batch loader.
+//!
+//! The paper tracks "how [the dataset] is provided by components such as the
+//! preprocessor or the dataloader" (§2.3): the loader is part of the
+//! provenance. This loader is a *parametrized object without internal state*
+//! in the paper's taxonomy (§3.3) — its behaviour is fully determined by its
+//! constructor arguments (dataset, batch size, seed, augmentation flags), so
+//! the provenance approach can recover it by re-instantiating it.
+
+use mmlib_tensor::{Pcg32, Tensor};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+
+/// One batch: stacked pixels and labels.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Pixels `[N, 3, res, res]`.
+    pub images: Tensor,
+    /// Class labels, one per image.
+    pub labels: Vec<u32>,
+}
+
+/// Loader configuration — the constructor arguments that define it, and
+/// exactly what the provenance approach serializes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoaderConfig {
+    /// Images per batch.
+    pub batch_size: usize,
+    /// Square decode resolution.
+    pub resolution: usize,
+    /// Shuffle images each epoch (seeded).
+    pub shuffle: bool,
+    /// Apply random horizontal flips (seeded).
+    pub augment: bool,
+    /// Base seed for shuffling and augmentation.
+    pub seed: u64,
+    /// Cap on images used per epoch (`None` = whole dataset). The harness
+    /// uses this to scale training cost; `None` reproduces the paper.
+    pub max_images: Option<u64>,
+}
+
+impl Default for LoaderConfig {
+    fn default() -> Self {
+        LoaderConfig {
+            batch_size: 64,
+            resolution: 32,
+            shuffle: true,
+            augment: true,
+            seed: 0,
+            max_images: None,
+        }
+    }
+}
+
+/// Deterministic batch loader over a [`Dataset`].
+#[derive(Debug, Clone)]
+pub struct DataLoader {
+    dataset: Dataset,
+    config: LoaderConfig,
+}
+
+impl DataLoader {
+    /// Creates a loader.
+    pub fn new(dataset: Dataset, config: LoaderConfig) -> DataLoader {
+        assert!(config.batch_size > 0, "batch size must be positive");
+        DataLoader { dataset, config }
+    }
+
+    /// The wrapped dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The loader's defining configuration.
+    pub fn config(&self) -> &LoaderConfig {
+        &self.config
+    }
+
+    /// Number of images per epoch after the `max_images` cap.
+    pub fn epoch_images(&self) -> u64 {
+        let n = self.dataset.len();
+        self.config.max_images.map_or(n, |m| m.min(n))
+    }
+
+    /// Number of batches per epoch (last partial batch included).
+    pub fn batches_per_epoch(&self) -> u64 {
+        self.epoch_images().div_ceil(self.config.batch_size as u64)
+    }
+
+    /// The image index order for `epoch` (shuffled if configured).
+    fn epoch_order(&self, epoch: u64) -> Vec<u64> {
+        let mut order: Vec<u64> = (0..self.dataset.len()).collect();
+        if self.config.shuffle {
+            let mut rng = Pcg32::new(self.config.seed ^ epoch.wrapping_mul(0xa076_1d64_78bd_642f), 11);
+            rng.shuffle(&mut order);
+        }
+        order.truncate(self.epoch_images() as usize);
+        order
+    }
+
+    /// Materializes batch `batch_idx` of `epoch`.
+    ///
+    /// Returns `None` past the end of the epoch. Augmentation randomness is
+    /// derived from `(seed, epoch, batch_idx)` only, so a replay that loads
+    /// the same coordinates reproduces the batch bit-for-bit.
+    pub fn batch(&self, epoch: u64, batch_idx: u64) -> Option<Batch> {
+        let order = self.epoch_order(epoch);
+        let start = (batch_idx as usize).checked_mul(self.config.batch_size)?;
+        if start >= order.len() {
+            return None;
+        }
+        let indices = &order[start..(start + self.config.batch_size).min(order.len())];
+        let res = self.config.resolution;
+        let n = indices.len();
+        let mut aug_rng = Pcg32::new(
+            self.config.seed ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ batch_idx,
+            13,
+        );
+        let mut images = Tensor::zeros([n, 3, res, res]);
+        let mut labels = Vec::with_capacity(n);
+        {
+            let out = images.data_mut();
+            let img_len = 3 * res * res;
+            for (bi, &idx) in indices.iter().enumerate() {
+                let img = self.dataset.image_tensor(idx, res);
+                let flip = self.config.augment && aug_rng.next_f32() < 0.5;
+                let src = img.data();
+                let dst = &mut out[bi * img_len..(bi + 1) * img_len];
+                if flip {
+                    // Horizontal flip: reverse each row per channel.
+                    for c in 0..3 {
+                        for y in 0..res {
+                            for x in 0..res {
+                                dst[c * res * res + y * res + x] =
+                                    src[c * res * res + y * res + (res - 1 - x)];
+                            }
+                        }
+                    }
+                } else {
+                    dst.copy_from_slice(src);
+                }
+                labels.push(self.dataset.label(idx));
+            }
+        }
+        Some(Batch { images, labels })
+    }
+
+    /// Iterates all batches of an epoch.
+    pub fn epoch(&self, epoch: u64) -> impl Iterator<Item = Batch> + '_ {
+        (0..self.batches_per_epoch()).filter_map(move |b| self.batch(epoch, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::DatasetId;
+
+    fn loader(seed: u64, shuffle: bool) -> DataLoader {
+        DataLoader::new(
+            Dataset::new(DatasetId::CocoOutdoor512, 0.0002),
+            LoaderConfig {
+                batch_size: 16,
+                resolution: 8,
+                shuffle,
+                augment: true,
+                seed,
+                max_images: Some(48),
+            },
+        )
+    }
+
+    #[test]
+    fn epoch_geometry() {
+        let l = loader(1, true);
+        assert_eq!(l.epoch_images(), 48);
+        assert_eq!(l.batches_per_epoch(), 3);
+        assert!(l.batch(0, 3).is_none());
+        let last = l.batch(0, 2).unwrap();
+        assert_eq!(last.labels.len(), 16);
+    }
+
+    #[test]
+    fn partial_last_batch() {
+        let l = DataLoader::new(
+            Dataset::new(DatasetId::CocoOutdoor512, 0.0002),
+            LoaderConfig { batch_size: 20, max_images: Some(50), resolution: 4, ..Default::default() },
+        );
+        assert_eq!(l.batches_per_epoch(), 3);
+        assert_eq!(l.batch(0, 2).unwrap().labels.len(), 10);
+    }
+
+    #[test]
+    fn batches_are_reproducible() {
+        let a = loader(7, true).batch(2, 1).unwrap();
+        let b = loader(7, true).batch(2, 1).unwrap();
+        assert!(a.images.bit_eq(&b.images));
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn different_seed_different_order() {
+        let a = loader(7, true).batch(0, 0).unwrap();
+        let b = loader(8, true).batch(0, 0).unwrap();
+        assert!(!a.images.bit_eq(&b.images));
+    }
+
+    #[test]
+    fn different_epoch_different_order() {
+        let l = loader(7, true);
+        let a = l.batch(0, 0).unwrap();
+        let b = l.batch(1, 0).unwrap();
+        assert!(!a.images.bit_eq(&b.images));
+    }
+
+    #[test]
+    fn unshuffled_order_is_sequential() {
+        let l = loader(7, false);
+        let batch = l.batch(0, 0).unwrap();
+        let expected: Vec<u32> = (0..16).map(|i| l.dataset().label(i)).collect();
+        assert_eq!(batch.labels, expected);
+    }
+
+    #[test]
+    fn epoch_iterator_yields_all_batches() {
+        let l = loader(3, true);
+        assert_eq!(l.epoch(0).count() as u64, l.batches_per_epoch());
+    }
+}

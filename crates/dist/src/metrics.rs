@@ -1,0 +1,153 @@
+//! Aggregation helpers for flow results.
+//!
+//! The paper reports *median* times over five runs of each experiment and,
+//! for the distributed flows, aggregates per use-case iteration "by taking
+//! the median time of all nodes" (§4.6).
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::flow::{FlowResult, RecoverRecord, SaveRecord};
+
+/// Median of a duration sample (empty → zero).
+pub fn median_duration(mut samples: Vec<Duration>) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    samples.sort_unstable();
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2
+    }
+}
+
+/// Median of a u64 sample (empty → zero).
+pub fn median_u64(mut samples: Vec<u64>) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2
+    }
+}
+
+/// A per-use-case median series: use-case label → value, in flow order.
+#[derive(Debug, Clone, Default)]
+pub struct MedianSeries {
+    entries: Vec<(String, f64)>,
+}
+
+impl MedianSeries {
+    /// The `(use_case, value)` pairs in flow order.
+    pub fn entries(&self) -> &[(String, f64)] {
+        &self.entries
+    }
+
+    /// Value for a use-case label, if present.
+    pub fn get(&self, use_case: &str) -> Option<f64> {
+        self.entries.iter().find(|(u, _)| u == use_case).map(|(_, v)| *v)
+    }
+}
+
+/// Canonical flow order of use-case labels.
+fn use_case_order(label: &str) -> (u8, u8, u8) {
+    if label == "U1" {
+        return (0, 0, 0);
+    }
+    if label == "U2" {
+        return (2, 0, 0);
+    }
+    // U3-<phase>-<n>
+    let mut parts = label.split('-');
+    let _ = parts.next();
+    let phase: u8 = parts.next().and_then(|p| p.parse().ok()).unwrap_or(9);
+    let n: u8 = parts.next().and_then(|p| p.parse().ok()).unwrap_or(99);
+    (if phase == 1 { 1 } else { 3 }, phase, n)
+}
+
+fn grouped<T, F: Fn(&T) -> (&str, f64)>(records: &[T], f: F) -> MedianSeries {
+    let mut groups: BTreeMap<(u8, u8, u8), (String, Vec<f64>)> = BTreeMap::new();
+    for r in records {
+        let (label, value) = f(r);
+        groups
+            .entry(use_case_order(label))
+            .or_insert_with(|| (label.to_string(), Vec::new()))
+            .1
+            .push(value);
+    }
+    let entries = groups
+        .into_values()
+        .map(|(label, mut vs)| {
+            vs.sort_unstable_by(|a, b| a.total_cmp(b));
+            let mid = vs.len() / 2;
+            let median = if vs.len() % 2 == 1 { vs[mid] } else { (vs[mid - 1] + vs[mid]) / 2.0 };
+            (label, median)
+        })
+        .collect();
+    MedianSeries { entries }
+}
+
+/// Per-use-case median TTS in milliseconds (over nodes within one run, or
+/// over nodes × runs when results are concatenated).
+pub fn tts_series(saves: &[SaveRecord]) -> MedianSeries {
+    grouped(saves, |s| (s.use_case.as_str(), s.tts.as_secs_f64() * 1e3))
+}
+
+/// Per-use-case median storage bytes.
+pub fn storage_series(saves: &[SaveRecord]) -> MedianSeries {
+    grouped(saves, |s| (s.use_case.as_str(), s.storage_bytes as f64))
+}
+
+/// Per-use-case median TTR in milliseconds.
+pub fn ttr_series(recovers: &[RecoverRecord]) -> MedianSeries {
+    grouped(recovers, |r| (r.use_case.as_str(), r.ttr.as_secs_f64() * 1e3))
+}
+
+/// Concatenates several runs' results (for cross-run medians).
+pub fn concat_results(runs: &[FlowResult]) -> FlowResult {
+    let mut out = FlowResult::default();
+    for r in runs {
+        out.saves.extend(r.saves.iter().cloned());
+        out.recovers.extend(r.recovers.iter().cloned());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_duration_odd_even_empty() {
+        assert_eq!(median_duration(vec![]), Duration::ZERO);
+        assert_eq!(
+            median_duration(vec![Duration::from_secs(3), Duration::from_secs(1), Duration::from_secs(2)]),
+            Duration::from_secs(2)
+        );
+        assert_eq!(
+            median_duration(vec![Duration::from_secs(1), Duration::from_secs(3)]),
+            Duration::from_secs(2)
+        );
+    }
+
+    #[test]
+    fn median_u64_works() {
+        assert_eq!(median_u64(vec![]), 0);
+        assert_eq!(median_u64(vec![5, 1, 9]), 5);
+        assert_eq!(median_u64(vec![4, 8]), 6);
+    }
+
+    #[test]
+    fn use_case_order_sorts_flow_labels() {
+        let labels = ["U2", "U3-1-2", "U1", "U3-2-1", "U3-1-10", "U3-1-1"];
+        let mut sorted = labels.to_vec();
+        sorted.sort_by_key(|l| use_case_order(l));
+        assert_eq!(sorted, ["U1", "U3-1-1", "U3-1-2", "U3-1-10", "U2", "U3-2-1"]);
+    }
+}

@@ -1,0 +1,366 @@
+//! Parameter-free layers: activations, pooling, dropout, flatten.
+
+use mmlib_tensor::Tensor;
+
+use crate::module::{dims4, Ctx};
+
+/// Rectified linear unit.
+#[derive(Default)]
+pub struct ReLU {
+    mask: Option<Vec<bool>>,
+}
+
+impl ReLU {
+    /// A fresh ReLU.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward: `max(x, 0)`; caches the activation mask.
+    pub fn forward(&mut self, mut x: Tensor) -> Tensor {
+        let mask: Vec<bool> = x.data().iter().map(|&v| v > 0.0).collect();
+        for (v, &m) in x.data_mut().iter_mut().zip(&mask) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        self.mask = Some(mask);
+        x
+    }
+
+    /// Backward: gradient passes only where the input was positive.
+    pub fn backward(&mut self, mut g: Tensor) -> Tensor {
+        let mask = self.mask.take().expect("relu backward before forward");
+        for (v, m) in g.data_mut().iter_mut().zip(mask) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        g
+    }
+}
+
+/// ReLU clipped at 6 (`min(max(x, 0), 6)`) — used by MobileNetV2.
+#[derive(Default)]
+pub struct ReLU6 {
+    mask: Option<Vec<bool>>,
+}
+
+impl ReLU6 {
+    /// A fresh ReLU6.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward: clamp to `[0, 6]`; caches the pass-through mask.
+    pub fn forward(&mut self, mut x: Tensor) -> Tensor {
+        let mask: Vec<bool> = x.data().iter().map(|&v| v > 0.0 && v < 6.0).collect();
+        for v in x.data_mut().iter_mut() {
+            *v = v.clamp(0.0, 6.0);
+        }
+        self.mask = Some(mask);
+        x
+    }
+
+    /// Backward: gradient passes only inside the linear region.
+    pub fn backward(&mut self, mut g: Tensor) -> Tensor {
+        let mask = self.mask.take().expect("relu6 backward before forward");
+        for (v, m) in g.data_mut().iter_mut().zip(mask) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        g
+    }
+}
+
+/// Square max pooling.
+pub struct MaxPool2d {
+    /// Kernel size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding (padded positions are treated as `-inf`).
+    pub pad: usize,
+    argmax: Option<(Vec<usize>, Vec<usize>)>, // (flat input idx per output, input dims)
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer.
+    pub fn new(kernel: usize, stride: usize, pad: usize) -> Self {
+        MaxPool2d { kernel, stride, pad, argmax: None }
+    }
+
+    /// Forward pass; caches argmax positions for backward routing.
+    pub fn forward(&mut self, x: Tensor) -> Tensor {
+        let (n, c, h, w) = dims4(&x);
+        let (k, s, p) = (self.kernel, self.stride, self.pad);
+        assert!(h + 2 * p >= k && w + 2 * p >= k, "pool window larger than input");
+        let ho = (h + 2 * p - k) / s + 1;
+        let wo = (w + 2 * p - k) / s + 1;
+        let xd = x.data();
+        let mut out = Tensor::zeros([n, c, ho, wo]);
+        let mut arg = vec![0usize; n * c * ho * wo];
+        {
+            let od = out.data_mut();
+            for ni in 0..n {
+                for ci in 0..c {
+                    let ibase = ni * c * h * w + ci * h * w;
+                    let obase = ni * c * ho * wo + ci * ho * wo;
+                    for oh in 0..ho {
+                        for ow in 0..wo {
+                            let mut best = f32::NEG_INFINITY;
+                            let mut best_idx = 0usize;
+                            for kh in 0..k {
+                                let ih = oh * s + kh;
+                                if ih < p || ih - p >= h {
+                                    continue;
+                                }
+                                let ih = ih - p;
+                                for kw in 0..k {
+                                    let iw = ow * s + kw;
+                                    if iw < p || iw - p >= w {
+                                        continue;
+                                    }
+                                    let iw = iw - p;
+                                    let v = xd[ibase + ih * w + iw];
+                                    if v > best {
+                                        best = v;
+                                        best_idx = ibase + ih * w + iw;
+                                    }
+                                }
+                            }
+                            od[obase + oh * wo + ow] = best;
+                            arg[obase + oh * wo + ow] = best_idx;
+                        }
+                    }
+                }
+            }
+        }
+        self.argmax = Some((arg, vec![n, c, h, w]));
+        out
+    }
+
+    /// Backward: routes each output gradient to its argmax input position.
+    pub fn backward(&mut self, g: Tensor) -> Tensor {
+        let (arg, in_dims) = self.argmax.take().expect("pool backward before forward");
+        let mut gin = Tensor::zeros(in_dims);
+        {
+            let gi = gin.data_mut();
+            for (gv, &idx) in g.data().iter().zip(&arg) {
+                gi[idx] += gv;
+            }
+        }
+        gin
+    }
+}
+
+/// Global average pooling `[N, C, H, W] → [N, C]` (torchvision's
+/// `AdaptiveAvgPool2d(1)` + flatten, fused).
+#[derive(Default)]
+pub struct GlobalAvgPool {
+    in_dims: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// A fresh pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward: per-channel spatial mean.
+    pub fn forward(&mut self, x: Tensor) -> Tensor {
+        let (n, c, h, w) = dims4(&x);
+        let plane = (h * w) as f32;
+        let xd = x.data();
+        let mut out = Tensor::zeros([n, c]);
+        {
+            let od = out.data_mut();
+            for ni in 0..n {
+                for ci in 0..c {
+                    let base = ni * c * h * w + ci * h * w;
+                    let mut acc = 0.0f32;
+                    for i in 0..h * w {
+                        acc += xd[base + i];
+                    }
+                    od[ni * c + ci] = acc / plane;
+                }
+            }
+        }
+        self.in_dims = Some(vec![n, c, h, w]);
+        out
+    }
+
+    /// Backward: spreads each channel gradient uniformly over the plane.
+    pub fn backward(&mut self, g: Tensor) -> Tensor {
+        let dims = self.in_dims.take().expect("gap backward before forward");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let plane = (h * w) as f32;
+        let gd = g.data();
+        let mut gin = Tensor::zeros([n, c, h, w]);
+        {
+            let gi = gin.data_mut();
+            for ni in 0..n {
+                for ci in 0..c {
+                    let v = gd[ni * c + ci] / plane;
+                    let base = ni * c * h * w + ci * h * w;
+                    for i in 0..h * w {
+                        gi[base + i] = v;
+                    }
+                }
+            }
+        }
+        gin
+    }
+}
+
+/// Dropout: zeroes each element with probability `p` in training mode and
+/// scales survivors by `1/(1-p)` (inverted dropout). The mask is drawn from
+/// the context's seeded PRNG, so training replays reproduce it exactly.
+pub struct Dropout {
+    /// Drop probability.
+    pub p: f32,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p));
+        Dropout { p, mask: None }
+    }
+
+    /// Forward; identity in eval mode.
+    pub fn forward(&mut self, mut x: Tensor, ctx: &mut Ctx<'_>) -> Tensor {
+        if !ctx.training || self.p == 0.0 {
+            self.mask = None;
+            return x;
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = x
+            .data()
+            .iter()
+            .map(|_| if ctx.rng.next_f32() < keep { scale } else { 0.0 })
+            .collect();
+        for (v, m) in x.data_mut().iter_mut().zip(&mask) {
+            *v *= m;
+        }
+        self.mask = Some(mask);
+        x
+    }
+
+    /// Backward: applies the cached mask (identity if eval-mode forward).
+    pub fn backward(&mut self, mut g: Tensor) -> Tensor {
+        if let Some(mask) = self.mask.take() {
+            for (v, m) in g.data_mut().iter_mut().zip(mask) {
+                *v *= m;
+            }
+        }
+        g
+    }
+}
+
+/// Flatten `[N, C, H, W] → [N, C·H·W]`.
+#[derive(Default)]
+pub struct Flatten {
+    in_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// A fresh flatten.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward reshape.
+    pub fn forward(&mut self, x: Tensor) -> Tensor {
+        let dims = x.shape().dims().to_vec();
+        assert!(!dims.is_empty());
+        let n = dims[0];
+        let rest: usize = dims[1..].iter().product();
+        self.in_dims = Some(dims);
+        x.reshape([n, rest]).expect("flatten preserves element count")
+    }
+
+    /// Backward reshape.
+    pub fn backward(&mut self, g: Tensor) -> Tensor {
+        let dims = self.in_dims.take().expect("flatten backward before forward");
+        g.reshape(dims).expect("flatten grad preserves element count")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmlib_tensor::{ExecMode, Pcg32};
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut l = ReLU::new();
+        let x = Tensor::from_vec([1, 1, 1, 4], vec![-1.0, 2.0, 0.0, 3.0]).unwrap();
+        let y = l.forward(x);
+        assert_eq!(y.data(), &[0.0, 2.0, 0.0, 3.0]);
+        let g = l.backward(Tensor::from_vec([1, 1, 1, 4], vec![1.0; 4]).unwrap());
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn relu6_clamps_and_gates() {
+        let mut l = ReLU6::new();
+        let x = Tensor::from_vec([1, 1, 1, 4], vec![-1.0, 3.0, 6.5, 6.0]).unwrap();
+        let y = l.forward(x);
+        assert_eq!(y.data(), &[0.0, 3.0, 6.0, 6.0]);
+        let g = l.backward(Tensor::from_vec([1, 1, 1, 4], vec![1.0; 4]).unwrap());
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_picks_max_and_routes_grad() {
+        let mut l = MaxPool2d::new(2, 2, 0);
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]).unwrap();
+        let y = l.forward(x);
+        assert_eq!(y.data(), &[5.0]);
+        let g = l.backward(Tensor::from_vec([1, 1, 1, 1], vec![2.0]).unwrap());
+        assert_eq!(g.data(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gap_means_and_spreads() {
+        let mut l = GlobalAvgPool::new();
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 6.0]).unwrap();
+        let y = l.forward(x);
+        assert_eq!(y.data(), &[3.0]);
+        let g = l.backward(Tensor::from_vec([1, 1], vec![4.0]).unwrap());
+        assert_eq!(g.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn dropout_is_identity_in_eval_and_seeded_in_train() {
+        let mut rng = Pcg32::seeded(1);
+        let mut ctx = Ctx::eval(&mut rng, ExecMode::Deterministic);
+        let mut l = Dropout::new(0.5);
+        let x = Tensor::ones([1, 1, 2, 2]);
+        let y = l.forward(x.clone(), &mut ctx);
+        assert!(y.bit_eq(&x));
+
+        let run = |seed: u64| {
+            let mut rng = Pcg32::seeded(seed);
+            let mut ctx = Ctx::train(&mut rng, ExecMode::Deterministic);
+            let mut l = Dropout::new(0.5);
+            l.forward(Tensor::ones([1, 1, 8, 8]), &mut ctx)
+        };
+        assert!(run(7).bit_eq(&run(7)));
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut l = Flatten::new();
+        let x = Tensor::from_vec([2, 3, 1, 1], (0..6).map(|i| i as f32).collect::<Vec<_>>()).unwrap();
+        let y = l.forward(x.clone());
+        assert_eq!(y.shape().dims(), &[2, 3]);
+        let g = l.backward(y);
+        assert_eq!(g.shape().dims(), &[2, 3, 1, 1]);
+        assert_eq!(g.data(), x.data());
+    }
+}

@@ -1,0 +1,143 @@
+//! Asserts that the re-implemented architectures reproduce the paper's
+//! Table 2 parameter counts exactly, and exercises the state-dict API on
+//! every architecture.
+
+use mmlib_model::{ArchId, Model};
+
+#[test]
+fn table2_param_counts_exact() {
+    for arch in ArchId::all() {
+        let model = Model::new_initialized(arch, 0);
+        assert_eq!(
+            model.param_count(),
+            arch.paper_param_count(),
+            "{} total param count deviates from paper Table 2",
+            arch.name()
+        );
+    }
+}
+
+#[test]
+fn table2_partial_param_counts_exact() {
+    for arch in ArchId::all() {
+        let mut model = Model::new_initialized(arch, 0);
+        model.set_classifier_only_trainable();
+        assert_eq!(
+            model.trainable_param_count(),
+            arch.paper_partial_param_count(),
+            "{} classifier-only param count deviates from paper Table 2",
+            arch.name()
+        );
+    }
+}
+
+#[test]
+fn fully_trainable_equals_total() {
+    for arch in ArchId::all() {
+        let mut model = Model::new_initialized(arch, 0);
+        model.set_fully_trainable();
+        assert_eq!(model.trainable_param_count(), model.param_count());
+    }
+}
+
+#[test]
+fn state_dict_round_trip_bit_exact() {
+    for arch in ArchId::all() {
+        let model = Model::new_initialized(arch, 7);
+        let sd = model.state_dict();
+        let mut other = Model::new_initialized(arch, 8);
+        assert!(!model.models_equal(&other), "{}: different seeds should differ", arch.name());
+        other.load_state_dict(&sd).unwrap();
+        assert!(model.models_equal(&other), "{}: load_state_dict must restore exactly", arch.name());
+    }
+}
+
+#[test]
+fn same_seed_same_model() {
+    for arch in ArchId::all() {
+        let a = Model::new_initialized(arch, 42);
+        let b = Model::new_initialized(arch, 42);
+        assert!(a.models_equal(&b), "{}: init must be seed-deterministic", arch.name());
+    }
+}
+
+#[test]
+fn state_nbytes_exceeds_param_bytes() {
+    // Buffers (BN running stats) are part of the state dict, so the exact
+    // model state is strictly larger than 4 bytes x trainable params.
+    for arch in ArchId::all() {
+        let model = Model::new_initialized(arch, 0);
+        assert!(model.state_nbytes() > model.param_count() * 4, "{}", arch.name());
+    }
+}
+
+#[test]
+fn layers_are_enumerated_in_stable_order() {
+    let model = Model::new_initialized(ArchId::ResNet18, 0);
+    let layers = model.layers();
+    // conv1, bn1, 4 stages x 2 blocks x (2 conv + 2 bn [+ ds conv + ds bn]), fc
+    assert_eq!(layers[0].path, "conv1");
+    assert_eq!(layers[1].path, "bn1");
+    assert_eq!(layers.last().unwrap().path, "fc");
+    // ResNet-18: 2 + 8*(2+2) + 3*2 (downsamples in layers 2-4) + 1 = 41
+    assert_eq!(layers.len(), 41);
+    // Stable across rebuilds.
+    let again = Model::new_initialized(ArchId::ResNet18, 1);
+    assert_eq!(
+        layers.iter().map(|l| &l.path).collect::<Vec<_>>(),
+        again.layers().iter().map(|l| &l.path).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn classifier_only_marks_expected_layers() {
+    let mut model = Model::new_initialized(ArchId::MobileNetV2, 0);
+    model.set_classifier_only_trainable();
+    let layers = model.layers();
+    let trainable: Vec<_> = layers.iter().filter(|l| l.trainable).collect();
+    assert_eq!(trainable.len(), 1);
+    assert!(trainable[0].path.starts_with("classifier"));
+}
+
+#[test]
+fn load_rejects_missing_and_unexpected_and_mismatched() {
+    let model = Model::new_initialized(ArchId::ResNet18, 0);
+    let mut target = Model::new_initialized(ArchId::ResNet18, 1);
+
+    let mut sd = model.state_dict();
+    let removed = sd.pop().unwrap();
+    assert!(target.load_state_dict(&sd).is_err(), "missing entry must fail");
+
+    sd.push(removed);
+    sd.push(("nonexistent.weight".to_string(), mmlib_tensor::Tensor::zeros([1])));
+    assert!(target.load_state_dict(&sd).is_err(), "unexpected entry must fail");
+
+    sd.pop();
+    let (_name, t) = &mut sd[0];
+    *t = mmlib_tensor::Tensor::zeros([1, 2, 3]);
+    assert!(target.load_state_dict(&sd).is_err(), "shape mismatch must fail");
+}
+
+#[test]
+fn apply_update_merges_partially() {
+    let base = Model::new_initialized(ArchId::ResNet18, 0);
+    let donor = Model::new_initialized(ArchId::ResNet18, 1);
+    let mut merged = Model::new_initialized(ArchId::ResNet18, 0);
+
+    // Take only the fc entries from the donor.
+    let update: Vec<_> = donor
+        .state_dict()
+        .into_iter()
+        .filter(|(p, _)| p.starts_with("fc"))
+        .collect();
+    assert_eq!(update.len(), 2);
+    merged.apply_update(&update).unwrap();
+
+    for ((pa, ta), (_pb, tb)) in merged.state_dict().iter().zip(base.state_dict().iter()) {
+        if pa.starts_with("fc") {
+            assert!(!ta.bit_eq(tb), "fc entries must change");
+        } else {
+            assert!(ta.bit_eq(tb), "{pa} must be untouched");
+        }
+    }
+}

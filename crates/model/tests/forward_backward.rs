@@ -1,0 +1,204 @@
+//! Forward/backward correctness: numerical gradient checks on every
+//! parameterized layer type, determinism of the deterministic mode, and
+//! smoke tests of all five architectures end to end.
+
+use mmlib_model::layers::{BatchNorm2d, Conv2d, Linear};
+use mmlib_model::{ArchId, Ctx, Model, Module};
+use mmlib_tensor::{ExecMode, Init, Pcg32, Tensor};
+
+/// Scalar loss: sum of squares / 2 — gradient is the output itself.
+fn loss_and_grad(y: &Tensor) -> (f64, Tensor) {
+    let loss = y.data().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() / 2.0;
+    (loss, y.clone())
+}
+
+/// Numerically checks d(loss)/d(param[i]) against the analytic gradient for
+/// a few sampled parameter indices of the module.
+fn grad_check(module: &mut Module, input: Tensor, samples: usize, tol: f32) {
+    let mut rng = Pcg32::seeded(999);
+    // Analytic gradients.
+    module.zero_grad();
+    let mut dropout_rng = Pcg32::seeded(0);
+    let mut ctx = Ctx::train(&mut dropout_rng, ExecMode::Deterministic);
+    let y = module.forward(input.clone(), &mut ctx);
+    let (_, gy) = loss_and_grad(&y);
+    module.backward(gy, &mut ctx);
+
+    // Collect (path, index, analytic_grad).
+    let mut targets: Vec<(String, usize, f32)> = Vec::new();
+    module.visit_trainable_mut("", &mut |path, param, grad| {
+        for _ in 0..samples {
+            let i = rng.below(param.numel() as u32) as usize;
+            targets.push((path.clone(), i, grad.data()[i]));
+        }
+    });
+    assert!(!targets.is_empty());
+
+    // Numerical gradients via central differences.
+    for (path, i, analytic) in targets {
+        let eps = 1e-3f32;
+        let mut eval_at = |delta: f32| -> f64 {
+            module.visit_trainable_mut("", &mut |p, param, _| {
+                if p == path {
+                    param.data_mut()[i] += delta;
+                }
+            });
+            let mut dropout_rng = Pcg32::seeded(0);
+            let mut ctx = Ctx::train(&mut dropout_rng, ExecMode::Deterministic);
+            let y = module.forward(input.clone(), &mut ctx);
+            // BN running stats drift across evals; harmless for the check.
+            let (loss, g) = loss_and_grad(&y);
+            module.backward(g, &mut ctx); // clear caches
+            module.zero_grad();
+            loss
+        };
+        let up = eval_at(eps);
+        let down = eval_at(-2.0 * eps);
+        eval_at(eps); // restore
+        let numeric = ((up - down) / (2.0 * eps as f64)) as f32;
+        let denom = 1.0f32.max(analytic.abs()).max(numeric.abs());
+        assert!(
+            (analytic - numeric).abs() / denom < tol,
+            "{path}[{i}]: analytic={analytic} numeric={numeric}"
+        );
+    }
+}
+
+#[test]
+fn conv2d_gradients_match_numerics() {
+    let mut rng = Pcg32::seeded(1);
+    let conv = Conv2d::new(3, 4, 3, 1, 1, 1, true).init(Init::XavierUniform, &mut rng);
+    let mut m = Module::Conv2d(conv);
+    let x = Tensor::rand_normal([2, 3, 5, 5], 0.0, 1.0, &mut rng);
+    grad_check(&mut m, x, 4, 2e-2);
+}
+
+#[test]
+fn strided_grouped_conv_gradients_match_numerics() {
+    let mut rng = Pcg32::seeded(2);
+    let conv = Conv2d::new(4, 4, 3, 2, 1, 4, false).init(Init::XavierUniform, &mut rng);
+    let mut m = Module::Conv2d(conv);
+    let x = Tensor::rand_normal([2, 4, 6, 6], 0.0, 1.0, &mut rng);
+    grad_check(&mut m, x, 4, 2e-2);
+}
+
+#[test]
+fn linear_gradients_match_numerics() {
+    let mut rng = Pcg32::seeded(3);
+    let lin = Linear::new(8, 5).init(Init::XavierUniform, Init::UniformFanIn, &mut rng);
+    let mut m = Module::Linear(lin);
+    // Linear expects [N, F]; wrap in a tiny harness via Module.
+    let x = Tensor::rand_normal([3, 8], 0.0, 1.0, &mut rng);
+    grad_check(&mut m, x, 6, 1e-2);
+}
+
+#[test]
+fn batchnorm_gradients_match_numerics() {
+    let mut rng = Pcg32::seeded(4);
+    let mut m = Module::BatchNorm2d(BatchNorm2d::new(3));
+    let x = Tensor::rand_normal([4, 3, 4, 4], 0.5, 2.0, &mut rng);
+    grad_check(&mut m, x, 4, 3e-2);
+}
+
+#[test]
+fn composite_block_gradients_match_numerics() {
+    // conv -> bn -> conv with residual shortcut: exercises the module-tree
+    // backward plumbing end to end. Kept ReLU-free so the loss surface is
+    // smooth (ReLU kinks make central differences unreliable); the ReLU
+    // gradient itself is unit-tested in `mmlib_model::common`.
+    let mut rng = Pcg32::seeded(5);
+    let body = Module::seq(vec![
+        ("conv1", Module::Conv2d(Conv2d::new(3, 3, 3, 1, 1, 1, false).init(Init::XavierUniform, &mut rng))),
+        ("bn1", Module::BatchNorm2d(BatchNorm2d::new(3))),
+        ("conv2", Module::Conv2d(Conv2d::new(3, 3, 3, 1, 1, 1, false).init(Init::XavierUniform, &mut rng))),
+    ]);
+    let mut m = Module::Residual(mmlib_model::module::Residual::new(body, None, false));
+    let x = Tensor::rand_normal([2, 3, 4, 4], 0.0, 1.0, &mut rng);
+    grad_check(&mut m, x, 3, 5e-2);
+}
+
+fn smoke(arch: ArchId, res: usize) {
+    let mut model = Model::new_initialized(arch, 11);
+    let mut rng = Pcg32::seeded(12);
+    let x = Tensor::rand_normal([2, 3, res, res], 0.0, 1.0, &mut rng);
+    let mut train_rng = Pcg32::seeded(13);
+    let mut ctx = Ctx::train(&mut train_rng, ExecMode::Deterministic);
+    let y = model.forward(x.clone(), &mut ctx);
+    assert_eq!(y.shape().dims(), &[2, 1000], "{}", arch.name());
+    assert!(y.data().iter().all(|v| v.is_finite()), "{}: non-finite logits", arch.name());
+    let g = model.backward(y.clone(), &mut ctx);
+    assert_eq!(g.shape().dims(), x.shape().dims());
+
+    // Eval mode works too.
+    let mut eval_rng = Pcg32::seeded(14);
+    let mut ectx = Ctx::eval(&mut eval_rng, ExecMode::Deterministic);
+    let ye = model.forward(x, &mut ectx);
+    assert_eq!(ye.shape().dims(), &[2, 1000]);
+}
+
+#[test]
+fn mobilenetv2_forward_backward_smoke() {
+    smoke(ArchId::MobileNetV2, 32);
+}
+
+#[test]
+fn googlenet_forward_backward_smoke() {
+    smoke(ArchId::GoogLeNet, 32);
+}
+
+#[test]
+fn resnet18_forward_backward_smoke() {
+    smoke(ArchId::ResNet18, 32);
+}
+
+#[test]
+fn resnet50_forward_backward_smoke() {
+    smoke(ArchId::ResNet50, 32);
+}
+
+#[test]
+fn deterministic_mode_is_bit_reproducible_end_to_end() {
+    let run = || {
+        let mut model = Model::new_initialized(ArchId::ResNet18, 21);
+        let mut rng = Pcg32::seeded(22);
+        let x = Tensor::rand_normal([2, 3, 32, 32], 0.0, 1.0, &mut rng);
+        let mut train_rng = Pcg32::seeded(23);
+        let mut ctx = Ctx::train(&mut train_rng, ExecMode::Deterministic);
+        let y = model.forward(x, &mut ctx);
+        model.backward(y.clone(), &mut ctx);
+        let mut grads = Vec::new();
+        model.visit_trainable_mut(&mut |_, _, g| grads.push(g.clone()));
+        (y, grads)
+    };
+    let (y1, g1) = run();
+    let (y2, g2) = run();
+    assert!(y1.bit_eq(&y2));
+    assert_eq!(g1.len(), g2.len());
+    for (a, b) in g1.iter().zip(&g2) {
+        assert!(a.bit_eq(b));
+    }
+}
+
+#[test]
+fn parallel_mode_stays_numerically_close() {
+    let mut model = Model::new_initialized(ArchId::ResNet18, 31);
+    let mut rng = Pcg32::seeded(32);
+    let x = Tensor::rand_normal([4, 3, 32, 32], 0.0, 1.0, &mut rng);
+
+    let sd = model.state_dict();
+    let mut r1 = Pcg32::seeded(33);
+    let mut ctx = Ctx::train(&mut r1, ExecMode::Deterministic);
+    let y_det = model.forward(x.clone(), &mut ctx);
+    model.backward(y_det.clone(), &mut ctx);
+    model.zero_grad();
+    model.load_state_dict(&sd).unwrap();
+
+    let mut r2 = Pcg32::seeded(33);
+    let mut ctx = Ctx::train(&mut r2, ExecMode::Parallel);
+    let y_par = model.forward(x, &mut ctx);
+    model.backward(y_par.clone(), &mut ctx);
+
+    let diff = y_det.max_abs_diff(&y_par).unwrap();
+    let scale = y_det.data().iter().fold(0.0f32, |m, v| m.max(v.abs())).max(1.0);
+    assert!(diff / scale < 1e-3, "relative divergence too large: {diff} vs scale {scale}");
+}

@@ -1,0 +1,75 @@
+//! Tests of the forward tap used by the probing tool.
+
+use mmlib_model::module::ForwardTap;
+use mmlib_model::{ArchId, Ctx, Model};
+use mmlib_tensor::{ExecMode, Pcg32, Tensor};
+
+#[test]
+fn tap_reports_every_parameterized_leaf_in_order() {
+    let mut model = Model::new_initialized(ArchId::TinyCnn, 1);
+    let mut rng = Pcg32::seeded(2);
+    let x = Tensor::rand_normal([1, 3, 8, 8], 0.0, 1.0, &mut rng);
+
+    let mut taps: Vec<(String, Vec<usize>)> = Vec::new();
+    let mut sink = |path: &str, t: &Tensor| {
+        taps.push((path.to_string(), t.shape().dims().to_vec()));
+    };
+    let mut train_rng = Pcg32::seeded(3);
+    let ctx = Ctx::eval(&mut train_rng, ExecMode::Deterministic);
+    let mut ctx = ctx.with_tap(ForwardTap::new(&mut sink));
+    model.forward(x, &mut ctx);
+    drop(ctx);
+
+    let paths: Vec<&str> = taps.iter().map(|(p, _)| p.as_str()).collect();
+    assert_eq!(paths, ["conv1", "bn1", "conv2", "bn2", "fc"]);
+    // The conv1 output is [1, 8, 4, 4] (stride 2 on 8x8).
+    assert_eq!(taps[0].1, vec![1, 8, 4, 4]);
+    // The fc output is [1, 1000].
+    assert_eq!(taps[4].1, vec![1, 1000]);
+}
+
+#[test]
+fn tap_paths_descend_into_blocks() {
+    let mut model = Model::new_initialized(ArchId::ResNet18, 1);
+    let mut rng = Pcg32::seeded(2);
+    let x = Tensor::rand_normal([1, 3, 32, 32], 0.0, 1.0, &mut rng);
+
+    let mut paths: Vec<String> = Vec::new();
+    let mut sink = |path: &str, _t: &Tensor| paths.push(path.to_string());
+    let mut train_rng = Pcg32::seeded(3);
+    let ctx = Ctx::eval(&mut train_rng, ExecMode::Deterministic);
+    let mut ctx = ctx.with_tap(ForwardTap::new(&mut sink));
+    model.forward(x, &mut ctx);
+    drop(ctx);
+
+    assert_eq!(paths.len(), model.layers().len());
+    assert!(paths.contains(&"layer1.0.body.conv1".to_string()));
+    assert!(paths.contains(&"layer2.0.downsample.0".to_string()));
+    // Tap order equals layer-path order except where dataflow reorders
+    // (residual downsample runs before the body in our forward).
+    let mut sorted_tap = paths.clone();
+    sorted_tap.sort();
+    let mut sorted_layers: Vec<String> = model.layers().into_iter().map(|l| l.path).collect();
+    sorted_layers.sort();
+    assert_eq!(sorted_tap, sorted_layers);
+}
+
+#[test]
+fn untapped_forward_is_unaffected() {
+    let mut model = Model::new_initialized(ArchId::TinyCnn, 4);
+    let mut rng = Pcg32::seeded(5);
+    let x = Tensor::rand_normal([1, 3, 8, 8], 0.0, 1.0, &mut rng);
+
+    let mut r1 = Pcg32::seeded(6);
+    let mut ctx = Ctx::eval(&mut r1, ExecMode::Deterministic);
+    let y_plain = model.forward(x.clone(), &mut ctx);
+
+    let mut sink = |_: &str, _: &Tensor| {};
+    let mut r2 = Pcg32::seeded(6);
+    let ctx = Ctx::eval(&mut r2, ExecMode::Deterministic);
+    let mut ctx = ctx.with_tap(ForwardTap::new(&mut sink));
+    let y_tapped = model.forward(x, &mut ctx);
+    drop(ctx);
+
+    assert!(y_plain.bit_eq(&y_tapped), "tap must not perturb the computation");
+}

@@ -1,0 +1,236 @@
+//! JSON document store — the MongoDB analog.
+//!
+//! The paper (§3.1) saves model metadata as JSON documents "identified by a
+//! generated identifier" and organized hierarchically: documents reference
+//! other documents (and files) by id. This store persists one pretty-printed
+//! JSON file per document under `docs/` and supports the recursive
+//! resolution the recovery path performs.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::storage::{Accounting, StoreError};
+
+/// Generated identifier of a stored document.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DocId(String);
+
+impl DocId {
+    /// Wraps a raw id string (for ids read back out of document bodies).
+    pub fn from_string(s: String) -> DocId {
+        DocId(s)
+    }
+
+    /// The raw id string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for DocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A stored document: generated id, a `kind` tag, and a JSON body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Document {
+    /// Generated identifier.
+    pub id: DocId,
+    /// Collection-style tag (`"model_info"`, `"environment"`, ...).
+    pub kind: String,
+    /// Arbitrary JSON payload; references to other documents/files are
+    /// stored as their id strings inside this body.
+    pub body: serde_json::Value,
+}
+
+/// Directory-backed JSON document store.
+#[derive(Clone)]
+pub struct DocStore {
+    dir: PathBuf,
+    counter: Arc<AtomicU64>,
+    nonce: u64,
+    accounting: Arc<Accounting>,
+    // Serializes id generation scans on reopen.
+    init_lock: Arc<Mutex<()>>,
+}
+
+impl DocStore {
+    /// Opens (or creates) a document store in `dir`.
+    pub(crate) fn open(dir: PathBuf, accounting: Arc<Accounting>) -> Result<DocStore, StoreError> {
+        std::fs::create_dir_all(&dir)?;
+        // Continue id generation past any existing documents.
+        let mut max_seq = 0u64;
+        for entry in std::fs::read_dir(&dir)? {
+            let name = entry?.file_name();
+            if let Some(stem) = name.to_str().and_then(|n| n.strip_suffix(".json")) {
+                if let Some(seq) = stem.split('-').nth(1).and_then(|s| u64::from_str_radix(s, 16).ok()) {
+                    max_seq = max_seq.max(seq);
+                }
+            }
+        }
+        // The nonce distinguishes writers sharing a directory; derived from
+        // process id + time, it only needs uniqueness, not secrecy.
+        let nonce = std::process::id() as u64 ^ nanotime();
+        Ok(DocStore {
+            dir,
+            counter: Arc::new(AtomicU64::new(max_seq + 1)),
+            nonce,
+            accounting,
+            init_lock: Arc::new(Mutex::new(())),
+        })
+    }
+
+    fn path_of(&self, id: &DocId) -> PathBuf {
+        self.dir.join(format!("{}.json", id.as_str()))
+    }
+
+    /// Inserts a document of `kind`, returning its generated id.
+    pub fn insert(&self, kind: &str, body: serde_json::Value) -> Result<DocId, StoreError> {
+        let seq = self.counter.fetch_add(1, Ordering::Relaxed);
+        let id = DocId(format!("{:08x}-{:x}", self.nonce as u32, seq));
+        let doc = Document { id: id.clone(), kind: kind.to_string(), body };
+        let bytes = serde_json::to_vec_pretty(&doc)?;
+        std::fs::write(self.path_of(&id), &bytes)?;
+        self.accounting.add_written(bytes.len() as u64);
+        Ok(id)
+    }
+
+    /// Loads a document by id.
+    pub fn get(&self, id: &DocId) -> Result<Document, StoreError> {
+        let path = self.path_of(id);
+        let bytes = std::fs::read(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                StoreError::MissingDocument(id.clone())
+            } else {
+                StoreError::Io(e)
+            }
+        })?;
+        self.accounting.add_read(bytes.len() as u64);
+        Ok(serde_json::from_slice(&bytes)?)
+    }
+
+    /// Overwrites an existing document's body (used by append-style indices).
+    pub fn update(&self, id: &DocId, body: serde_json::Value) -> Result<(), StoreError> {
+        let mut doc = self.get(id)?;
+        doc.body = body;
+        let bytes = serde_json::to_vec_pretty(&doc)?;
+        std::fs::write(self.path_of(id), &bytes)?;
+        self.accounting.add_written(bytes.len() as u64);
+        Ok(())
+    }
+
+    /// True if a document with this id exists.
+    pub fn contains(&self, id: &DocId) -> bool {
+        self.path_of(id).exists()
+    }
+
+    /// Removes a document (used by deletion and garbage collection).
+    pub fn remove(&self, id: &DocId) -> Result<(), StoreError> {
+        std::fs::remove_file(self.path_of(id)).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                StoreError::MissingDocument(id.clone())
+            } else {
+                StoreError::Io(e)
+            }
+        })
+    }
+
+    /// Ids of all stored documents (diagnostics/tests).
+    pub fn ids(&self) -> Result<Vec<DocId>, StoreError> {
+        let _g = self.init_lock.lock();
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            if let Some(stem) = name.to_str().and_then(|n| n.strip_suffix(".json")) {
+                out.push(DocId(stem.to_string()));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+fn nanotime() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn store(dir: &std::path::Path) -> DocStore {
+        DocStore::open(dir.join("docs"), Arc::new(Accounting::default())).unwrap()
+    }
+
+    #[test]
+    fn insert_get_round_trip() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = store(dir.path());
+        let id = s.insert("model_info", json!({"arch": "resnet18", "base": null})).unwrap();
+        let doc = s.get(&id).unwrap();
+        assert_eq!(doc.id, id);
+        assert_eq!(doc.kind, "model_info");
+        assert_eq!(doc.body["arch"], "resnet18");
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = store(dir.path());
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            assert!(seen.insert(s.insert("k", json!({})).unwrap()));
+        }
+    }
+
+    #[test]
+    fn missing_document_is_a_typed_error() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = store(dir.path());
+        let err = s.get(&DocId::from_string("deadbeef-1".into())).unwrap_err();
+        assert!(matches!(err, StoreError::MissingDocument(_)));
+    }
+
+    #[test]
+    fn update_replaces_body() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = store(dir.path());
+        let id = s.insert("k", json!({"v": 1})).unwrap();
+        s.update(&id, json!({"v": 2})).unwrap();
+        assert_eq!(s.get(&id).unwrap().body["v"], 2);
+    }
+
+    #[test]
+    fn reopen_continues_id_sequence() {
+        let dir = tempfile::tempdir().unwrap();
+        let first = {
+            let s = store(dir.path());
+            s.insert("k", json!({})).unwrap()
+        };
+        let s2 = store(dir.path());
+        let second = s2.insert("k", json!({})).unwrap();
+        assert_ne!(first, second);
+        assert!(s2.contains(&first));
+        assert_eq!(s2.ids().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn corrupt_document_is_a_json_error() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = store(dir.path());
+        let id = s.insert("k", json!({})).unwrap();
+        std::fs::write(dir.path().join("docs").join(format!("{id}.json")), b"{not json").unwrap();
+        assert!(matches!(s.get(&id), Err(StoreError::Json(_))));
+    }
+}

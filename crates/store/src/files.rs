@@ -1,0 +1,171 @@
+//! Flat file store — the shared-file-system analog.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::storage::{Accounting, StoreError};
+
+/// Generated identifier of a stored file.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FileId(String);
+
+impl FileId {
+    /// Wraps a raw id string (for ids read out of document bodies).
+    pub fn from_string(s: String) -> FileId {
+        FileId(s)
+    }
+
+    /// The raw id string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Directory-backed file store with generated ids.
+#[derive(Clone)]
+pub struct FileStore {
+    dir: PathBuf,
+    counter: Arc<AtomicU64>,
+    nonce: u64,
+    accounting: Arc<Accounting>,
+}
+
+impl FileStore {
+    /// Opens (or creates) a file store in `dir`.
+    pub(crate) fn open(dir: PathBuf, accounting: Arc<Accounting>) -> Result<FileStore, StoreError> {
+        std::fs::create_dir_all(&dir)?;
+        let mut max_seq = 0u64;
+        for entry in std::fs::read_dir(&dir)? {
+            let name = entry?.file_name();
+            if let Some(stem) = name.to_str().and_then(|n| n.strip_suffix(".bin")) {
+                if let Some(seq) = stem.split('-').nth(1).and_then(|s| u64::from_str_radix(s, 16).ok()) {
+                    max_seq = max_seq.max(seq);
+                }
+            }
+        }
+        let nonce = std::process::id() as u64 ^ nanotime();
+        Ok(FileStore { dir, counter: Arc::new(AtomicU64::new(max_seq + 1)), nonce, accounting })
+    }
+
+    fn path_of(&self, id: &FileId) -> PathBuf {
+        self.dir.join(format!("{}.bin", id.as_str()))
+    }
+
+    /// Stores `bytes`, returning the generated file id.
+    pub fn put(&self, bytes: &[u8]) -> Result<FileId, StoreError> {
+        let seq = self.counter.fetch_add(1, Ordering::Relaxed);
+        let id = FileId(format!("{:08x}-{:x}", self.nonce as u32, seq));
+        std::fs::write(self.path_of(&id), bytes)?;
+        self.accounting.add_written(bytes.len() as u64);
+        Ok(id)
+    }
+
+    /// Loads a file by id.
+    pub fn get(&self, id: &FileId) -> Result<Vec<u8>, StoreError> {
+        let bytes = std::fs::read(self.path_of(id)).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                StoreError::MissingFile(id.clone())
+            } else {
+                StoreError::Io(e)
+            }
+        })?;
+        self.accounting.add_read(bytes.len() as u64);
+        Ok(bytes)
+    }
+
+    /// Size in bytes of a stored file without reading it.
+    pub fn size(&self, id: &FileId) -> Result<u64, StoreError> {
+        let meta = std::fs::metadata(self.path_of(id)).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                StoreError::MissingFile(id.clone())
+            } else {
+                StoreError::Io(e)
+            }
+        })?;
+        Ok(meta.len())
+    }
+
+    /// True if a file with this id exists.
+    pub fn contains(&self, id: &FileId) -> bool {
+        self.path_of(id).exists()
+    }
+
+    /// Removes a file (used by deletion and garbage collection).
+    pub fn remove(&self, id: &FileId) -> Result<(), StoreError> {
+        std::fs::remove_file(self.path_of(id)).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                StoreError::MissingFile(id.clone())
+            } else {
+                StoreError::Io(e)
+            }
+        })
+    }
+}
+
+fn nanotime() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(dir: &std::path::Path) -> FileStore {
+        FileStore::open(dir.join("files"), Arc::new(Accounting::default())).unwrap()
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = store(dir.path());
+        let id = s.put(b"hello world").unwrap();
+        assert_eq!(s.get(&id).unwrap(), b"hello world");
+        assert_eq!(s.size(&id).unwrap(), 11);
+        assert!(s.contains(&id));
+    }
+
+    #[test]
+    fn empty_file_round_trips() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = store(dir.path());
+        let id = s.put(&[]).unwrap();
+        assert_eq!(s.get(&id).unwrap(), Vec::<u8>::new());
+        assert_eq!(s.size(&id).unwrap(), 0);
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_error() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = store(dir.path());
+        let missing = FileId::from_string("no-1".into());
+        assert!(matches!(s.get(&missing), Err(StoreError::MissingFile(_))));
+        assert!(matches!(s.size(&missing), Err(StoreError::MissingFile(_))));
+        assert!(!s.contains(&missing));
+    }
+
+    #[test]
+    fn ids_are_unique_and_persist() {
+        let dir = tempfile::tempdir().unwrap();
+        let first = {
+            let s = store(dir.path());
+            s.put(b"a").unwrap()
+        };
+        let s2 = store(dir.path());
+        let second = s2.put(b"b").unwrap();
+        assert_ne!(first, second);
+        assert_eq!(s2.get(&first).unwrap(), b"a");
+    }
+}

@@ -1,0 +1,31 @@
+//! Storage substrate for the mmlib reproduction.
+//!
+//! The paper persists two kinds of data (§3.1): *metadata* as JSON documents
+//! "in a document database like MongoDB", and *files* (model code,
+//! serialized parameters, dataset containers) on a shared file system, with
+//! generated identifiers cross-referencing the two. This crate provides both
+//! halves as embedded, directory-backed stores plus the accounting and
+//! network models the evaluation needs:
+//!
+//! * [`document`] — a JSON document store with generated ids and recursive
+//!   reference resolution (the paper's "recursively load all associated
+//!   JSON documents").
+//! * [`files`] — a flat file store with generated ids.
+//! * [`storage`] — [`storage::ModelStorage`], bundling one document store
+//!   and one file store behind shared byte accounting; every save's storage
+//!   consumption is measured here.
+//! * [`network`] — [`network::SimNetwork`], a bandwidth/latency transfer
+//!   model for the distributed experiments (the paper's machines share a
+//!   100 Gb/s InfiniBand link). Transfer times are *accounted*, never slept.
+
+#![forbid(unsafe_code)]
+
+pub mod document;
+pub mod files;
+pub mod network;
+pub mod storage;
+
+pub use document::{DocId, DocStore, Document};
+pub use files::{FileId, FileStore};
+pub use network::SimNetwork;
+pub use storage::{ModelStorage, StoreError};

@@ -1,0 +1,117 @@
+//! Simulated network link.
+//!
+//! The paper's machines are "connected via 100G InfiniBand" (§4.1). We do
+//! not sleep to fake transfers; instead [`SimNetwork`] computes the transfer
+//! time a given payload would take and keeps a cumulative ledger, so the
+//! distributed experiments can report network cost separately from the real
+//! compute/IO time they measure.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A point-to-point link model: latency + bandwidth, with a transfer ledger.
+#[derive(Debug, Clone)]
+pub struct SimNetwork {
+    /// One-way latency per transfer.
+    latency: Duration,
+    /// Usable bandwidth in bytes per second.
+    bytes_per_sec: u64,
+    transferred: Arc<AtomicU64>,
+    sim_nanos: Arc<AtomicU64>,
+}
+
+impl SimNetwork {
+    /// A link with the given latency and bandwidth (bytes/second).
+    pub fn new(latency: Duration, bytes_per_sec: u64) -> SimNetwork {
+        assert!(bytes_per_sec > 0, "bandwidth must be positive");
+        SimNetwork {
+            latency,
+            bytes_per_sec,
+            transferred: Arc::new(AtomicU64::new(0)),
+            sim_nanos: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The paper's setup: 100 Gb/s InfiniBand. We assume ~90% goodput and
+    /// a 2 µs switch latency.
+    pub fn infiniband_100g() -> SimNetwork {
+        SimNetwork::new(Duration::from_micros(2), 100_000_000_000 / 8 * 9 / 10)
+    }
+
+    /// A slow constrained edge link (1 Gb/s, 10 ms) — the paper's motivation
+    /// mentions transfers "with limited available bandwidth".
+    pub fn edge_1g() -> SimNetwork {
+        SimNetwork::new(Duration::from_millis(10), 1_000_000_000 / 8)
+    }
+
+    /// Time one transfer of `bytes` takes on this link.
+    pub fn transfer_time(&self, bytes: u64) -> Duration {
+        self.latency + Duration::from_nanos(bytes.saturating_mul(1_000_000_000) / self.bytes_per_sec)
+    }
+
+    /// Records a transfer in the ledger and returns its simulated duration.
+    pub fn record_transfer(&self, bytes: u64) -> Duration {
+        let d = self.transfer_time(bytes);
+        self.transferred.fetch_add(bytes, Ordering::Relaxed);
+        self.sim_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        d
+    }
+
+    /// Total bytes recorded.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.transferred.load(Ordering::Relaxed)
+    }
+
+    /// Total simulated transfer time recorded.
+    pub fn simulated_time(&self) -> Duration {
+        Duration::from_nanos(self.sim_nanos.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let net = SimNetwork::new(Duration::ZERO, 1_000_000);
+        assert_eq!(net.transfer_time(1_000_000), Duration::from_secs(1));
+        assert_eq!(net.transfer_time(500_000), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn latency_dominates_small_transfers() {
+        let net = SimNetwork::infiniband_100g();
+        let t = net.transfer_time(100);
+        assert!(t >= Duration::from_micros(2));
+        assert!(t < Duration::from_micros(3));
+    }
+
+    #[test]
+    fn ledger_accumulates() {
+        let net = SimNetwork::new(Duration::from_millis(1), 1_000_000);
+        net.record_transfer(1_000_000);
+        net.record_transfer(2_000_000);
+        assert_eq!(net.bytes_transferred(), 3_000_000);
+        assert_eq!(net.simulated_time(), Duration::from_millis(3000 + 2));
+    }
+
+    #[test]
+    fn clones_share_the_ledger() {
+        let net = SimNetwork::edge_1g();
+        let other = net.clone();
+        other.record_transfer(125_000_000); // 1s at 1 Gb/s
+        assert_eq!(net.bytes_transferred(), 125_000_000);
+        assert!(net.simulated_time() >= Duration::from_secs(1));
+    }
+
+    #[test]
+    fn hundred_megabyte_model_on_infiniband_is_fast() {
+        // Sanity of the paper's setting: a ResNet-152 snapshot (242 MB)
+        // crosses a 100G link in ~20 ms — network is not the bottleneck.
+        let net = SimNetwork::infiniband_100g();
+        let t = net.transfer_time(242_000_000);
+        assert!(t < Duration::from_millis(50), "{t:?}");
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for tensor operations.
+
+use std::fmt;
+
+/// Errors produced by tensor construction, kernels, and (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two tensors (or a tensor and an expectation) disagree on shape.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape (as dims) of the left/expected operand.
+        expected: Vec<usize>,
+        /// Shape (as dims) of the right/actual operand.
+        actual: Vec<usize>,
+    },
+    /// The number of elements implied by a shape does not match the buffer.
+    LengthMismatch {
+        /// Elements implied by the shape.
+        expected: usize,
+        /// Elements actually provided.
+        actual: usize,
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending flat index.
+        index: usize,
+        /// Number of elements in the tensor.
+        len: usize,
+    },
+    /// The serialized byte stream is malformed or truncated.
+    Corrupt(String),
+    /// The serialized byte stream uses an unknown format version.
+    UnsupportedVersion(u16),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, expected, actual } => {
+                write!(f, "shape mismatch in {op}: expected {expected:?}, got {actual:?}")
+            }
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: shape implies {expected} elements, got {actual}")
+            }
+            TensorError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for tensor of {len} elements")
+            }
+            TensorError::Corrupt(msg) => write!(f, "corrupt tensor bytes: {msg}"),
+            TensorError::UnsupportedVersion(v) => {
+                write!(f, "unsupported tensor format version {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

@@ -1,0 +1,267 @@
+//! Numeric kernels in deterministic and non-deterministic execution modes.
+//!
+//! §2.3 / Fig. 2 of the paper: floating-point addition is not associative, so
+//! the *order* of a reduction changes the result. Frameworks choose between a
+//! slower, order-fixed ("deterministic") kernel and a faster parallel kernel
+//! whose combine order depends on thread scheduling. We reproduce both:
+//!
+//! * [`ExecMode::Deterministic`] — strict serial left-to-right accumulation.
+//! * [`ExecMode::Parallel`] — the input is split into chunks, chunks are
+//!   reduced on worker threads, and partial sums are combined **in the order
+//!   the threads finish**, which varies run to run. This is the same
+//!   mechanism by which GPU atomics make cuDNN kernels non-deterministic.
+
+use crate::tensor::Tensor;
+use crate::TensorError;
+
+/// How a floating-point reduction is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ExecMode {
+    /// Serial, left-to-right accumulation. Bit-reproducible, slower.
+    Deterministic,
+    /// Multi-threaded chunked reduction combined in completion order.
+    /// Faster, but results vary in the low-order bits across runs.
+    Parallel,
+}
+
+impl ExecMode {
+    /// True if this mode guarantees bit-reproducible results.
+    pub fn is_deterministic(self) -> bool {
+        matches!(self, ExecMode::Deterministic)
+    }
+}
+
+/// Number of chunks used by the parallel reduction kernels.
+const PAR_CHUNKS: usize = 8;
+
+/// Dot product with strict serial left-to-right `f32` accumulation.
+///
+/// This is the "serial method" of the paper's Fig. 2. Accumulation is done in
+/// `f32` (not `f64`) on purpose: the figure's point is visible rounding
+/// divergence between orders, which a wider accumulator would mask.
+pub fn dot_serial(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Dot product via pairwise (tree) reduction with a fixed chunking.
+///
+/// This is the "parallel method" of Fig. 2 executed deterministically: the
+/// combine *tree* differs from the serial order, so the result differs from
+/// [`dot_serial`], but the tree itself is fixed, so repeated calls agree.
+pub fn dot_pairwise(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    if a.is_empty() {
+        return 0.0;
+    }
+    let mut partials: Vec<f32> = a
+        .chunks(a.len().div_ceil(PAR_CHUNKS).max(1))
+        .zip(b.chunks(a.len().div_ceil(PAR_CHUNKS).max(1)))
+        .map(|(ca, cb)| dot_serial(ca, cb))
+        .collect();
+    // Pairwise combine.
+    while partials.len() > 1 {
+        let mut next = Vec::with_capacity(partials.len().div_ceil(2));
+        for pair in partials.chunks(2) {
+            next.push(pair.iter().copied().sum());
+        }
+        partials = next;
+    }
+    partials[0]
+}
+
+/// Dot product on worker threads, combining partials in completion order.
+///
+/// The combine order depends on OS scheduling, so results may differ in the
+/// low-order bits between runs — this is the non-determinism the probing tool
+/// (paper §2.4) exists to detect.
+pub fn dot_parallel(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    if a.len() < 4 * PAR_CHUNKS {
+        // Too small to parallelize; fall back to the fixed tree.
+        return dot_pairwise(a, b);
+    }
+    let chunk = a.len().div_ceil(PAR_CHUNKS);
+    let (tx, rx) = std::sync::mpsc::channel::<f32>();
+    crossbeam::scope(|s| {
+        for (ca, cb) in a.chunks(chunk).zip(b.chunks(chunk)) {
+            let tx = tx.clone();
+            s.spawn(move |_| {
+                // Ignore a closed channel: the receiver outlives the scope.
+                let _ = tx.send(dot_serial(ca, cb));
+            });
+        }
+        drop(tx);
+        // Combine in whatever order the workers finish.
+        let mut acc = 0.0f32;
+        for partial in rx.iter() {
+            acc += partial;
+        }
+        acc
+    })
+    .expect("reduction worker panicked")
+}
+
+/// Dot product under the given execution mode.
+pub fn dot(a: &[f32], b: &[f32], mode: ExecMode) -> f32 {
+    match mode {
+        ExecMode::Deterministic => dot_serial(a, b),
+        ExecMode::Parallel => dot_parallel(a, b),
+    }
+}
+
+/// Sum reduction under the given execution mode.
+pub fn sum(a: &[f32], mode: ExecMode) -> f32 {
+    match mode {
+        ExecMode::Deterministic => {
+            let mut acc = 0.0f32;
+            for x in a {
+                acc += x;
+            }
+            acc
+        }
+        ExecMode::Parallel => {
+            // Reuse the nondeterministic dot against an implicit ones vector
+            // without materializing it.
+            if a.len() < 4 * PAR_CHUNKS {
+                let mut acc = 0.0f32;
+                for x in a {
+                    acc += x;
+                }
+                return acc;
+            }
+            let chunk = a.len().div_ceil(PAR_CHUNKS);
+            let (tx, rx) = std::sync::mpsc::channel::<f32>();
+            crossbeam::scope(|s| {
+                for ca in a.chunks(chunk) {
+                    let tx = tx.clone();
+                    s.spawn(move |_| {
+                        let mut acc = 0.0f32;
+                        for x in ca {
+                            acc += x;
+                        }
+                        let _ = tx.send(acc);
+                    });
+                }
+                drop(tx);
+                let mut acc = 0.0f32;
+                for partial in rx.iter() {
+                    acc += partial;
+                }
+                acc
+            })
+            .expect("reduction worker panicked")
+        }
+    }
+}
+
+/// Matrix-vector product `y = W x` where `w` is `[rows, cols]` row-major.
+///
+/// Each output row is an independent dot product executed under `mode`.
+pub fn matvec(w: &Tensor, x: &[f32], mode: ExecMode) -> Result<Vec<f32>, TensorError> {
+    let dims = w.shape().dims();
+    if dims.len() != 2 || dims[1] != x.len() {
+        return Err(TensorError::ShapeMismatch {
+            op: "matvec",
+            expected: vec![dims.first().copied().unwrap_or(0), x.len()],
+            actual: dims.to_vec(),
+        });
+    }
+    let (rows, cols) = (dims[0], dims[1]);
+    let data = w.data();
+    let mut out = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let row = &data[r * cols..(r + 1) * cols];
+        out.push(match mode {
+            ExecMode::Deterministic => dot_serial(row, x),
+            // Per-row parallel dispatch would thrash; use the pairwise tree
+            // which already differs from the serial order.
+            ExecMode::Parallel => dot_pairwise(row, x),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prng::Pcg32;
+
+    fn random_vecs(n: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+        let mut rng = Pcg32::seeded(seed);
+        let a = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let b = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn serial_and_pairwise_agree_approximately() {
+        let (a, b) = random_vecs(10_000, 1);
+        let s = dot_serial(&a, &b);
+        let p = dot_pairwise(&a, &b);
+        assert!((s - p).abs() < 1e-2, "serial={s} pairwise={p}");
+    }
+
+    #[test]
+    fn serial_and_pairwise_typically_differ_in_bits() {
+        // Figure 2 of the paper: different reduction orders give close but
+        // not identical f32 results. With 100k random terms a bit-identical
+        // outcome is astronomically unlikely.
+        let (a, b) = random_vecs(100_000, 2);
+        let s = dot_serial(&a, &b);
+        let p = dot_pairwise(&a, &b);
+        assert_ne!(s.to_bits(), p.to_bits(), "orders unexpectedly agreed bit-for-bit");
+    }
+
+    #[test]
+    fn parallel_is_close_to_serial() {
+        let (a, b) = random_vecs(50_000, 3);
+        let s = dot_serial(&a, &b);
+        for _ in 0..4 {
+            let p = dot_parallel(&a, &b);
+            assert!((s - p).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn deterministic_mode_is_bit_stable() {
+        let (a, b) = random_vecs(30_000, 4);
+        let r1 = dot(&a, &b, ExecMode::Deterministic);
+        let r2 = dot(&a, &b, ExecMode::Deterministic);
+        assert_eq!(r1.to_bits(), r2.to_bits());
+    }
+
+    #[test]
+    fn sum_modes_agree_approximately() {
+        let (a, _) = random_vecs(50_000, 5);
+        let d = sum(&a, ExecMode::Deterministic);
+        let p = sum(&a, ExecMode::Parallel);
+        assert!((d - p).abs() < 1e-2);
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let w = Tensor::from_vec([2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let x = vec![1.0, 0.5, 2.0];
+        let y = matvec(&w, &x, ExecMode::Deterministic).unwrap();
+        assert_eq!(y, vec![8.0, 18.5]);
+    }
+
+    #[test]
+    fn matvec_rejects_bad_shapes() {
+        let w = Tensor::zeros([2, 3]);
+        assert!(matvec(&w, &[1.0, 2.0], ExecMode::Deterministic).is_err());
+        let w1 = Tensor::zeros([6]);
+        assert!(matvec(&w1, &[1.0; 6], ExecMode::Deterministic).is_err());
+    }
+
+    #[test]
+    fn empty_dot_is_zero() {
+        assert_eq!(dot_serial(&[], &[]), 0.0);
+        assert_eq!(dot_pairwise(&[], &[]), 0.0);
+    }
+}

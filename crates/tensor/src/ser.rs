@@ -1,0 +1,277 @@
+//! Binary wire format for tensors and named tensor maps.
+//!
+//! The baseline approach serializes "the model's internal data structure that
+//! maps each layer to its parameters" (§3.1); the parameter-update approach
+//! serializes the pruned subset. This module defines that format:
+//!
+//! ```text
+//! tensor   := MAGIC(u32 'MMTS') version(u16) rank(u16) dims(u64 × rank) data(f32-le × numel)
+//! state    := MAGIC(u32 'MMSD') version(u16) count(u32)
+//!             entry := name_len(u32) name(utf8) tensor
+//! ```
+//!
+//! Everything is little-endian. The format is versioned so stores written by
+//! one release stay readable by the next (the paper's environment-tracking
+//! requirement applied to ourselves).
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const TENSOR_MAGIC: u32 = 0x4d4d5453; // "MMTS"
+const STATE_MAGIC: u32 = 0x4d4d5344; // "MMSD"
+const VERSION: u16 = 1;
+
+/// Serializes one tensor into `out`.
+pub fn write_tensor(t: &Tensor, out: &mut BytesMut) {
+    out.put_u32_le(TENSOR_MAGIC);
+    out.put_u16_le(VERSION);
+    out.put_u16_le(t.shape().rank() as u16);
+    for &d in t.shape().dims() {
+        out.put_u64_le(d as u64);
+    }
+    out.reserve(t.numel() * 4);
+    // Bulk-convert through a stack buffer: per-element `put_f32_le` calls
+    // are measurably slower for multi-hundred-MB state dicts.
+    let mut buf = [0u8; 4096];
+    for chunk in t.data().chunks(1024) {
+        for (i, v) in chunk.iter().enumerate() {
+            buf[i * 4..(i + 1) * 4].copy_from_slice(&v.to_le_bytes());
+        }
+        out.put_slice(&buf[..chunk.len() * 4]);
+    }
+}
+
+/// Exact serialized size of one tensor.
+fn tensor_wire_size(t: &Tensor) -> usize {
+    8 + t.shape().rank() * 8 + t.numel() * 4
+}
+
+/// Serializes one tensor to an owned buffer.
+pub fn tensor_to_bytes(t: &Tensor) -> Bytes {
+    let mut out = BytesMut::with_capacity(tensor_wire_size(t));
+    write_tensor(t, &mut out);
+    out.freeze()
+}
+
+/// Deserializes one tensor from the front of `buf`, advancing it.
+pub fn read_tensor(buf: &mut Bytes) -> Result<Tensor, TensorError> {
+    if buf.remaining() < 8 {
+        return Err(TensorError::Corrupt("truncated tensor header".into()));
+    }
+    let magic = buf.get_u32_le();
+    if magic != TENSOR_MAGIC {
+        return Err(TensorError::Corrupt(format!("bad tensor magic {magic:#x}")));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(TensorError::UnsupportedVersion(version));
+    }
+    let rank = buf.get_u16_le() as usize;
+    if buf.remaining() < rank * 8 {
+        return Err(TensorError::Corrupt("truncated dims".into()));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        let d = buf.get_u64_le();
+        if d > usize::MAX as u64 {
+            return Err(TensorError::Corrupt("dim overflows usize".into()));
+        }
+        dims.push(d as usize);
+    }
+    let shape = Shape::new(dims);
+    let numel = shape.numel();
+    if numel > (1 << 33) {
+        // Defensive cap (~8G elements): a corrupt header must not trigger an
+        // allocation-of-doom before the length check below can fire.
+        return Err(TensorError::Corrupt(format!("implausible element count {numel}")));
+    }
+    if buf.remaining() < numel * 4 {
+        return Err(TensorError::Corrupt(format!(
+            "truncated data: need {} bytes, have {}",
+            numel * 4,
+            buf.remaining()
+        )));
+    }
+    let mut data = vec![0.0f32; numel];
+    // Bulk-read: `copy_to_slice` into a byte view of the f32 buffer would
+    // need unsafe; chunked conversion gets within noise of memcpy.
+    let mut raw = [0u8; 4096];
+    for chunk in data.chunks_mut(1024) {
+        let nbytes = chunk.len() * 4;
+        buf.copy_to_slice(&mut raw[..nbytes]);
+        for (i, v) in chunk.iter_mut().enumerate() {
+            *v = f32::from_le_bytes([raw[i * 4], raw[i * 4 + 1], raw[i * 4 + 2], raw[i * 4 + 3]]);
+        }
+    }
+    Tensor::from_vec(shape, data)
+}
+
+/// Deserializes one tensor from a full buffer, requiring full consumption.
+pub fn tensor_from_bytes(bytes: &[u8]) -> Result<Tensor, TensorError> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    let t = read_tensor(&mut buf)?;
+    if buf.has_remaining() {
+        return Err(TensorError::Corrupt(format!("{} trailing bytes", buf.remaining())));
+    }
+    Ok(t)
+}
+
+/// Serializes an ordered list of `(name, tensor)` pairs — a state dict.
+///
+/// Order is preserved (and significant): mmlib's layer-wise diffing walks
+/// both state dicts in the model's canonical layer order.
+pub fn state_to_bytes<'a, I>(entries: I) -> Bytes
+where
+    I: IntoIterator<Item = (&'a str, &'a Tensor)>,
+    I::IntoIter: ExactSizeIterator,
+{
+    let entries: Vec<(&'a str, &'a Tensor)> = entries.into_iter().collect();
+    // Reserve the exact size: growth-by-doubling reallocs of multi-hundred-MB
+    // buffers are very costly on page-fault-expensive hosts.
+    let total: usize = 10
+        + entries
+            .iter()
+            .map(|(n, t)| 4 + n.len() + tensor_wire_size(t))
+            .sum::<usize>();
+    let iter = entries.into_iter();
+    let mut out = BytesMut::with_capacity(total);
+    out.put_u32_le(STATE_MAGIC);
+    out.put_u16_le(VERSION);
+    out.put_u32_le(iter.len() as u32);
+    for (name, tensor) in iter {
+        out.put_u32_le(name.len() as u32);
+        out.put_slice(name.as_bytes());
+        write_tensor(tensor, &mut out);
+    }
+    out.freeze()
+}
+
+/// Deserializes a state dict written by [`state_to_bytes`].
+pub fn state_from_bytes(bytes: &[u8]) -> Result<Vec<(String, Tensor)>, TensorError> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    if buf.remaining() < 10 {
+        return Err(TensorError::Corrupt("truncated state header".into()));
+    }
+    let magic = buf.get_u32_le();
+    if magic != STATE_MAGIC {
+        return Err(TensorError::Corrupt(format!("bad state magic {magic:#x}")));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(TensorError::UnsupportedVersion(version));
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut entries = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        if buf.remaining() < 4 {
+            return Err(TensorError::Corrupt("truncated entry name length".into()));
+        }
+        let name_len = buf.get_u32_le() as usize;
+        if buf.remaining() < name_len {
+            return Err(TensorError::Corrupt("truncated entry name".into()));
+        }
+        let name_bytes = buf.split_to(name_len);
+        let name = std::str::from_utf8(&name_bytes)
+            .map_err(|_| TensorError::Corrupt("entry name is not utf-8".into()))?
+            .to_string();
+        let tensor = read_tensor(&mut buf)?;
+        entries.push((name, tensor));
+    }
+    if buf.has_remaining() {
+        return Err(TensorError::Corrupt(format!("{} trailing bytes", buf.remaining())));
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prng::Pcg32;
+
+    #[test]
+    fn tensor_round_trip_bit_exact() {
+        let mut rng = Pcg32::seeded(1);
+        let t = Tensor::rand_normal([3, 5, 2], 0.0, 1.0, &mut rng);
+        let bytes = tensor_to_bytes(&t);
+        let back = tensor_from_bytes(&bytes).unwrap();
+        assert!(t.bit_eq(&back));
+    }
+
+    #[test]
+    fn scalar_round_trip() {
+        let t = Tensor::scalar(-0.0);
+        let back = tensor_from_bytes(&tensor_to_bytes(&t)).unwrap();
+        assert!(t.bit_eq(&back));
+    }
+
+    #[test]
+    fn nan_and_inf_round_trip() {
+        let t = Tensor::from_vec([3], vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY]).unwrap();
+        let back = tensor_from_bytes(&tensor_to_bytes(&t)).unwrap();
+        assert!(t.bit_eq(&back));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = tensor_to_bytes(&Tensor::zeros([2])).to_vec();
+        bytes[0] ^= 0xff;
+        assert!(matches!(tensor_from_bytes(&bytes), Err(TensorError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = tensor_to_bytes(&Tensor::zeros([2])).to_vec();
+        bytes[4] = 99;
+        assert!(matches!(
+            tensor_from_bytes(&bytes),
+            Err(TensorError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_point() {
+        let bytes = tensor_to_bytes(&Tensor::zeros([4, 4])).to_vec();
+        for cut in 0..bytes.len() {
+            assert!(tensor_from_bytes(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = tensor_to_bytes(&Tensor::zeros([2])).to_vec();
+        bytes.push(0);
+        assert!(tensor_from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn state_dict_round_trip_preserves_order() {
+        let mut rng = Pcg32::seeded(2);
+        let entries = [("conv1.weight".to_string(), Tensor::rand_normal([4, 3, 3, 3], 0.0, 1.0, &mut rng)),
+            ("bn1.weight".to_string(), Tensor::ones([4])),
+            ("fc.bias".to_string(), Tensor::zeros([10]))];
+        let bytes = state_to_bytes(entries.iter().map(|(n, t)| (n.as_str(), t)));
+        let back = state_from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), 3);
+        for ((n1, t1), (n2, t2)) in entries.iter().zip(&back) {
+            assert_eq!(n1, n2);
+            assert!(t1.bit_eq(t2));
+        }
+    }
+
+    #[test]
+    fn empty_state_dict_round_trips() {
+        let bytes = state_to_bytes(std::iter::empty::<(&str, &Tensor)>().collect::<Vec<_>>());
+        assert!(state_from_bytes(&bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn state_rejects_non_utf8_name() {
+        let entries = [("x".to_string(), Tensor::zeros([1]))];
+        let mut bytes = state_to_bytes(entries.iter().map(|(n, t)| (n.as_str(), t))).to_vec();
+        // name length is at offset 10..14; the name byte itself at 14.
+        bytes[14] = 0xff;
+        assert!(state_from_bytes(&bytes).is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the tensor substrate's core invariants.
+
+use mmlib_tensor::hash::{hash_pair, hash_tensor, sha256};
+use mmlib_tensor::ops::{self, ExecMode};
+use mmlib_tensor::ser::{state_from_bytes, state_to_bytes, tensor_from_bytes, tensor_to_bytes};
+use mmlib_tensor::{Pcg32, Shape, Tensor};
+use proptest::prelude::*;
+
+fn arb_tensor() -> impl Strategy<Value = Tensor> {
+    (prop::collection::vec(1usize..6, 0..4), any::<u64>()).prop_map(|(dims, seed)| {
+        let shape = Shape::new(dims);
+        let mut rng = Pcg32::seeded(seed);
+        Tensor::rand_normal(shape, 0.0, 1.0, &mut rng)
+    })
+}
+
+proptest! {
+    #[test]
+    fn ser_round_trip_is_bit_exact(t in arb_tensor()) {
+        let bytes = tensor_to_bytes(&t);
+        let back = tensor_from_bytes(&bytes).unwrap();
+        prop_assert!(t.bit_eq(&back));
+    }
+
+    #[test]
+    fn hash_is_stable_and_injective_on_bitflips(t in arb_tensor(), idx in any::<prop::sample::Index>()) {
+        let h1 = hash_tensor(&t);
+        let h2 = hash_tensor(&t);
+        prop_assert_eq!(h1, h2);
+        if t.numel() > 0 {
+            let mut t2 = t.clone();
+            let i = idx.index(t2.numel());
+            let d = t2.data_mut();
+            d[i] = f32::from_bits(d[i].to_bits() ^ 1);
+            prop_assert_ne!(hash_tensor(&t), hash_tensor(&t2));
+        }
+    }
+
+    #[test]
+    fn state_dict_round_trip(entries in prop::collection::vec(("[a-z]{1,12}(\\.[a-z]{1,8}){0,2}", arb_tensor()), 0..8)) {
+        let bytes = state_to_bytes(entries.iter().map(|(n, t)| (n.as_str(), t)));
+        let back = state_from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.len(), entries.len());
+        for ((n1, t1), (n2, t2)) in entries.iter().zip(&back) {
+            prop_assert_eq!(n1, n2);
+            prop_assert!(t1.bit_eq(t2));
+        }
+    }
+
+    #[test]
+    fn truncating_serialized_tensor_never_panics_and_errors(t in arb_tensor(), cut_frac in 0.0f64..1.0) {
+        let bytes = tensor_to_bytes(&t);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(tensor_from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn dot_orders_agree_within_tolerance(seed in any::<u64>(), n in 1usize..4096) {
+        let mut rng = Pcg32::seeded(seed);
+        let a: Vec<f32> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let b: Vec<f32> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let s = ops::dot(&a, &b, ExecMode::Deterministic);
+        let p = ops::dot(&a, &b, ExecMode::Parallel);
+        let scale = 1.0f32.max(s.abs());
+        prop_assert!((s - p).abs() / scale < 1e-3, "s={} p={}", s, p);
+    }
+
+    #[test]
+    fn deterministic_dot_is_pure(seed in any::<u64>(), n in 1usize..2048) {
+        let mut rng = Pcg32::seeded(seed);
+        let a: Vec<f32> = (0..n).map(|_| rng.uniform(-10.0, 10.0)).collect();
+        let b: Vec<f32> = (0..n).map(|_| rng.uniform(-10.0, 10.0)).collect();
+        prop_assert_eq!(
+            ops::dot(&a, &b, ExecMode::Deterministic).to_bits(),
+            ops::dot(&a, &b, ExecMode::Deterministic).to_bits()
+        );
+    }
+
+    #[test]
+    fn sha256_incremental_any_split(data in prop::collection::vec(any::<u8>(), 0..512), split_frac in 0.0f64..1.0) {
+        let split = ((data.len() as f64) * split_frac) as usize;
+        let mut h = mmlib_tensor::hash::Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn hash_pair_distinct_from_leaves(a in prop::collection::vec(any::<u8>(), 0..64), b in prop::collection::vec(any::<u8>(), 0..64)) {
+        let ha = sha256(&a);
+        let hb = sha256(&b);
+        let parent = hash_pair(&ha, &hb);
+        prop_assert_ne!(parent, ha);
+        prop_assert_ne!(parent, hb);
+    }
+
+    #[test]
+    fn axpy_matches_reference(seed in any::<u64>(), n in 1usize..256, alpha in -4.0f32..4.0) {
+        let mut rng = Pcg32::seeded(seed);
+        let mut x = Tensor::rand_uniform([n], -1.0, 1.0, &mut rng);
+        let y = Tensor::rand_uniform([n], -1.0, 1.0, &mut rng);
+        let reference: Vec<f32> = x.data().iter().zip(y.data()).map(|(a, b)| a + alpha * b).collect();
+        x.axpy(alpha, &y).unwrap();
+        prop_assert_eq!(x.data(), &reference[..]);
+    }
+
+    #[test]
+    fn shuffle_same_seed_same_result(seed in any::<u64>(), n in 0usize..128) {
+        let mut a: Vec<usize> = (0..n).collect();
+        let mut b: Vec<usize> = (0..n).collect();
+        Pcg32::seeded(seed).shuffle(&mut a);
+        Pcg32::seeded(seed).shuffle(&mut b);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,102 @@
+//! Softmax cross-entropy loss.
+
+use mmlib_tensor::Tensor;
+
+/// Computes mean softmax cross-entropy over a batch and the gradient with
+/// respect to the logits.
+///
+/// `logits` is `[N, C]`; `labels` holds one class id per row. Returns
+/// `(mean_loss, grad)` where `grad` is `[N, C]` with the standard
+/// `(softmax - onehot) / N` gradient. Numerically stabilized by the max
+/// trick; all reductions are serial (the loss itself is never the
+/// determinism bottleneck — the batched layer reductions are).
+pub fn cross_entropy(logits: &Tensor, labels: &[u32]) -> (f32, Tensor) {
+    let dims = logits.shape().dims();
+    assert_eq!(dims.len(), 2, "logits must be [N, C]");
+    let (n, c) = (dims[0], dims[1]);
+    assert_eq!(labels.len(), n, "one label per row");
+    let ld = logits.data();
+    let mut grad = Tensor::zeros([n, c]);
+    let gd = grad.data_mut();
+    let mut total = 0.0f64;
+    for i in 0..n {
+        let row = &ld[i * c..(i + 1) * c];
+        let label = labels[i] as usize;
+        assert!(label < c, "label {label} out of range for {c} classes");
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for &v in row {
+            denom += (v - max).exp();
+        }
+        let log_denom = denom.ln();
+        total += f64::from(log_denom - (row[label] - max));
+        let scale = 1.0 / n as f32;
+        for j in 0..c {
+            let p = (row[j] - max).exp() / denom;
+            let onehot = if j == label { 1.0 } else { 0.0 };
+            gd[i * c + j] = (p - onehot) * scale;
+        }
+    }
+    ((total / n as f64) as f32, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmlib_tensor::Pcg32;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Tensor::zeros([2, 10]);
+        let (loss, _) = cross_entropy(&logits, &[3, 7]);
+        assert!((loss - 10.0f32.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let mut logits = Tensor::zeros([1, 4]);
+        logits.data_mut()[2] = 20.0;
+        let (loss, _) = cross_entropy(&logits, &[2]);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let mut rng = Pcg32::seeded(1);
+        let logits = Tensor::rand_normal([4, 8], 0.0, 2.0, &mut rng);
+        let (_, grad) = cross_entropy(&logits, &[0, 1, 2, 3]);
+        for i in 0..4 {
+            let s: f32 = grad.data()[i * 8..(i + 1) * 8].iter().sum();
+            assert!(s.abs() < 1e-5, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn gradient_matches_numerics() {
+        let mut rng = Pcg32::seeded(2);
+        let logits = Tensor::rand_normal([2, 5], 0.0, 1.0, &mut rng);
+        let labels = [4u32, 0];
+        let (_, grad) = cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for idx in 0..logits.numel() {
+            let mut up = logits.clone();
+            up.data_mut()[idx] += eps;
+            let mut down = logits.clone();
+            down.data_mut()[idx] -= eps;
+            let (lu, _) = cross_entropy(&up, &labels);
+            let (ldn, _) = cross_entropy(&down, &labels);
+            let numeric = (lu - ldn) / (2.0 * eps);
+            let analytic = grad.data()[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-3,
+                "idx {idx}: numeric {numeric} analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label")]
+    fn out_of_range_label_panics() {
+        cross_entropy(&Tensor::zeros([1, 3]), &[3]);
+    }
+}

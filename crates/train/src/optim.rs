@@ -1,0 +1,333 @@
+//! SGD with momentum — a restorable, *stateful* training component.
+//!
+//! In the paper's provenance taxonomy (§3.3) the optimizer is the canonical
+//! "parametrized object **with** an internal state": its constructor
+//! arguments (learning rate, momentum, weight decay) do not determine its
+//! behaviour mid-training, because the momentum velocities accumulated so
+//! far matter too. The provenance wrapper therefore serializes both the
+//! config and a *state file* ([`Sgd::state_bytes`] / [`Sgd::load_state`]).
+
+use std::collections::BTreeMap;
+
+use mmlib_model::Model;
+use mmlib_tensor::ser::{state_from_bytes, state_to_bytes};
+use mmlib_tensor::{Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// SGD hyper-parameters — the constructor arguments in provenance terms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SgdConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables the velocity state).
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Per-tensor gradient L2-norm clip. Small-batch training of randomly
+    /// initialized deep nets produces degenerate batch-norm statistics whose
+    /// backward pass can blow gradients up to `inf`; clipping (a standard
+    /// training-recipe component) keeps the update finite and direction-
+    /// preserving. `None` disables clipping. Non-finite gradients are
+    /// zeroed (their "direction" carries no information).
+    #[serde(default)]
+    pub max_grad_norm: Option<f32>,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        SgdConfig { lr: 0.01, momentum: 0.9, weight_decay: 0.0, max_grad_norm: None }
+    }
+}
+
+/// SGD with momentum over a model's trainable parameters.
+///
+/// Velocities are keyed by parameter path, so an optimizer restored from a
+/// state file keeps working as long as the model's trainable set is
+/// unchanged — exactly the replay scenario of the provenance approach.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    config: SgdConfig,
+    velocity: BTreeMap<String, Tensor>,
+}
+
+impl Sgd {
+    /// Creates an optimizer with empty velocity state.
+    pub fn new(config: SgdConfig) -> Sgd {
+        Sgd { config, velocity: BTreeMap::new() }
+    }
+
+    /// The hyper-parameters.
+    pub fn config(&self) -> &SgdConfig {
+        &self.config
+    }
+
+    /// Applies one update step from the gradients accumulated in `model`.
+    ///
+    /// PyTorch-convention momentum: `v ← μ·v + (g + λ·w)`, `w ← w − lr·v`.
+    pub fn step(&mut self, model: &mut Model) {
+        let cfg = self.config;
+        let velocity = &mut self.velocity;
+        model.visit_trainable_mut(&mut |path, param, grad| {
+            if let Some(max_norm) = cfg.max_grad_norm {
+                clip_grad(grad, max_norm);
+            }
+            let pd = param.data_mut();
+            let gd = grad.data();
+            if cfg.momentum != 0.0 {
+                let v = velocity
+                    .entry(path)
+                    .or_insert_with(|| Tensor::zeros(param_shape(gd.len())));
+                // Re-shape lazily created velocities to the param's true shape
+                // is unnecessary: only the flat data participates.
+                let vd = v.data_mut();
+                for i in 0..pd.len() {
+                    let g = gd[i] + cfg.weight_decay * pd[i];
+                    vd[i] = cfg.momentum * vd[i] + g;
+                    pd[i] -= cfg.lr * vd[i];
+                }
+            } else {
+                for i in 0..pd.len() {
+                    let g = gd[i] + cfg.weight_decay * pd[i];
+                    pd[i] -= cfg.lr * g;
+                }
+            }
+        });
+    }
+
+    /// Serializes the internal state (momentum velocities) — the paper's
+    /// "state file" for stateful wrapped objects.
+    pub fn state_bytes(&self) -> Vec<u8> {
+        state_to_bytes(
+            self.velocity
+                .iter()
+                .map(|(k, v)| (k.as_str(), v))
+                .collect::<Vec<_>>(),
+        )
+        .to_vec()
+    }
+
+    /// Restores the internal state written by [`Sgd::state_bytes`].
+    pub fn load_state(&mut self, bytes: &[u8]) -> Result<(), TensorError> {
+        let entries = state_from_bytes(bytes)?;
+        self.velocity = entries.into_iter().collect();
+        Ok(())
+    }
+
+    /// Number of tracked velocity tensors (diagnostics).
+    pub fn tracked_params(&self) -> usize {
+        self.velocity.len()
+    }
+}
+
+fn param_shape(len: usize) -> mmlib_tensor::Shape {
+    mmlib_tensor::Shape::from(vec![len])
+}
+
+/// Which optimizer a training run uses — the serializable constructor
+/// arguments the provenance wrapper records (class name + init args).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "class")]
+pub enum OptimizerConfig {
+    /// SGD with momentum.
+    Sgd(SgdConfig),
+    /// Adam.
+    Adam(crate::adam::AdamConfig),
+}
+
+impl OptimizerConfig {
+    /// The wrapper class name for this optimizer.
+    pub fn class_name(&self) -> &'static str {
+        match self {
+            OptimizerConfig::Sgd(_) => "Sgd",
+            OptimizerConfig::Adam(_) => "Adam",
+        }
+    }
+
+    /// Instantiates a fresh optimizer with empty state.
+    pub fn build(&self) -> AnyOptimizer {
+        match self {
+            OptimizerConfig::Sgd(c) => AnyOptimizer::Sgd(Sgd::new(*c)),
+            OptimizerConfig::Adam(c) => AnyOptimizer::Adam(crate::adam::Adam::new(*c)),
+        }
+    }
+}
+
+impl From<SgdConfig> for OptimizerConfig {
+    fn from(c: SgdConfig) -> Self {
+        OptimizerConfig::Sgd(c)
+    }
+}
+
+impl From<crate::adam::AdamConfig> for OptimizerConfig {
+    fn from(c: crate::adam::AdamConfig) -> Self {
+        OptimizerConfig::Adam(c)
+    }
+}
+
+/// A trainer-agnostic optimizer handle (closed set, as the provenance
+/// registry must be able to reconstruct every member by class name).
+#[derive(Debug, Clone)]
+pub enum AnyOptimizer {
+    /// SGD with momentum.
+    Sgd(Sgd),
+    /// Adam.
+    Adam(crate::adam::Adam),
+}
+
+impl AnyOptimizer {
+    /// Applies one update step.
+    pub fn step(&mut self, model: &mut Model) {
+        match self {
+            AnyOptimizer::Sgd(o) => o.step(model),
+            AnyOptimizer::Adam(o) => o.step(model),
+        }
+    }
+
+    /// The constructor-argument config (for provenance capture).
+    pub fn config(&self) -> OptimizerConfig {
+        match self {
+            AnyOptimizer::Sgd(o) => OptimizerConfig::Sgd(*o.config()),
+            AnyOptimizer::Adam(o) => OptimizerConfig::Adam(*o.config()),
+        }
+    }
+
+    /// Serializes the internal state ("state file" content).
+    pub fn state_bytes(&self) -> Vec<u8> {
+        match self {
+            AnyOptimizer::Sgd(o) => o.state_bytes(),
+            AnyOptimizer::Adam(o) => o.state_bytes(),
+        }
+    }
+
+    /// Restores the internal state.
+    pub fn load_state(&mut self, bytes: &[u8]) -> Result<(), TensorError> {
+        match self {
+            AnyOptimizer::Sgd(o) => o.load_state(bytes),
+            AnyOptimizer::Adam(o) => o.load_state(bytes),
+        }
+    }
+}
+
+impl From<Sgd> for AnyOptimizer {
+    fn from(o: Sgd) -> Self {
+        AnyOptimizer::Sgd(o)
+    }
+}
+
+impl From<crate::adam::Adam> for AnyOptimizer {
+    fn from(o: crate::adam::Adam) -> Self {
+        AnyOptimizer::Adam(o)
+    }
+}
+
+/// Clips a gradient tensor to the given L2 norm; zeroes non-finite entries
+/// first (an `inf`/NaN gradient carries no usable direction).
+pub(crate) fn clip_grad(grad: &mut Tensor, max_norm: f32) {
+    let mut sq = 0.0f64;
+    let mut any_nonfinite = false;
+    for v in grad.data().iter() {
+        if v.is_finite() {
+            sq += (*v as f64) * (*v as f64);
+        } else {
+            any_nonfinite = true;
+        }
+    }
+    if any_nonfinite {
+        for v in grad.data_mut().iter_mut() {
+            if !v.is_finite() {
+                *v = 0.0;
+            }
+        }
+    }
+    let norm = sq.sqrt();
+    if norm > max_norm as f64 {
+        let scale = (max_norm as f64 / norm) as f32;
+        grad.scale(scale);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmlib_model::{ArchId, Ctx, Model};
+    use mmlib_tensor::{ExecMode, Pcg32, Tensor};
+
+    fn tiny_step(model: &mut Model, sgd: &mut Sgd, seed: u64) {
+        let mut rng = Pcg32::seeded(seed);
+        let x = Tensor::rand_normal([2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let mut train_rng = Pcg32::seeded(seed + 1);
+        let mut ctx = Ctx::train(&mut train_rng, ExecMode::Deterministic);
+        let y = model.forward(x, &mut ctx);
+        let (_, g) = crate::loss::cross_entropy(&y, &[1, 2]);
+        model.zero_grad();
+        model.backward(g, &mut ctx);
+        sgd.step(model);
+    }
+
+    #[test]
+    fn step_changes_trainable_params_only() {
+        let mut model = Model::new_initialized(ArchId::TinyCnn, 1);
+        model.set_classifier_only_trainable();
+        let before = model.state_dict();
+        let mut sgd = Sgd::new(SgdConfig::default());
+        tiny_step(&mut model, &mut sgd, 10);
+        let after = model.state_dict();
+        for ((p, a), (_, b)) in before.iter().zip(&after) {
+            if p.starts_with("fc") {
+                assert!(!a.bit_eq(b), "{p} should have changed");
+            } else {
+                assert!(a.bit_eq(b), "{p} should be frozen");
+            }
+        }
+    }
+
+    #[test]
+    fn momentum_state_round_trip_resumes_identically() {
+        let run = |resume: bool| -> Model {
+            let mut model = Model::new_initialized(ArchId::TinyCnn, 2);
+            model.set_fully_trainable();
+            let mut sgd = Sgd::new(SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 1e-4, max_grad_norm: None });
+            tiny_step(&mut model, &mut sgd, 20);
+            if resume {
+                // Serialize optimizer + model, restore both, continue.
+                let state = sgd.state_bytes();
+                let sd = model.state_dict();
+                let mut model2 = Model::new_initialized(ArchId::TinyCnn, 99);
+                model2.set_fully_trainable();
+                model2.load_state_dict(&sd).unwrap();
+                let mut sgd2 = Sgd::new(*sgd.config());
+                sgd2.load_state(&state).unwrap();
+                tiny_step(&mut model2, &mut sgd2, 21);
+                model2
+            } else {
+                tiny_step(&mut model, &mut sgd, 21);
+                model
+            }
+        };
+        let direct = run(false);
+        let resumed = run(true);
+        assert!(direct.models_equal(&resumed), "state restore must resume bit-identically");
+    }
+
+    #[test]
+    fn zero_momentum_keeps_no_state() {
+        let mut model = Model::new_initialized(ArchId::TinyCnn, 3);
+        model.set_classifier_only_trainable();
+        let mut sgd = Sgd::new(SgdConfig { lr: 0.1, momentum: 0.0, weight_decay: 0.0, max_grad_norm: None });
+        tiny_step(&mut model, &mut sgd, 30);
+        assert_eq!(sgd.tracked_params(), 0);
+        assert!(sgd.state_bytes().len() < 32);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut model = Model::new_initialized(ArchId::TinyCnn, 4);
+        model.set_fully_trainable();
+        model.zero_grad();
+        let before: f32 = model.state_dict().iter().map(|(_, t)| t.data().iter().map(|v| v.abs()).sum::<f32>()).sum();
+        let mut sgd = Sgd::new(SgdConfig { lr: 0.1, momentum: 0.0, weight_decay: 0.1, max_grad_norm: None });
+        sgd.step(&mut model);
+        let after: f32 = model.state_dict().iter().map(|(_, t)| t.data().iter().map(|v| v.abs()).sum::<f32>()).sum();
+        assert!(after < before);
+    }
+}

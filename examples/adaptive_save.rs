@@ -1,0 +1,76 @@
+//! Adaptive approach selection — the paper's §4.7 future-work heuristic.
+//!
+//! ```text
+//! cargo run --release --example adaptive_save
+//! ```
+//!
+//! For each evaluation architecture and model relation, the heuristic
+//! estimates what the baseline, parameter-update, and provenance approaches
+//! would cost and picks one per save — reproducing the §4.7 discussion:
+//! partial updates favor PUA; large models with small datasets favor MPA;
+//! recovery-critical deployments pin BA; externally-managed datasets flip
+//! MPA's economics.
+
+use std::time::Duration;
+
+use mmlib::core::adaptive::{choose_approach, Policy, SaveScenario};
+use mmlib::data::DatasetId;
+use mmlib::model::{ArchId, Model};
+
+fn main() {
+    let dataset = DatasetId::CocoFood512;
+    println!(
+        "training dataset: {} ({:.1} MB)\n",
+        dataset.short_name(),
+        dataset.paper_bytes() as f64 / 1e6
+    );
+
+    println!(
+        "{:<13} {:<10} {:>10} {:>10} {:>10}   choice",
+        "architecture", "relation", "BA (MB)", "PUA (MB)", "MPA (MB)"
+    );
+    for arch in ArchId::all() {
+        for (relation, partial) in [("full", false), ("partial", true)] {
+            let mut model = Model::new_initialized(arch, 0);
+            if partial {
+                model.set_classifier_only_trainable();
+            } else {
+                model.set_fully_trainable();
+            }
+            let scenario = SaveScenario::from_model(
+                &model,
+                dataset.paper_bytes(),
+                false,
+                Duration::from_secs(30),
+                0,
+            );
+            let decision = choose_approach(&scenario, &Policy::default());
+            println!(
+                "{:<13} {:<10} {:>10.1} {:>10.1} {:>10.1}   {}",
+                arch.name(),
+                relation,
+                scenario.estimated_bytes(mmlib::core::meta::ApproachKind::Baseline) as f64 / 1e6,
+                scenario.estimated_bytes(mmlib::core::meta::ApproachKind::ParamUpdate) as f64 / 1e6,
+                scenario.estimated_bytes(mmlib::core::meta::ApproachKind::Provenance) as f64 / 1e6,
+                decision.approach,
+            );
+        }
+    }
+
+    // Two §4.7 special cases.
+    println!("\n— §4.7 scenarios —");
+    let mut model = Model::new_initialized(ArchId::MobileNetV2, 0);
+    model.set_fully_trainable();
+
+    let recovery_critical = choose_approach(
+        &SaveScenario::from_model(&model, dataset.paper_bytes(), false, Duration::from_secs(30), 0),
+        &Policy { prioritize_recovery: true, ..Default::default() },
+    );
+    println!("recovery-critical deployment  -> {} ({})", recovery_critical.approach, recovery_critical.rationale);
+
+    let external = choose_approach(
+        &SaveScenario::from_model(&model, dataset.paper_bytes(), true, Duration::from_secs(30), 0),
+        &Policy::default(),
+    );
+    println!("dataset managed externally    -> {} ({})", external.approach, external.rationale);
+}

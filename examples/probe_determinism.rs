@@ -1,0 +1,77 @@
+//! Floating-point non-determinism and the probing tool (paper §2.3–2.4).
+//!
+//! ```text
+//! cargo run --release --example probe_determinism
+//! ```
+//!
+//! Part 1 reproduces the paper's Fig. 2: the same dot product computed with
+//! a serial and a parallel reduction gives close-but-different `f32`
+//! results, because floating-point addition is not associative.
+//!
+//! Part 2 runs the probing tool on a ResNet-18: in deterministic mode two
+//! executions agree on every intermediate result; in parallel mode the
+//! completion-order reductions diverge, and the probe pinpoints the first
+//! layer where they do. Probe reports round-trip through bytes, modelling
+//! verification across machines.
+
+use mmlib::core::probe::{probe_reproducibility, ProbeReport};
+use mmlib::data::loader::LoaderConfig;
+use mmlib::data::{DataLoader, Dataset, DatasetId};
+use mmlib::model::{ArchId, Model};
+use mmlib::tensor::{ops, ExecMode, Pcg32};
+
+fn main() {
+    // ---- Part 1: Fig. 2 — serial vs parallel dot product. ----------------
+    println!("— Fig. 2: dot-product reduction order matters in f32 —");
+    let mut rng = Pcg32::seeded(1);
+    for n in [1_000usize, 100_000, 1_000_000] {
+        let a: Vec<f32> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let b: Vec<f32> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let serial = ops::dot_serial(&a, &b);
+        let pairwise = ops::dot_pairwise(&a, &b);
+        println!(
+            "  n={n:>9}: serial={serial:>14.6}  parallel={pairwise:>14.6}  \
+             |diff|={:.3e}  bit-equal={}",
+            (serial - pairwise).abs(),
+            serial.to_bits() == pairwise.to_bits(),
+        );
+    }
+
+    // ---- Part 2: probing a model. ----------------------------------------
+    println!("\n— probing tool: is ResNet-18 training reproducible? —");
+    let mut model = Model::new_initialized(ArchId::ResNet18, 99);
+    model.set_fully_trainable();
+    let loader = DataLoader::new(
+        Dataset::new(DatasetId::CocoOutdoor512, 1.0 / 512.0),
+        LoaderConfig { batch_size: 4, resolution: 32, max_images: Some(4), ..Default::default() },
+    );
+    let batch = loader.batch(0, 0).expect("first batch");
+
+    for mode in [ExecMode::Deterministic, ExecMode::Parallel] {
+        let cmp = probe_reproducibility(&mut model, &batch, 7, mode);
+        println!(
+            "  {mode:?}: {} intermediate records compared -> {}",
+            cmp.compared,
+            if cmp.reproducible {
+                "reproducible (bit-identical)".to_string()
+            } else {
+                format!("NON-reproducible, first divergence at {:?}", cmp.first_divergence.unwrap())
+            }
+        );
+    }
+
+    // ---- Cross-machine verification via serialized reports. --------------
+    println!("\n— cross-machine verification —");
+    let report = ProbeReport::run(&mut model, &batch, 7, ExecMode::Deterministic);
+    let bytes = report.to_bytes();
+    println!("  probe report serialized: {} bytes", bytes.len());
+    // "The other machine" re-executes and compares against the shipped report.
+    let shipped = ProbeReport::from_bytes(&bytes).expect("decode report");
+    let rerun = ProbeReport::run(&mut model, &batch, 7, ExecMode::Deterministic);
+    let cmp = shipped.compare(&rerun);
+    println!(
+        "  re-execution matches shipped report: {} ({} records)",
+        cmp.reproducible, cmp.compared
+    );
+    assert!(cmp.reproducible);
+}

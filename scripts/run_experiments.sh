@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure sequentially, one output file per
+# experiment (results/<exp>.txt). Timing experiments should run on an
+# otherwise idle machine.
+set -u
+export MALLOC_MMAP_THRESHOLD_=1073741824 MALLOC_TRIM_THRESHOLD_=1073741824
+cd "$(dirname "$0")/.."
+mkdir -p results
+BIN=target/release/repro
+[ -x "$BIN" ] || cargo build --release -p mmlib-bench
+
+for exp in "$@"; do
+    echo "=== running $exp ==="
+    "$BIN" "$exp" ${REPRO_FLAGS:-} > "results/$exp.txt" 2>&1
+    echo "=== $exp exit=$? ==="
+done
