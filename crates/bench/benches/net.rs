@@ -1,0 +1,54 @@
+//! Criterion benchmarks of the mmlib-net wire path: frame codec throughput
+//! and loopback blob round trips through a live registry server.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mmlib_net::protocol::{decode_frame, encode_frame, Frame, Opcode};
+use mmlib_net::{RegistryServer, RemoteStore};
+use mmlib_store::{ModelStorage, StorageBackend};
+
+fn bench_frame_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_codec");
+    for size in [1024usize, 64 * 1024, 1024 * 1024] {
+        let payload: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+        let frame = Frame::with_payload(
+            Opcode::Chunk,
+            serde_json::json!({"len": size}),
+            bytes::Bytes::from(payload),
+        );
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &frame, |b, frame| {
+            b.iter(|| {
+                let mut encoded = encode_frame(frame);
+                decode_frame(&mut encoded).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_loopback_blob_round_trip(c: &mut Criterion) {
+    let dir = tempfile::tempdir().unwrap();
+    let server = RegistryServer::bind(ModelStorage::open(dir.path()).unwrap(), "127.0.0.1:0")
+        .expect("bind loopback server");
+    let client = RemoteStore::connect(server.addr()).expect("connect");
+
+    let mut group = c.benchmark_group("loopback_blob");
+    group.sample_size(10);
+    for size in [64 * 1024usize, 4 * 1024 * 1024] {
+        let blob: Vec<u8> = (0..size).map(|i| (i % 249) as u8).collect();
+        // Put + get: both directions of chunked streaming per iteration.
+        group.throughput(Throughput::Bytes(2 * size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &blob, |b, blob| {
+            b.iter(|| {
+                let id = client.put_file(blob).unwrap();
+                let back = client.get_file(&id).unwrap();
+                assert_eq!(back.len(), blob.len());
+                client.remove_file(&id).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_frame_codec, bench_loopback_blob_round_trip);
+criterion_main!(benches);

@@ -37,7 +37,7 @@ fn fail<E: std::fmt::Display>(e: E) -> CliError {
     CliError::Failed(e.to_string())
 }
 
-const USAGE: &str = "mmlib --store <dir> <command>\n\
+const USAGE: &str = "mmlib (--store <dir> | --remote <addr>) <command>\n\
 commands:\n  \
   list                     list saved models\n  \
   show <id>                show one model's metadata\n  \
@@ -47,24 +47,43 @@ commands:\n  \
   delete <id>              delete a model (refused while dependents exist)\n  \
   gc --keep <id,id,...>    garbage-collect everything unreachable from the kept models\n  \
   probe <id> [det|par]     recover a model and probe its reproducibility\n  \
-  stats                    store statistics";
+  stats                    store statistics\n  \
+  serve --addr <ip:port> [--for <secs>]\n                           \
+serve the store as a TCP model registry (requires --store)\n\
+\n\
+--remote <addr> runs a command against a registry served elsewhere\n\
+(`mmlib serve`) instead of a local --store directory.";
 
 /// Runs one CLI invocation, returning the rendered output.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let mut store_dir: Option<String> = None;
+    let mut remote_addr: Option<String> = None;
     let mut rest: Vec<&str> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if arg == "--store" {
             store_dir = iter.next().cloned();
+        } else if arg == "--remote" {
+            remote_addr = iter.next().cloned();
         } else {
             rest.push(arg.as_str());
         }
     }
-    let store_dir = store_dir.ok_or_else(|| CliError::Usage(USAGE.into()))?;
     let (&command, tail) = rest.split_first().ok_or_else(|| CliError::Usage(USAGE.into()))?;
 
-    let storage = ModelStorage::open(Path::new(&store_dir)).map_err(fail)?;
+    if command == "serve" {
+        let store_dir = store_dir
+            .ok_or_else(|| CliError::Usage(format!("serve needs a local --store\n{USAGE}")))?;
+        return serve(&store_dir, tail);
+    }
+
+    let storage = match (store_dir, remote_addr) {
+        (Some(dir), None) => ModelStorage::open(Path::new(&dir)).map_err(fail)?,
+        (None, Some(addr)) => mmlib_net::RemoteStore::connect(addr.as_str())
+            .map_err(fail)?
+            .into_storage(),
+        _ => return Err(CliError::Usage(USAGE.into())),
+    };
     let svc = SaveService::new(storage);
     match command {
         "list" => list(&svc),
@@ -80,6 +99,56 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
 }
 
+/// Serves a local store over TCP: `mmlib --store <dir> serve --addr <a>`.
+///
+/// Runs until interrupted, or for `--for <secs>` seconds (useful for
+/// scripts and tests), then reports what the server measured.
+fn serve(store_dir: &str, tail: &[&str]) -> Result<String, CliError> {
+    let mut addr = "127.0.0.1:7440".to_string();
+    let mut run_for: Option<u64> = None;
+    let mut iter = tail.iter();
+    while let Some(&flag) = iter.next() {
+        match flag {
+            "--addr" => {
+                addr = iter
+                    .next()
+                    .ok_or_else(|| CliError::Usage(USAGE.into()))?
+                    .to_string();
+            }
+            "--for" => {
+                let secs = iter.next().ok_or_else(|| CliError::Usage(USAGE.into()))?;
+                run_for = Some(secs.parse().map_err(|_| {
+                    CliError::Usage(format!("--for needs a number of seconds, got {secs:?}"))
+                })?);
+            }
+            other => return Err(CliError::Usage(format!("unknown serve flag {other:?}\n{USAGE}"))),
+        }
+    }
+
+    let storage = ModelStorage::open(Path::new(store_dir)).map_err(fail)?;
+    let mut server = mmlib_net::RegistryServer::bind(storage, addr.as_str()).map_err(fail)?;
+    // Announce immediately — clients need the address while we block.
+    println!("mmlib registry serving {store_dir} on {}", server.addr());
+    match run_for {
+        Some(secs) => std::thread::sleep(std::time::Duration::from_secs(secs)),
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+    let metrics = server.metrics().snapshot();
+    server.shutdown();
+    let mut out = String::new();
+    writeln!(out, "served {} request(s) over {} connection(s)",
+        metrics["total_requests"].as_u64().unwrap_or(0),
+        metrics["connections"].as_u64().unwrap_or(0))
+    .unwrap();
+    writeln!(out, "bytes in {}, bytes out {}",
+        metrics["bytes_in"].as_u64().unwrap_or(0),
+        metrics["bytes_out"].as_u64().unwrap_or(0))
+    .unwrap();
+    Ok(out)
+}
+
 fn one_id(tail: &[&str]) -> Result<SavedModelId, CliError> {
     match tail {
         [id] => Ok(SavedModelId(DocId::from_string((*id).to_string()))),
@@ -90,7 +159,7 @@ fn one_id(tail: &[&str]) -> Result<SavedModelId, CliError> {
 fn list(svc: &SaveService) -> Result<String, CliError> {
     let graph = dependency_graph(svc).map_err(fail)?;
     let mut out = String::new();
-    writeln!(out, "{:<14} {:<4} {:<13} {:<18} {:<14} {}", "ID", "VIA", "ARCH", "RELATION", "BASE", "DEPENDENTS")
+    writeln!(out, "{:<14} {:<4} {:<13} {:<18} {:<14} DEPENDENTS", "ID", "VIA", "ARCH", "RELATION", "BASE")
         .unwrap();
     for (id, info) in &graph.models {
         let deps = graph.dependents.get(id).map_or(0, |d| d.len());

@@ -136,3 +136,64 @@ fn probe_reports_reproducibility() {
         Err(CliError::Usage(_))
     ));
 }
+
+#[test]
+fn remote_flag_runs_commands_against_a_served_store() {
+    let dir = tempfile::tempdir().unwrap();
+    let (initial, update) = seed_store(dir.path());
+    let server = mmlib_net::RegistryServer::bind(
+        ModelStorage::open(dir.path()).unwrap(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let remote = |rest: &[&str]| {
+        let mut v = vec!["--remote".to_string(), server.addr().to_string()];
+        v.extend(rest.iter().map(|s| s.to_string()));
+        v
+    };
+
+    // list / show / verify / recover — the documented remote commands.
+    let out = run(&remote(&["list"])).unwrap();
+    assert!(out.contains(&initial) && out.contains("2 model(s)"));
+
+    let out = run(&remote(&["show", &initial])).unwrap();
+    assert!(out.contains("\"approach\": \"baseline\""));
+
+    let out = run(&remote(&["verify", &update])).unwrap();
+    assert!(out.contains("verified OK"));
+
+    let out_file = dir.path().join("remote-recovered.bin");
+    let out = run(&remote(&["recover", &update, "--out", out_file.to_str().unwrap()])).unwrap();
+    assert!(out.contains("recovered"));
+    assert!(out_file.metadata().unwrap().len() > 0);
+
+    // Registry metrics saw the traffic.
+    assert!(server.metrics().total_requests() > 0);
+}
+
+#[test]
+fn remote_flag_reports_connection_failures() {
+    // A port nothing listens on: the command must fail, not hang.
+    let err = run(&[
+        "--remote".to_string(),
+        "127.0.0.1:1".to_string(),
+        "list".to_string(),
+    ])
+    .unwrap_err();
+    assert!(matches!(err, CliError::Failed(_)));
+}
+
+#[test]
+fn serve_command_serves_then_reports() {
+    let dir = tempfile::tempdir().unwrap();
+    seed_store(dir.path());
+    // `--for 1` keeps run() bounded; the ephemeral port avoids collisions.
+    let out = run(&args(dir.path(), &["serve", "--addr", "127.0.0.1:0", "--for", "1"])).unwrap();
+    assert!(out.contains("served 0 request(s)"), "unexpected summary: {out}");
+}
+
+#[test]
+fn serve_requires_a_local_store() {
+    let err = run(&["serve".to_string()]).unwrap_err();
+    assert!(matches!(err, CliError::Usage(_)));
+}

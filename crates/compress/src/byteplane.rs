@@ -24,7 +24,7 @@ pub fn split(words: &[u32]) -> Vec<u8> {
 
 /// Inverse of [`split`]. Returns `None` if the length is not a multiple of 4.
 pub fn merge(planes: &[u8]) -> Option<Vec<u32>> {
-    if planes.len() % 4 != 0 {
+    if !planes.len().is_multiple_of(4) {
         return None;
     }
     let n = planes.len() / 4;
@@ -42,7 +42,7 @@ pub fn merge(planes: &[u8]) -> Option<Vec<u32>> {
 
 /// The four plane slices of a split buffer.
 pub fn planes(split: &[u8]) -> Option<[&[u8]; 4]> {
-    if split.len() % 4 != 0 {
+    if !split.len().is_multiple_of(4) {
         return None;
     }
     let n = split.len() / 4;

@@ -3,7 +3,7 @@
 use mmlib_core::meta::SavedModelId;
 use mmlib_core::{CoreError, RecoverOptions, SaveService};
 use mmlib_model::{ArchId, Model};
-use mmlib_store::{DocId, ModelStorage};
+use mmlib_store::ModelStorage;
 use serde_json::json;
 
 fn svc(dir: &std::path::Path) -> SaveService {

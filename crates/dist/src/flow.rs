@@ -24,6 +24,27 @@ pub enum FlowKind {
     Dist20,
 }
 
+/// How model bytes travel between nodes and the registry during a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// Modeled network: storage is a shared directory and transfer times
+    /// come from [`SimNetwork`] accounting. No bytes move over sockets, so
+    /// results are reproducible — this is the default and what the paper
+    /// figures use.
+    #[default]
+    Sim,
+    /// Real loopback TCP: a `mmlib-net` registry server fronts the storage
+    /// root and every node talks to it through a remote store client. Real
+    /// bytes move and network time is *real* — folded into each save's TTS
+    /// rather than reported as modeled [`SaveRecord::network_time`] (which
+    /// is zero under this transport). Measured wire traffic lands in
+    /// [`FlowResult::transport_stats`].
+    Tcp {
+        /// Server worker threads (and thus max concurrent connections).
+        workers: usize,
+    },
+}
+
 impl FlowKind {
     /// All flows in Table 3 order.
     pub fn all() -> [FlowKind; 4] {
@@ -203,6 +224,10 @@ pub struct FlowResult {
     pub saves: Vec<SaveRecord>,
     /// Every recovery (empty if `recover_all` was off).
     pub recovers: Vec<RecoverRecord>,
+    /// Registry-server metrics snapshot (per-opcode request counts, wire
+    /// bytes) when the flow ran over [`Transport::Tcp`]; `None` under
+    /// [`Transport::Sim`].
+    pub transport_stats: Option<serde_json::Value>,
 }
 
 /// Node-local state while a flow runs.
@@ -212,15 +237,87 @@ struct NodeState {
     base: SavedModelId,
 }
 
-/// Executes one evaluation flow and returns its records.
+/// The flow's internal network-time source: modeled under
+/// [`Transport::Sim`], nothing under [`Transport::Tcp`] (real transfer time
+/// is already inside each measured TTS).
+enum NetModel {
+    Sim(SimNetwork),
+    Real,
+}
+
+impl NetModel {
+    fn record_transfer(&self, bytes: u64) -> Duration {
+        match self {
+            NetModel::Sim(network) => network.record_transfer(bytes),
+            NetModel::Real => Duration::ZERO,
+        }
+    }
+}
+
+/// Executes one evaluation flow over the default [`Transport::Sim`] and
+/// returns its records.
 ///
 /// Storage is a shared directory (the paper's MongoDB + shared FS); every
 /// node opens its own handle so per-save byte accounting stays per-node.
 /// Distributed flows run their nodes on concurrent OS threads.
 pub fn run_flow(config: &FlowConfig, storage_root: &std::path::Path) -> FlowResult {
-    let network = SimNetwork::infiniband_100g();
-    let server_storage = ModelStorage::open(storage_root).expect("storage root must be writable");
-    let server = SaveService::new(server_storage);
+    run_flow_with_transport(config, storage_root, Transport::Sim)
+}
+
+/// Executes one evaluation flow over an explicit transport.
+///
+/// Under [`Transport::Tcp`] a `mmlib-net` registry server is spun up on
+/// loopback over `storage_root` and the server plus every node talk to it
+/// through remote store clients — real bytes on real sockets. The server is
+/// shut down (and its metrics snapshotted into
+/// [`FlowResult::transport_stats`]) before returning.
+pub fn run_flow_with_transport(
+    config: &FlowConfig,
+    storage_root: &std::path::Path,
+    transport: Transport,
+) -> FlowResult {
+    match transport {
+        Transport::Sim => {
+            let net = NetModel::Sim(SimNetwork::infiniband_100g());
+            let make_storage = || {
+                ModelStorage::open(storage_root).expect("storage root must be writable")
+            };
+            run_flow_inner(config, &make_storage, &net)
+        }
+        Transport::Tcp { workers } => {
+            let backing =
+                ModelStorage::open(storage_root).expect("storage root must be writable");
+            // Connections live for the whole flow, so there must be a worker
+            // for every concurrent client: the server plus every node.
+            let workers = workers.max(config.kind.nodes() + 1);
+            let mut server = mmlib_net::RegistryServer::bind_with_config(
+                backing,
+                "127.0.0.1:0",
+                mmlib_net::ServerConfig { workers, ..Default::default() },
+            )
+            .expect("bind loopback registry server");
+            let addr = server.addr();
+            let make_storage = move || {
+                mmlib_net::RemoteStore::connect(addr)
+                    .expect("connect to loopback registry")
+                    .into_storage()
+            };
+            let mut result = run_flow_inner(config, &make_storage, &NetModel::Real);
+            result.transport_stats = Some(server.metrics().snapshot());
+            server.shutdown();
+            result
+        }
+    }
+}
+
+/// Transport-agnostic flow body; `make_storage` yields one storage handle
+/// per participant (server or node).
+fn run_flow_inner(
+    config: &FlowConfig,
+    make_storage: &dyn Fn() -> ModelStorage,
+    network: &NetModel,
+) -> FlowResult {
+    let server = SaveService::new(make_storage());
 
     let mut result = FlowResult::default();
 
@@ -248,8 +345,8 @@ pub fn run_flow(config: &FlowConfig, storage_root: &std::path::Path) -> FlowResu
     });
 
     // ---- Phase 1: U3 iterations on every node, starting from U1.
-    let states = make_node_states(config, storage_root, &initial, &u1_id);
-    let phase1 = run_u3_phase_with_states(config, states, 1, &network);
+    let states = make_node_states(config, make_storage, &initial, &u1_id);
+    let phase1 = run_u3_phase_with_states(config, states, 1, network);
     let mut node_states = Vec::new();
     for (records, state) in phase1 {
         result.saves.extend(records);
@@ -271,7 +368,7 @@ pub fn run_flow(config: &FlowConfig, storage_root: &std::path::Path) -> FlowResu
             u2_seed,
             "U2",
             0,
-            &network,
+            network,
         );
         (model, record)
     };
@@ -283,7 +380,7 @@ pub fn run_flow(config: &FlowConfig, storage_root: &std::path::Path) -> FlowResu
         state.model = clone_model(&u2_model);
         state.base = u2_id.clone();
     }
-    let phase2 = run_u3_phase_with_states(config, node_states, 2, &network);
+    let phase2 = run_u3_phase_with_states(config, node_states, 2, network);
     for (records, _) in phase2 {
         result.saves.extend(records);
     }
@@ -312,13 +409,13 @@ pub fn run_flow(config: &FlowConfig, storage_root: &std::path::Path) -> FlowResu
 /// Builds fresh node states all starting from `start_model`/`base`.
 fn make_node_states(
     config: &FlowConfig,
-    storage_root: &std::path::Path,
+    make_storage: &dyn Fn() -> ModelStorage,
     start_model: &Model,
     base: &SavedModelId,
 ) -> Vec<NodeState> {
     (0..config.kind.nodes())
         .map(|_| {
-            let storage = ModelStorage::open(storage_root).expect("node storage");
+            let storage = make_storage();
             let mut model = clone_model(start_model);
             config.relation.apply_trainability(&mut model);
             NodeState { service: SaveService::new(storage), model, base: base.clone() }
@@ -333,7 +430,7 @@ fn run_u3_phase_with_states(
     config: &FlowConfig,
     states: Vec<NodeState>,
     phase: usize,
-    network: &SimNetwork,
+    network: &NetModel,
 ) -> Vec<(Vec<SaveRecord>, NodeState)> {
     let iterations = config.kind.u3_iterations();
     crossbeam::scope(|scope| {
@@ -389,7 +486,7 @@ fn train_and_save(
     seed: u64,
     label: &str,
     node: usize,
-    network: &SimNetwork,
+    network: &NetModel,
 ) -> SaveRecord {
     let loader_config = LoaderConfig {
         batch_size: config.train.batch_size,

@@ -24,5 +24,7 @@
 pub mod flow;
 pub mod metrics;
 
-pub use flow::{FlowConfig, FlowKind, FlowResult, RecoverRecord, SaveRecord, TrainParams};
+pub use flow::{
+    FlowConfig, FlowKind, FlowResult, RecoverRecord, SaveRecord, TrainParams, Transport,
+};
 pub use metrics::{median_duration, MedianSeries};

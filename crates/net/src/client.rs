@@ -1,0 +1,419 @@
+//! The remote store client: [`mmlib_store::StorageBackend`] over TCP.
+//!
+//! [`RemoteStore`] speaks the wire protocol of [`crate::protocol`] to a
+//! [`crate::RegistryServer`] and implements the same document/file surface
+//! as local storage, so the whole save/recover stack runs unmodified
+//! against a registry across the network — the paper's node/server split
+//! (§4.1). Blobs stream in 64 KiB chunks both ways; requests are retried
+//! with exponential backoff plus jitter when the connection drops.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mmlib_store::{DocId, Document, FileId, ModelStorage, StorageBackend, StoreError};
+use parking_lot::Mutex;
+use serde_json::{json, Value};
+
+use crate::protocol::{
+    header_str, header_u64, read_chunks, read_frame, write_chunks, write_frame, Frame, Opcode,
+    WireError, PROTOCOL_VERSION,
+};
+
+/// Client tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Attempts per request beyond the first (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff before retry `n` is `base_backoff * 2^n` plus jitter.
+    pub base_backoff: Duration,
+    /// Socket read timeout (None = block forever).
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout.
+    pub write_timeout: Option<Duration>,
+    /// TCP connect timeout per attempt.
+    pub connect_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(20),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            connect_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A connection to a registry server, usable as a storage backend.
+///
+/// One `RemoteStore` holds one TCP connection (requests are serialized on
+/// it); clone-free sharing happens by wrapping it in an `Arc` via
+/// [`RemoteStore::into_storage`]. For concurrent clients, open one
+/// `RemoteStore` per thread — the loopback stress test does exactly that.
+pub struct RemoteStore {
+    addr: SocketAddr,
+    config: ClientConfig,
+    conn: Mutex<Option<Conn>>,
+    jitter: Jitter,
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl RemoteStore {
+    /// Connects to a registry server and verifies the protocol version.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<RemoteStore, StoreError> {
+        RemoteStore::connect_with_config(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit tuning knobs.
+    pub fn connect_with_config(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<RemoteStore, StoreError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| StoreError::Remote(format!("bad address: {e}")))?
+            .next()
+            .ok_or_else(|| StoreError::Remote("address resolved to nothing".to_string()))?;
+        let store = RemoteStore {
+            addr,
+            config,
+            conn: Mutex::new(None),
+            jitter: Jitter::new(),
+            bytes_written: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+        };
+        // Handshake now so misconfiguration fails at connect, not first use.
+        let reply = store.request(Frame::new(Opcode::Ping, json!({"version": PROTOCOL_VERSION})))?;
+        let version = header_u64(&reply.header, "version")
+            .map_err(|e| StoreError::Remote(e.to_string()))?;
+        if version as u32 != PROTOCOL_VERSION {
+            return Err(StoreError::Remote(format!(
+                "server speaks protocol version {version}, client needs {PROTOCOL_VERSION}"
+            )));
+        }
+        Ok(store)
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Wraps this client into a [`ModelStorage`] the save/recover stack can
+    /// use in place of a local directory.
+    pub fn into_storage(self) -> ModelStorage {
+        let descriptor = format!("tcp://{}", self.addr);
+        ModelStorage::from_backend(Arc::new(self), descriptor)
+    }
+
+    /// Fetches the server's metrics snapshot (the `Stats` opcode).
+    pub fn server_stats(&self) -> Result<Value, StoreError> {
+        Ok(self.request(Frame::new(Opcode::Stats, json!({})))?.header)
+    }
+
+    fn open_conn(&self) -> Result<Conn, WireError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)?;
+        stream.set_read_timeout(self.config.read_timeout)?;
+        stream.set_write_timeout(self.config.write_timeout)?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and reads its `Ok` reply, retrying the whole
+    /// exchange on connection failure with exponential backoff + jitter.
+    /// An `Err` *reply* is a server-side answer, not a connection failure —
+    /// it maps to a [`StoreError`] and is never retried.
+    fn request(&self, frame: Frame) -> Result<Frame, StoreError> {
+        self.request_blob(frame, None).map(|(reply, _)| reply)
+    }
+
+    /// Like [`RemoteStore::request`], also streaming `blob` after the
+    /// request frame and reading any blob announced by the reply.
+    fn request_blob(
+        &self,
+        frame: Frame,
+        blob: Option<&[u8]>,
+    ) -> Result<(Frame, Option<Vec<u8>>), StoreError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.try_exchange(&frame, blob) {
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    // Reconnect on any wire failure; the old socket is gone.
+                    *self.conn.lock() = None;
+                    if attempt >= self.config.max_retries {
+                        return Err(StoreError::Remote(format!(
+                            "request {} failed after {} attempts: {e}",
+                            frame.opcode.name(),
+                            attempt + 1
+                        )));
+                    }
+                    std::thread::sleep(self.backoff(attempt));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// One request/reply exchange on the cached connection.
+    fn try_exchange(
+        &self,
+        frame: &Frame,
+        blob: Option<&[u8]>,
+    ) -> Result<(Frame, Option<Vec<u8>>), WireError> {
+        let mut guard = self.conn.lock();
+        if guard.is_none() {
+            *guard = Some(self.open_conn()?);
+        }
+        let conn = guard.as_mut().expect("connection just established");
+
+        write_frame(&mut conn.writer, frame)?;
+        let mut sent = frame.payload.len() as u64;
+        if let Some(blob) = blob {
+            write_chunks(&mut conn.writer, blob)?;
+            sent += blob.len() as u64;
+        }
+        conn.writer.flush()?;
+        self.bytes_written.fetch_add(sent, Ordering::Relaxed);
+
+        let reply = read_frame(&mut conn.reader)?;
+        let mut received = reply.payload.len() as u64;
+        let reply_blob = if reply.opcode == Opcode::Ok {
+            match reply.header.get("len").and_then(Value::as_u64) {
+                Some(len) if wants_blob(frame.opcode) => {
+                    let blob = read_chunks(&mut conn.reader, len)?;
+                    received += blob.len() as u64;
+                    Some(blob)
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
+        self.bytes_read.fetch_add(received, Ordering::Relaxed);
+        Ok((reply, reply_blob))
+    }
+
+    fn backoff(&self, attempt: u32) -> Duration {
+        let base = self.config.base_backoff * 2u32.saturating_pow(attempt);
+        // Up to +50% jitter so clients retrying together spread out.
+        base + base.mul_f64(self.jitter.next_fraction() * 0.5)
+    }
+}
+
+/// Unwraps an `Ok` reply or maps an `Err` reply back to a [`StoreError`].
+fn expect_ok(reply: Frame) -> Result<Value, StoreError> {
+    match reply.opcode {
+        Opcode::Ok => Ok(reply.header),
+        Opcode::Err => {
+            let code = reply.header.get("code").and_then(Value::as_str).unwrap_or("unknown");
+            let message = reply
+                .header
+                .get("message")
+                .and_then(Value::as_str)
+                .unwrap_or("server error")
+                .to_string();
+            let id = reply.header.get("id").and_then(Value::as_str);
+            match (code, id) {
+                ("missing_document", Some(id)) => {
+                    Err(StoreError::MissingDocument(DocId::from_string(id.to_string())))
+                }
+                ("missing_file", Some(id)) => {
+                    Err(StoreError::MissingFile(FileId::from_string(id.to_string())))
+                }
+                _ => Err(StoreError::Remote(format!("{code}: {message}"))),
+            }
+        }
+        other => Err(StoreError::Remote(format!(
+            "unexpected reply opcode {}",
+            other.name()
+        ))),
+    }
+}
+
+/// Whether a request opcode's `Ok` reply announces a streamed blob.
+fn wants_blob(request: Opcode) -> bool {
+    request == Opcode::FileGet
+}
+
+/// Bytes a document occupies in the registry's store. The server persists
+/// `to_vec_pretty(&doc)`, so serializing the same document client-side gives
+/// the identical size — keeping the paper's storage-consumption metric
+/// transport-invariant (a save "costs" the same whether measured against a
+/// local directory or through the wire).
+fn doc_stored_bytes(doc: &Document) -> u64 {
+    serde_json::to_vec_pretty(doc).map(|b| b.len() as u64).unwrap_or(0)
+}
+
+fn remote(e: WireError) -> StoreError {
+    StoreError::Remote(e.to_string())
+}
+
+impl StorageBackend for RemoteStore {
+    fn insert_doc(&self, kind: &str, body: Value) -> Result<DocId, StoreError> {
+        let reply = self.request(Frame::new(
+            Opcode::DocInsert,
+            json!({"kind": kind, "body": body.clone()}),
+        ))?;
+        let header = expect_ok(reply)?;
+        let id = DocId::from_string(header_str(&header, "id").map_err(remote)?.to_string());
+        let doc = Document { id: id.clone(), kind: kind.to_string(), body };
+        self.bytes_written.fetch_add(doc_stored_bytes(&doc), Ordering::Relaxed);
+        Ok(id)
+    }
+
+    fn get_doc(&self, id: &DocId) -> Result<Document, StoreError> {
+        let reply = self.request(Frame::new(Opcode::DocGet, json!({"id": id.as_str()})))?;
+        let header = expect_ok(reply)?;
+        let body = header
+            .get("body")
+            .cloned()
+            .ok_or_else(|| StoreError::Remote("doc reply missing body".to_string()))?;
+        let doc = Document {
+            id: DocId::from_string(header_str(&header, "id").map_err(remote)?.to_string()),
+            kind: header_str(&header, "kind").map_err(remote)?.to_string(),
+            body,
+        };
+        self.bytes_read.fetch_add(doc_stored_bytes(&doc), Ordering::Relaxed);
+        Ok(doc)
+    }
+
+    fn update_doc(&self, id: &DocId, body: Value) -> Result<(), StoreError> {
+        let reply = self.request(Frame::new(
+            Opcode::DocUpdate,
+            json!({"id": id.as_str(), "body": body.clone()}),
+        ))?;
+        let header = expect_ok(reply)?;
+        // The reply carries the document's kind so the new stored size can
+        // be accounted like a local write. (The update's internal re-read of
+        // the old document is not mirrored — sizes of past versions are
+        // unknown here — which only affects bytes_read, never the paper's
+        // bytes_written storage metric.)
+        if let Some(kind) = header.get("kind").and_then(Value::as_str) {
+            let doc = Document { id: id.clone(), kind: kind.to_string(), body };
+            self.bytes_written.fetch_add(doc_stored_bytes(&doc), Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    fn contains_doc(&self, id: &DocId) -> bool {
+        self.request(Frame::new(Opcode::DocContains, json!({"id": id.as_str()})))
+            .ok()
+            .and_then(|reply| expect_ok(reply).ok())
+            .and_then(|h| h.get("present").and_then(Value::as_bool))
+            .unwrap_or(false)
+    }
+
+    fn remove_doc(&self, id: &DocId) -> Result<(), StoreError> {
+        let reply = self.request(Frame::new(Opcode::DocRemove, json!({"id": id.as_str()})))?;
+        expect_ok(reply).map(|_| ())
+    }
+
+    fn doc_ids(&self) -> Result<Vec<DocId>, StoreError> {
+        let reply = self.request(Frame::new(Opcode::DocIds, json!({})))?;
+        let header = expect_ok(reply)?;
+        let ids = header
+            .get("ids")
+            .and_then(Value::as_array)
+            .ok_or_else(|| StoreError::Remote("ids reply missing list".to_string()))?;
+        ids.iter()
+            .map(|v| {
+                v.as_str()
+                    .map(|s| DocId::from_string(s.to_string()))
+                    .ok_or_else(|| StoreError::Remote("non-string id in list".to_string()))
+            })
+            .collect()
+    }
+
+    fn put_file(&self, bytes: &[u8]) -> Result<FileId, StoreError> {
+        let announce = Frame::new(Opcode::FilePut, json!({"len": bytes.len() as u64}));
+        let (reply, _) = self.request_blob(announce, Some(bytes))?;
+        let header = expect_ok(reply)?;
+        let id = header_str(&header, "id").map_err(remote)?;
+        Ok(FileId::from_string(id.to_string()))
+    }
+
+    fn get_file(&self, id: &FileId) -> Result<Vec<u8>, StoreError> {
+        let request = Frame::new(Opcode::FileGet, json!({"id": id.as_str()}));
+        let (reply, blob) = self.request_blob(request, None)?;
+        let header = expect_ok(reply)?;
+        let len = header_u64(&header, "len").map_err(remote)?;
+        let blob =
+            blob.ok_or_else(|| StoreError::Remote("file reply announced no blob".to_string()))?;
+        if blob.len() as u64 != len {
+            return Err(StoreError::Remote(format!(
+                "file reply announced {len} bytes but streamed {}",
+                blob.len()
+            )));
+        }
+        Ok(blob)
+    }
+
+    fn file_size(&self, id: &FileId) -> Result<u64, StoreError> {
+        let reply = self.request(Frame::new(Opcode::FileSize, json!({"id": id.as_str()})))?;
+        let header = expect_ok(reply)?;
+        header_u64(&header, "len").map_err(remote)
+    }
+
+    fn contains_file(&self, id: &FileId) -> bool {
+        self.request(Frame::new(Opcode::FileContains, json!({"id": id.as_str()})))
+            .ok()
+            .and_then(|reply| expect_ok(reply).ok())
+            .and_then(|h| h.get("present").and_then(Value::as_bool))
+            .unwrap_or(false)
+    }
+
+    fn remove_file(&self, id: &FileId) -> Result<(), StoreError> {
+        let reply = self.request(Frame::new(Opcode::FileRemove, json!({"id": id.as_str()})))?;
+        expect_ok(reply).map(|_| ())
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+}
+
+/// Cheap xorshift jitter source. Retry spreading only — never used on a
+/// reproducibility-sensitive path (simulated results use no randomness).
+struct Jitter {
+    state: AtomicU64,
+}
+
+impl Jitter {
+    fn new() -> Jitter {
+        let seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9_7f4a_7c15)
+            | 1;
+        Jitter { state: AtomicU64::new(seed) }
+    }
+
+    /// Uniform-ish fraction in [0, 1).
+    fn next_fraction(&self) -> f64 {
+        let mut x = self.state.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state.store(x, Ordering::Relaxed);
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+}

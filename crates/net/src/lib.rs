@@ -1,0 +1,31 @@
+//! mmlib-net: the wire protocol between nodes and the model registry.
+//!
+//! The paper's system runs as a central server holding all model data
+//! (metadata in MongoDB, files on a shared FS) with cluster nodes saving
+//! and recovering models over the network (§4.1). This crate provides that
+//! split for the reproduction with real bytes on real sockets:
+//!
+//! * [`protocol`] — length-prefixed binary frames (u32 length + opcode +
+//!   JSON header + raw payload) with 64 KiB chunked blob streaming, so a
+//!   242 MB ResNet-152 snapshot never sits in one allocation twice.
+//! * [`RegistryServer`] — a TCP server over a [`mmlib_store::ModelStorage`]
+//!   with a crossbeam worker pool and per-opcode request/byte metrics.
+//! * [`RemoteStore`] — a client implementing
+//!   [`mmlib_store::StorageBackend`], so the entire save/recover stack runs
+//!   unmodified against a remote registry; retries with exponential backoff
+//!   plus jitter, configurable timeouts.
+//!
+//! [`SimNetwork`](mmlib_store::SimNetwork) models transfer time without
+//! moving bytes (reproducible evaluation numbers); this crate moves the
+//! bytes (real loopback/LAN behaviour). `mmlib-dist` exposes the choice as
+//! its `Transport` setting.
+
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{ClientConfig, RemoteStore};
+pub use protocol::{Frame, Opcode, WireError, CHUNK_SIZE, MAX_FRAME_LEN, PROTOCOL_VERSION};
+pub use server::{RegistryServer, ServerConfig, ServerMetrics};

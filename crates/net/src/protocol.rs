@@ -1,0 +1,412 @@
+//! The mmlib wire protocol: length-prefixed binary frames.
+//!
+//! One frame on the wire is:
+//!
+//! ```text
+//! ┌─────────────┬─────────┬───────────────┬──────────────┬─────────────┐
+//! │ u32 LE len  │ u8 op   │ u32 LE hlen   │ hlen bytes   │ rest        │
+//! │ (of body)   │ opcode  │ header length │ JSON header  │ raw payload │
+//! └─────────────┴─────────┴───────────────┴──────────────┴─────────────┘
+//! ```
+//!
+//! `len` counts everything after the length field itself. The JSON header
+//! carries the structured part of a message (ids, document bodies, sizes);
+//! the payload carries raw blob bytes. Large blobs never travel in one
+//! frame: a transfer is announced by its request/response frame (header
+//! `{"len": n}`) and the bytes follow in [`CHUNK_SIZE`]-bounded
+//! [`Opcode::Chunk`] frames, so neither side ever buffers more than one
+//! chunk beyond the blob's own allocation.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde_json::Value;
+
+/// Protocol version, checked during the `Ping` handshake.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard upper bound on one frame's body; oversized length prefixes are
+/// rejected before any allocation happens.
+pub const MAX_FRAME_LEN: usize = 8 * 1024 * 1024;
+
+/// Payload bytes per continuation chunk frame.
+pub const CHUNK_SIZE: usize = 64 * 1024;
+
+/// Hard upper bound on one streamed blob (sum of its chunks).
+pub const MAX_BLOB_LEN: u64 = 8 * 1024 * 1024 * 1024;
+
+/// Message opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Liveness + version handshake. Header: `{"version": n}`.
+    Ping = 0x01,
+    /// Insert a document. Header: `{"kind": s, "body": v}`.
+    DocInsert = 0x10,
+    /// Fetch a document. Header: `{"id": s}`.
+    DocGet = 0x11,
+    /// Replace a document body. Header: `{"id": s, "body": v}`.
+    DocUpdate = 0x12,
+    /// Existence check. Header: `{"id": s}`.
+    DocContains = 0x13,
+    /// Delete a document. Header: `{"id": s}`.
+    DocRemove = 0x14,
+    /// List all document ids. Header: `{}`.
+    DocIds = 0x15,
+    /// Store a blob. Header: `{"len": n}`; bytes follow as chunks.
+    FilePut = 0x20,
+    /// Fetch a blob. Header: `{"id": s}`; response streams chunks.
+    FileGet = 0x21,
+    /// Blob size. Header: `{"id": s}`.
+    FileSize = 0x22,
+    /// Existence check. Header: `{"id": s}`.
+    FileContains = 0x23,
+    /// Delete a blob. Header: `{"id": s}`.
+    FileRemove = 0x24,
+    /// Server metrics snapshot. Header: `{}`.
+    Stats = 0x30,
+    /// Success response. Header: operation-specific result.
+    Ok = 0x40,
+    /// Failure response. Header: `{"code": s, "message": s}`.
+    Err = 0x41,
+    /// Blob payload continuation for an announced transfer.
+    Chunk = 0x50,
+}
+
+impl Opcode {
+    /// Every opcode, for metrics tables.
+    pub const ALL: [Opcode; 16] = [
+        Opcode::Ping,
+        Opcode::DocInsert,
+        Opcode::DocGet,
+        Opcode::DocUpdate,
+        Opcode::DocContains,
+        Opcode::DocRemove,
+        Opcode::DocIds,
+        Opcode::FilePut,
+        Opcode::FileGet,
+        Opcode::FileSize,
+        Opcode::FileContains,
+        Opcode::FileRemove,
+        Opcode::Stats,
+        Opcode::Ok,
+        Opcode::Err,
+        Opcode::Chunk,
+    ];
+
+    /// Wire name, used in metrics snapshots and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::Ping => "ping",
+            Opcode::DocInsert => "doc_insert",
+            Opcode::DocGet => "doc_get",
+            Opcode::DocUpdate => "doc_update",
+            Opcode::DocContains => "doc_contains",
+            Opcode::DocRemove => "doc_remove",
+            Opcode::DocIds => "doc_ids",
+            Opcode::FilePut => "file_put",
+            Opcode::FileGet => "file_get",
+            Opcode::FileSize => "file_size",
+            Opcode::FileContains => "file_contains",
+            Opcode::FileRemove => "file_remove",
+            Opcode::Stats => "stats",
+            Opcode::Ok => "ok",
+            Opcode::Err => "err",
+            Opcode::Chunk => "chunk",
+        }
+    }
+
+    /// Dense index for per-opcode counter arrays.
+    pub(crate) fn index(self) -> usize {
+        Opcode::ALL.iter().position(|&op| op == self).expect("opcode listed in ALL")
+    }
+}
+
+impl TryFrom<u8> for Opcode {
+    type Error = WireError;
+
+    fn try_from(byte: u8) -> Result<Opcode, WireError> {
+        Opcode::ALL
+            .into_iter()
+            .find(|&op| op as u8 == byte)
+            .ok_or(WireError::BadOpcode(byte))
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    pub opcode: Opcode,
+    pub header: Value,
+    pub payload: Bytes,
+}
+
+impl Frame {
+    pub fn new(opcode: Opcode, header: Value) -> Frame {
+        Frame { opcode, header, payload: Bytes::new() }
+    }
+
+    pub fn with_payload(opcode: Opcode, header: Value, payload: Bytes) -> Frame {
+        Frame { opcode, header, payload }
+    }
+}
+
+/// Frame-level protocol errors.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying socket/stream failure.
+    Io(std::io::Error),
+    /// Peer closed the connection cleanly between frames.
+    Closed,
+    /// Declared frame length exceeds [`MAX_FRAME_LEN`].
+    Oversized(usize),
+    /// Frame body shorter than its declared lengths.
+    Truncated,
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Header is not valid JSON or has the wrong shape.
+    BadHeader(String),
+    /// The peer violated the message exchange (wrong opcode, bad chunk
+    /// accounting, version mismatch, ...).
+    Protocol(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire io error: {e}"),
+            WireError::Closed => f.write_str("connection closed"),
+            WireError::Oversized(n) => {
+                write!(f, "frame length {n} exceeds maximum {MAX_FRAME_LEN}")
+            }
+            WireError::Truncated => f.write_str("truncated frame"),
+            WireError::BadOpcode(b) => write!(f, "unknown opcode {b:#04x}"),
+            WireError::BadHeader(m) => write!(f, "bad frame header: {m}"),
+            WireError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Encodes a frame into a fresh buffer (length prefix included).
+pub fn encode_frame(frame: &Frame) -> Bytes {
+    let header = frame.header.to_json_string();
+    let body_len = 1 + 4 + header.len() + frame.payload.len();
+    let mut out = BytesMut::with_capacity(4 + body_len);
+    out.put_u32_le(body_len as u32);
+    out.put_u8(frame.opcode as u8);
+    out.put_u32_le(header.len() as u32);
+    out.put_slice(header.as_bytes());
+    out.put_slice(&frame.payload);
+    out.freeze()
+}
+
+/// Decodes one frame from a buffer, consuming exactly its bytes.
+///
+/// Fails with [`WireError::Truncated`] when the buffer holds less than the
+/// declared length and [`WireError::Oversized`] when the declared length
+/// exceeds [`MAX_FRAME_LEN`] (without consuming past the prefix).
+pub fn decode_frame(buf: &mut Bytes) -> Result<Frame, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let body_len = buf.get_u32_le() as usize;
+    if body_len > MAX_FRAME_LEN {
+        return Err(WireError::Oversized(body_len));
+    }
+    if body_len < 5 || buf.remaining() < body_len {
+        return Err(WireError::Truncated);
+    }
+    let mut body = buf.split_to(body_len);
+    let opcode = Opcode::try_from(body.get_u8())?;
+    let header_len = body.get_u32_le() as usize;
+    if body.remaining() < header_len {
+        return Err(WireError::Truncated);
+    }
+    let header_bytes = body.split_to(header_len);
+    let header_text = std::str::from_utf8(&header_bytes)
+        .map_err(|e| WireError::BadHeader(format!("header not UTF-8: {e}")))?;
+    let header =
+        Value::parse(header_text).map_err(|e| WireError::BadHeader(e.to_string()))?;
+    Ok(Frame { opcode, header, payload: body })
+}
+
+/// Writes one frame to a stream.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
+    w.write_all(&encode_frame(frame))?;
+    Ok(())
+}
+
+/// Reads one frame from a stream. Returns [`WireError::Closed`] on a clean
+/// EOF at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+            return Err(WireError::Closed)
+        }
+        Err(e) => return Err(WireError::Io(e)),
+    }
+    let body_len = u32::from_le_bytes(len_buf) as usize;
+    if body_len > MAX_FRAME_LEN {
+        return Err(WireError::Oversized(body_len));
+    }
+    if body_len < 5 {
+        return Err(WireError::Truncated);
+    }
+    let mut body = vec![0u8; body_len];
+    r.read_exact(&mut body).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e)
+        }
+    })?;
+    // Re-assemble a length-prefixed buffer for the shared decoder.
+    let mut framed = BytesMut::with_capacity(4 + body_len);
+    framed.put_u32_le(body_len as u32);
+    framed.put_slice(&body);
+    decode_frame(&mut framed.freeze())
+}
+
+/// Reads the string field `key` from a frame header.
+pub fn header_str<'a>(header: &'a Value, key: &str) -> Result<&'a str, WireError> {
+    header
+        .get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| WireError::BadHeader(format!("missing string field `{key}`")))
+}
+
+/// Reads the u64 field `key` from a frame header.
+pub fn header_u64(header: &Value, key: &str) -> Result<u64, WireError> {
+    header
+        .get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| WireError::BadHeader(format!("missing integer field `{key}`")))
+}
+
+/// Streams `blob` to `w` as `Chunk` frames of at most [`CHUNK_SIZE`] bytes.
+/// Empty blobs send no chunks (the announcement frame's `len: 0` says it all).
+pub fn write_chunks(w: &mut impl Write, blob: &[u8]) -> Result<(), WireError> {
+    for chunk in blob.chunks(CHUNK_SIZE) {
+        let frame = Frame::with_payload(
+            Opcode::Chunk,
+            serde_json::json!({}),
+            Bytes::copy_from_slice(chunk),
+        );
+        write_frame(w, &frame)?;
+    }
+    Ok(())
+}
+
+/// Reads an announced `len`-byte blob as `Chunk` frames into one allocation.
+pub fn read_chunks(r: &mut impl Read, len: u64) -> Result<Vec<u8>, WireError> {
+    if len > MAX_BLOB_LEN {
+        return Err(WireError::Protocol(format!(
+            "announced blob of {len} bytes exceeds maximum {MAX_BLOB_LEN}"
+        )));
+    }
+    let mut blob = Vec::with_capacity(len as usize);
+    while (blob.len() as u64) < len {
+        let frame = read_frame(r)?;
+        if frame.opcode != Opcode::Chunk {
+            return Err(WireError::Protocol(format!(
+                "expected chunk frame, got {}",
+                frame.opcode.name()
+            )));
+        }
+        if frame.payload.is_empty() {
+            return Err(WireError::Protocol("empty chunk frame".to_string()));
+        }
+        if blob.len() as u64 + frame.payload.len() as u64 > len {
+            return Err(WireError::Protocol("chunk overruns announced length".to_string()));
+        }
+        blob.extend_from_slice(&frame.payload);
+    }
+    Ok(blob)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn frame_round_trips() {
+        let frame = Frame::with_payload(
+            Opcode::FilePut,
+            json!({"len": 3, "meta": {"k": [1, 2]}}),
+            Bytes::copy_from_slice(b"abc"),
+        );
+        let mut encoded = encode_frame(&frame);
+        let decoded = decode_frame(&mut encoded).unwrap();
+        assert_eq!(decoded, frame);
+        assert!(!encoded.has_remaining());
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let frame = Frame::new(Opcode::Ping, json!({"version": 1}));
+        let encoded = encode_frame(&frame);
+        for cut in 0..encoded.len() {
+            let mut partial = encoded.slice(0..cut);
+            assert!(
+                decode_frame(&mut partial).is_err(),
+                "cut at {cut} of {} decoded anyway",
+                encoded.len()
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocation() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(u32::MAX);
+        buf.put_slice(&[0u8; 16]);
+        match decode_frame(&mut buf.freeze()) {
+            Err(WireError::Oversized(n)) => assert_eq!(n, u32::MAX as usize),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_is_rejected() {
+        let frame = Frame::new(Opcode::Ping, json!({}));
+        let encoded = encode_frame(&frame);
+        let mut bytes = encoded.to_vec();
+        bytes[4] = 0xEE; // the opcode byte, after the u32 length prefix
+        match decode_frame(&mut Bytes::from(bytes)) {
+            Err(WireError::BadOpcode(0xEE)) => {}
+            other => panic!("expected BadOpcode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chunked_blob_round_trips_over_a_stream() {
+        let blob: Vec<u8> = (0..200_000u32).map(|i| (i * 31 % 251) as u8).collect();
+        let mut wire = Vec::new();
+        write_chunks(&mut wire, &blob).unwrap();
+        // 200_000 bytes = 3 chunks of ≤ 64 KiB.
+        let mut reader = wire.as_slice();
+        let back = read_chunks(&mut reader, blob.len() as u64).unwrap();
+        assert_eq!(back, blob);
+        assert!(reader.is_empty());
+    }
+
+    #[test]
+    fn chunk_overrun_is_rejected() {
+        let mut wire = Vec::new();
+        write_chunks(&mut wire, &[7u8; 100]).unwrap();
+        let mut reader = wire.as_slice();
+        assert!(matches!(read_chunks(&mut reader, 50), Err(WireError::Protocol(_))));
+    }
+}

@@ -1,0 +1,432 @@
+//! The model-registry server: a TCP front-end over a [`ModelStorage`].
+//!
+//! The paper's deployment keeps all model data on a central server (a
+//! MongoDB plus a shared FS) that every node reads and writes over the
+//! cluster network (§4.1). [`RegistryServer`] is that component: it binds a
+//! `std::net::TcpListener`, accepts node connections, and serves the wire
+//! protocol of [`crate::protocol`] against a local store using a crossbeam
+//! worker-thread pool. Per-opcode request counts and byte counters are
+//! recorded so distributed experiments can report *measured* transfer
+//! volume instead of modeled volume.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mmlib_store::{DocId, FileId, ModelStorage, StoreError};
+use serde_json::{json, Value};
+
+use crate::protocol::{
+    header_str, header_u64, read_chunks, read_frame, write_chunks, write_frame, Frame, Opcode,
+    WireError, PROTOCOL_VERSION,
+};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads; one connection is handled per worker at a time, so
+    /// this also caps concurrent connections.
+    pub workers: usize,
+    /// Per-connection socket read timeout (None = block forever).
+    pub read_timeout: Option<Duration>,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 8,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Per-opcode request counts plus byte totals.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    requests: [AtomicU64; Opcode::ALL.len()],
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    connections: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Requests served for one opcode.
+    pub fn requests(&self, op: Opcode) -> u64 {
+        self.requests[op.index()].load(Ordering::Relaxed)
+    }
+
+    /// Requests served across all opcodes.
+    pub fn total_requests(&self) -> u64 {
+        self.requests.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total wire bytes received (frames in, chunks included).
+    pub fn bytes_in(&self) -> u64 {
+        self.bytes_in.load(Ordering::Relaxed)
+    }
+
+    /// Total wire bytes sent.
+    pub fn bytes_out(&self) -> u64 {
+        self.bytes_out.load(Ordering::Relaxed)
+    }
+
+    /// Connections accepted.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// JSON snapshot, as served by the `Stats` opcode.
+    pub fn snapshot(&self) -> Value {
+        let mut by_opcode = serde_json::Map::new();
+        for op in Opcode::ALL {
+            let n = self.requests(op);
+            if n > 0 {
+                by_opcode.insert(op.name().to_string(), json!(n));
+            }
+        }
+        json!({
+            "requests": Value::Object(by_opcode),
+            "total_requests": self.total_requests(),
+            "bytes_in": self.bytes_in(),
+            "bytes_out": self.bytes_out(),
+            "connections": self.connections(),
+        })
+    }
+
+    fn count(&self, op: Opcode) {
+        self.requests[op.index()].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A running registry server; shuts down on [`RegistryServer::shutdown`] or
+/// drop.
+pub struct RegistryServer {
+    addr: SocketAddr,
+    metrics: Arc<ServerMetrics>,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RegistryServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `storage` with the default config.
+    pub fn bind(storage: ModelStorage, addr: impl ToSocketAddrs) -> std::io::Result<RegistryServer> {
+        RegistryServer::bind_with_config(storage, addr, ServerConfig::default())
+    }
+
+    /// Binds with explicit tuning knobs.
+    pub fn bind_with_config(
+        storage: ModelStorage,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<RegistryServer> {
+        assert!(config.workers > 0, "server needs at least one worker");
+        let listener = TcpListener::bind(addr)?;
+        // The accept loop polls so the shutdown flag is honoured promptly.
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(ServerMetrics::default());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let thread = {
+            let metrics = Arc::clone(&metrics);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name(format!("mmlib-registry-{addr}"))
+                .spawn(move || serve(listener, storage, config, metrics, stop))?
+        };
+
+        Ok(RegistryServer { addr, metrics, stop, thread: Some(thread) })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live request/byte counters.
+    pub fn metrics(&self) -> &Arc<ServerMetrics> {
+        &self.metrics
+    }
+
+    /// Stops accepting, drains in-flight connections, joins all threads.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for RegistryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Accept loop + crossbeam-scoped worker pool.
+fn serve(
+    listener: TcpListener,
+    storage: ModelStorage,
+    config: ServerConfig,
+    metrics: Arc<ServerMetrics>,
+    stop: Arc<AtomicBool>,
+) {
+    crossbeam::scope(|s| {
+        let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
+        for _ in 0..config.workers {
+            let rx = rx.clone();
+            let storage = storage.clone();
+            let metrics = Arc::clone(&metrics);
+            let config = config.clone();
+            s.spawn(move |_| {
+                while let Ok(stream) = rx.recv() {
+                    metrics.connections.fetch_add(1, Ordering::Relaxed);
+                    // A failed connection must not take the worker down.
+                    let _ = handle_connection(stream, &storage, &config, &metrics);
+                }
+            });
+        }
+
+        while !stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => break,
+            }
+        }
+        drop(tx); // workers drain the queue, then their recv fails and they exit
+    })
+    .expect("registry worker panicked");
+}
+
+/// Serves one connection until the peer disconnects or errors.
+fn handle_connection(
+    stream: TcpStream,
+    storage: &ModelStorage,
+    config: &ServerConfig,
+    metrics: &ServerMetrics,
+) -> Result<(), WireError> {
+    stream.set_read_timeout(config.read_timeout)?;
+    stream.set_write_timeout(config.write_timeout)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(frame) => frame,
+            Err(WireError::Closed) => return Ok(()),
+            // Idle timeout between requests: close silently — writing an
+            // error frame would later read back as a stale reply.
+            Err(WireError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Ok(())
+            }
+            Err(e) => return Err(e),
+        };
+        metrics.count(frame.opcode);
+        match respond(&frame, &mut reader, &mut writer, storage, metrics) {
+            Ok(()) => writer.flush()?,
+            Err(e) => {
+                // Try to tell the peer before giving up on the connection.
+                let _ = send_counted(&mut writer, metrics, &err_frame("protocol", &e.to_string()));
+                let _ = writer.flush();
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// Handles one request frame, writing the response (and any chunks).
+fn respond(
+    frame: &Frame,
+    reader: &mut impl std::io::Read,
+    writer: &mut (impl Write + Sized),
+    storage: &ModelStorage,
+    metrics: &ServerMetrics,
+) -> Result<(), WireError> {
+    metrics.bytes_in.fetch_add(wire_size(frame), Ordering::Relaxed);
+    match frame.opcode {
+        Opcode::Ping => {
+            let version = header_u64(&frame.header, "version")?;
+            if version as u32 != PROTOCOL_VERSION {
+                let reply = err_frame(
+                    "version_mismatch",
+                    &format!("server speaks version {PROTOCOL_VERSION}, client sent {version}"),
+                );
+                return send_counted(writer, metrics, &reply);
+            }
+            send_counted(writer, metrics, &ok_frame(json!({"version": PROTOCOL_VERSION})))
+        }
+        Opcode::DocInsert => {
+            let kind = header_str(&frame.header, "kind")?;
+            let body = frame
+                .header
+                .get("body")
+                .cloned()
+                .ok_or_else(|| WireError::BadHeader("missing `body`".to_string()))?;
+            let reply = match storage.insert_doc(kind, body) {
+                Ok(id) => ok_frame(json!({"id": id.as_str()})),
+                Err(e) => store_err_frame(&e),
+            };
+            send_counted(writer, metrics, &reply)
+        }
+        Opcode::DocGet => {
+            let id = DocId::from_string(header_str(&frame.header, "id")?.to_string());
+            let reply = match storage.get_doc(&id) {
+                Ok(doc) => ok_frame(json!({
+                    "id": doc.id.as_str(),
+                    "kind": doc.kind,
+                    "body": doc.body,
+                })),
+                Err(e) => store_err_frame(&e),
+            };
+            send_counted(writer, metrics, &reply)
+        }
+        Opcode::DocUpdate => {
+            let id = DocId::from_string(header_str(&frame.header, "id")?.to_string());
+            let body = frame
+                .header
+                .get("body")
+                .cloned()
+                .ok_or_else(|| WireError::BadHeader("missing `body`".to_string()))?;
+            // Reply with the document's kind so clients can account the new
+            // stored size without an extra round trip.
+            let reply = match storage
+                .get_doc(&id)
+                .and_then(|doc| storage.docs().update(&id, body).map(|()| doc.kind))
+            {
+                Ok(kind) => ok_frame(json!({"kind": kind})),
+                Err(e) => store_err_frame(&e),
+            };
+            send_counted(writer, metrics, &reply)
+        }
+        Opcode::DocContains => {
+            let id = DocId::from_string(header_str(&frame.header, "id")?.to_string());
+            let present = storage.docs().contains(&id);
+            send_counted(writer, metrics, &ok_frame(json!({"present": present})))
+        }
+        Opcode::DocRemove => {
+            let id = DocId::from_string(header_str(&frame.header, "id")?.to_string());
+            let reply = match storage.docs().remove(&id) {
+                Ok(()) => ok_frame(json!({})),
+                Err(e) => store_err_frame(&e),
+            };
+            send_counted(writer, metrics, &reply)
+        }
+        Opcode::DocIds => {
+            let reply = match storage.docs().ids() {
+                Ok(ids) => {
+                    let ids: Vec<Value> =
+                        ids.iter().map(|id| Value::String(id.as_str().to_string())).collect();
+                    ok_frame(json!({"ids": Value::Array(ids)}))
+                }
+                Err(e) => store_err_frame(&e),
+            };
+            send_counted(writer, metrics, &reply)
+        }
+        Opcode::FilePut => {
+            let len = header_u64(&frame.header, "len")?;
+            let blob = read_chunks(reader, len)?;
+            metrics.bytes_in.fetch_add(blob.len() as u64, Ordering::Relaxed);
+            let reply = match storage.put_file(&blob) {
+                Ok(id) => ok_frame(json!({"id": id.as_str()})),
+                Err(e) => store_err_frame(&e),
+            };
+            send_counted(writer, metrics, &reply)
+        }
+        Opcode::FileGet => {
+            let id = FileId::from_string(header_str(&frame.header, "id")?.to_string());
+            match storage.get_file(&id) {
+                Ok(blob) => {
+                    send_counted(writer, metrics, &ok_frame(json!({"len": blob.len() as u64})))?;
+                    metrics.bytes_out.fetch_add(blob.len() as u64, Ordering::Relaxed);
+                    write_chunks(writer, &blob)
+                }
+                Err(e) => send_counted(writer, metrics, &store_err_frame(&e)),
+            }
+        }
+        Opcode::FileSize => {
+            let id = FileId::from_string(header_str(&frame.header, "id")?.to_string());
+            let reply = match storage.files().size(&id) {
+                Ok(size) => ok_frame(json!({"len": size})),
+                Err(e) => store_err_frame(&e),
+            };
+            send_counted(writer, metrics, &reply)
+        }
+        Opcode::FileContains => {
+            let id = FileId::from_string(header_str(&frame.header, "id")?.to_string());
+            let present = storage.files().contains(&id);
+            send_counted(writer, metrics, &ok_frame(json!({"present": present})))
+        }
+        Opcode::FileRemove => {
+            let id = FileId::from_string(header_str(&frame.header, "id")?.to_string());
+            let reply = match storage.files().remove(&id) {
+                Ok(()) => ok_frame(json!({})),
+                Err(e) => store_err_frame(&e),
+            };
+            send_counted(writer, metrics, &reply)
+        }
+        Opcode::Stats => send_counted(writer, metrics, &ok_frame(metrics.snapshot())),
+        Opcode::Ok | Opcode::Err | Opcode::Chunk => Err(WireError::Protocol(format!(
+            "{} is not a request opcode",
+            frame.opcode.name()
+        ))),
+    }
+}
+
+fn ok_frame(result: Value) -> Frame {
+    Frame::new(Opcode::Ok, result)
+}
+
+fn err_frame(code: &str, message: &str) -> Frame {
+    Frame::new(Opcode::Err, json!({"code": code, "message": message}))
+}
+
+/// Maps a [`StoreError`] onto the wire so clients can reconstruct it.
+fn store_err_frame(e: &StoreError) -> Frame {
+    match e {
+        StoreError::MissingDocument(id) => Frame::new(
+            Opcode::Err,
+            json!({"code": "missing_document", "message": e.to_string(), "id": id.as_str()}),
+        ),
+        StoreError::MissingFile(id) => Frame::new(
+            Opcode::Err,
+            json!({"code": "missing_file", "message": e.to_string(), "id": id.as_str()}),
+        ),
+        StoreError::Io(_) => err_frame("io", &e.to_string()),
+        StoreError::Json(_) => err_frame("json", &e.to_string()),
+        StoreError::Malformed(_) => err_frame("malformed", &e.to_string()),
+        StoreError::Remote(_) => err_frame("remote", &e.to_string()),
+    }
+}
+
+/// Sends a frame, adding its wire size to the outbound byte counter.
+fn send_counted(
+    writer: &mut impl Write,
+    metrics: &ServerMetrics,
+    frame: &Frame,
+) -> Result<(), WireError> {
+    metrics.bytes_out.fetch_add(wire_size(frame), Ordering::Relaxed);
+    write_frame(writer, frame)
+}
+
+/// Approximate on-wire size of a frame (exact for frames we build).
+fn wire_size(frame: &Frame) -> u64 {
+    4 + 1 + 4 + frame.header.to_json_string().len() as u64 + frame.payload.len() as u64
+}

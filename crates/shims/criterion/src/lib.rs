@@ -1,0 +1,181 @@
+//! In-repo shim of the `criterion` benchmarking API surface this workspace
+//! uses.
+//!
+//! Provides the same bench-definition macros and group/bencher types, with a
+//! plain timing loop instead of criterion's statistical engine: each bench
+//! runs `sample_size` timed iterations (after one warm-up) and prints the
+//! mean wall-clock time, plus throughput when configured. Under `cargo test`
+//! (which invokes bench binaries with `--test`) each bench body runs exactly
+//! once so the suite stays fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to bench functions.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo runs `harness = false` bench targets with `--test` during
+        // `cargo test`; real criterion detects this flag the same way.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            test_mode: self.test_mode,
+        }
+    }
+}
+
+/// Throughput metadata printed alongside timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Identifies one bench within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> BenchmarkId {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+/// A named group of related benches.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed iterations each bench runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn run(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let samples = if self.test_mode { 1 } else { self.sample_size };
+        let mut bencher = Bencher { samples, test_mode: self.test_mode, total: Duration::ZERO, iters: 0 };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {}/{id} ... ok", self.name);
+            return;
+        }
+        let mean = if bencher.iters > 0 {
+            bencher.total / bencher.iters as u32
+        } else {
+            Duration::ZERO
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                format!("  {:>10.1} MiB/s", n as f64 / mean.as_secs_f64() / (1 << 20) as f64)
+            }
+            Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                format!("  {:>10.1} Kelem/s", n as f64 / mean.as_secs_f64() / 1e3)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{id}: {mean:>12.2?}/iter ({} iters){rate}", self.name, bencher.iters);
+    }
+}
+
+/// Runs and times the measured closure.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if !self.test_mode {
+            black_box(f()); // warm-up, untimed
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Bundles bench functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

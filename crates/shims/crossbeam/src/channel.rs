@@ -1,0 +1,84 @@
+//! Multi-producer multi-consumer channels (crossbeam's `channel` module),
+//! mapped onto `std::sync::mpsc` with a mutex-shared receiver so multiple
+//! workers can `recv` from one queue.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+pub use std::sync::mpsc::{RecvError, SendError};
+
+/// The sending half; clone freely across producers.
+pub struct Sender<T> {
+    inner: mpsc::Sender<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender { inner: self.inner.clone() }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends a value; fails only when every receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.inner.send(value)
+    }
+}
+
+/// The receiving half; clone freely across consumers (each value is
+/// delivered to exactly one of them).
+pub struct Receiver<T> {
+    inner: Arc<Mutex<mpsc::Receiver<T>>>,
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks for the next value; fails when every sender is gone and the
+    /// queue is drained.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).recv()
+    }
+}
+
+/// Creates an unbounded mpmc channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender { inner: tx }, Receiver { inner: Arc::new(Mutex::new(rx)) })
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn values_fan_out_across_consumers() {
+        let (tx, rx) = super::unbounded::<u32>();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let seen = crate::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move |_| {
+                        let mut got = Vec::new();
+                        while let Ok(v) = rx.recv() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            let mut all: Vec<u32> =
+                handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+            all.sort_unstable();
+            all
+        })
+        .unwrap();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+}

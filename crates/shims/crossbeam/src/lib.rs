@@ -1,0 +1,89 @@
+//! In-repo shim of `crossbeam::scope` over `std::thread::scope`.
+//!
+//! The build environment has no crate registry, so this shim maps the
+//! crossbeam scoped-thread API the workspace uses onto the std scoped
+//! threads stabilized in Rust 1.63. Differences from real crossbeam:
+//! `std::thread::scope` re-panics when an unjoined spawned thread panicked,
+//! so `scope` only returns `Err` for panics of threads the caller already
+//! joined and discarded — every call site here unwraps the result either
+//! way.
+
+use std::any::Any;
+
+pub mod channel;
+
+/// A scope handle passed to [`scope`]'s closure and to spawned threads.
+///
+/// Wraps `std::thread::Scope`; `Copy` so `move` closures can capture it.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+/// Handle to a spawned scoped thread (crossbeam's `ScopedJoinHandle`).
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its result or its panic
+    /// payload.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread inside the scope. As in crossbeam, the closure
+    /// receives the scope so it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+    }
+}
+
+/// Creates a scope in which threads borrowing local data can be spawned;
+/// all spawned threads are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawns_and_joins_with_borrowed_data() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::scope(|s| {
+            let handles: Vec<_> =
+                data.iter().map(|&x| s.spawn(move |_| x * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = crate::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7u32).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 7);
+    }
+}

@@ -1,0 +1,199 @@
+//! In-repo shim of the `proptest` API surface this workspace uses.
+//!
+//! Provides deterministic property testing without shrinking: each
+//! `proptest!` test runs `ProptestConfig::cases` iterations with inputs
+//! drawn from a PRNG seeded from the test's module path, name, and case
+//! index, so failures are reproducible run-to-run. `prop_assert*` macros
+//! panic (rather than returning `Err` as real proptest does) — equivalent
+//! behaviour for `#[test]` functions.
+//!
+//! Supported strategies: `any::<T>()` for integer/bool/`Index` types,
+//! integer and float ranges, tuples (up to 6), `prop::collection::vec`,
+//! `prop_map`, and string literals as a small regex subset (character
+//! classes, literals, `\.` escapes, groups, and `{m,n}` repetition — enough
+//! for patterns like `"[a-z]{1,12}(\\.[a-z]{1,8}){0,2}"`).
+
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, Strategy, TestRng};
+
+/// Run-count configuration (`cases` is the only knob this shim honours).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+    /// Shrink-iteration cap. Accepted for source compatibility with real
+    /// proptest (and so `..ProptestConfig::default()` struct updates have
+    /// fields to fill); the shim does not shrink, so it is never consulted.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256 cases; the workspace's property
+        // tests are compute-heavy (training steps, SHA-256 trees), so the
+        // shim's default is smaller. Tests that need a specific count set
+        // it via `#![proptest_config(...)]`.
+        ProptestConfig { cases: 32, max_shrink_iters: 1024 }
+    }
+}
+
+/// The `proptest::prelude` equivalent: everything the tests import.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// The `proptest::prop` module namespace (`prop::collection`, `prop::sample`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s with lengths drawn from `len` and elements
+        /// from `element`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// Generates vectors of `element` values with a length in `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "empty length range for vec strategy");
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = rng.range_usize(self.len.start, self.len.end);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling helpers.
+    pub mod sample {
+        use crate::strategy::{Arbitrary, TestRng};
+
+        /// An index into a collection whose size is unknown at generation
+        /// time; resolved against a length via [`Index::index`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct Index(u64);
+
+        impl Index {
+            /// Maps this sample onto `0..len`. Panics if `len == 0`, as in
+            /// proptest.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on empty collection");
+                (self.0 % len as u64) as usize
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut TestRng) -> Index {
+                Index(rng.next_u64())
+            }
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u8, bool)> {
+        (0u8..10, any::<bool>()).prop_map(|(n, b)| (n, b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..9, x in -4.0f32..4.0, p in arb_pair()) {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!((-4.0..4.0).contains(&x));
+            prop_assert!(p.0 < 10);
+        }
+
+        #[test]
+        fn vec_lengths_honoured(v in prop::collection::vec(any::<u64>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn regex_subset_shapes(s in "[a-z]{1,12}(\\.[a-z]{1,8}){0,2}", idx in any::<prop::sample::Index>()) {
+            let parts: Vec<&str> = s.split('.').collect();
+            prop_assert!(!parts.is_empty() && parts.len() <= 3);
+            for p in &parts {
+                prop_assert!(!p.is_empty() && p.chars().all(|c| c.is_ascii_lowercase()));
+            }
+            prop_assert!(idx.index(7) < 7);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = prop::collection::vec(0u32..1000, 1..10);
+        let a: Vec<u32> = strat.generate(&mut crate::TestRng::for_case("t", 3));
+        let b: Vec<u32> = strat.generate(&mut crate::TestRng::for_case("t", 3));
+        assert_eq!(a, b);
+    }
+}

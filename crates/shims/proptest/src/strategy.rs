@@ -1,0 +1,344 @@
+//! Strategies and the deterministic test PRNG.
+
+use std::marker::PhantomData;
+
+// ---------------------------------------------------------------------------
+// PRNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic PRNG (splitmix64) seeded from the test name and case index.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator for one case of one named test.
+    pub fn for_case(test_name: &str, case: u32) -> TestRng {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h ^ ((case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)) }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        // splitmix64 step.
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform u64 in `[lo, hi)`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Uniform i64 in `[lo, hi)`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range");
+        let span = hi.wrapping_sub(lo) as u64;
+        lo.wrapping_add((self.next_u64() % span) as i64)
+    }
+
+    /// Uniform usize in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.next_f64() * (hi - lo)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// The full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! range_uint_strategy {
+    ($($t:ty => $via:ident),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.$via(self.start as _, self.end as _) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                if end == <$t>::MAX {
+                    // Avoid end+1 overflow: split off the MAX endpoint.
+                    if start == end || rng.next_u64() % 64 == 0 {
+                        return end;
+                    }
+                    return rng.$via(start as _, end as _) as $t;
+                }
+                rng.$via(start as _, (end + 1) as _) as $t
+            }
+        }
+    )*};
+}
+range_uint_strategy!(u8 => range_u64, u16 => range_u64, u32 => range_u64, u64 => range_u64, usize => range_u64);
+range_uint_strategy!(i8 => range_i64, i16 => range_i64, i32 => range_i64, i64 => range_i64, isize => range_i64);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.range_f64(self.start, self.end)
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        rng.range_f64(self.start as f64, self.end as f64) as f32
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuple strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!(
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F),
+);
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategy
+// ---------------------------------------------------------------------------
+
+/// One parsed pattern element with its repetition bounds.
+enum Atom {
+    /// Set of candidate characters (from `[a-z0-9_]`-style classes).
+    Class(Vec<char>),
+    /// A literal character (possibly from a `\x` escape).
+    Literal(char),
+    /// A `(...)` group of atoms.
+    Group(Vec<(Atom, u32, u32)>),
+}
+
+/// String literals act as strategies generating matches of a small regex
+/// subset: literals, `\`-escapes, `[a-z0-9]` classes, `(...)` groups, and
+/// `{m}`/`{m,n}` repetition.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(&mut self.chars().peekable(), self);
+        let mut out = String::new();
+        emit_atoms(&atoms, rng, &mut out);
+        out
+    }
+}
+
+fn parse_pattern(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> Vec<(Atom, u32, u32)> {
+    let mut atoms = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if c == ')' {
+            break;
+        }
+        chars.next();
+        let atom = match c {
+            '[' => Atom::Class(parse_class(chars, pattern)),
+            '(' => {
+                let inner = parse_pattern(chars, pattern);
+                match chars.next() {
+                    Some(')') => Atom::Group(inner),
+                    _ => panic!("unclosed group in pattern {pattern:?}"),
+                }
+            }
+            '\\' => Atom::Literal(
+                chars.next().unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}")),
+            ),
+            other => Atom::Literal(other),
+        };
+        let (min, max) = parse_repetition(chars, pattern);
+        atoms.push((atom, min, max));
+    }
+    atoms
+}
+
+fn parse_class(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> Vec<char> {
+    let mut set = Vec::new();
+    loop {
+        match chars.next() {
+            Some(']') => break,
+            Some(lo) => {
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    let hi = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling range in pattern {pattern:?}"));
+                    set.extend(lo..=hi);
+                } else {
+                    set.push(lo);
+                }
+            }
+            None => panic!("unclosed character class in pattern {pattern:?}"),
+        }
+    }
+    assert!(!set.is_empty(), "empty character class in pattern {pattern:?}");
+    set
+}
+
+/// Parses an optional `{m}` / `{m,n}` suffix; defaults to exactly once.
+fn parse_repetition(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (u32, u32) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    loop {
+        match chars.next() {
+            Some('}') => break,
+            Some(c) => spec.push(c),
+            None => panic!("unclosed repetition in pattern {pattern:?}"),
+        }
+    }
+    let parse = |s: &str| -> u32 {
+        s.trim().parse().unwrap_or_else(|_| panic!("bad repetition {spec:?} in {pattern:?}"))
+    };
+    match spec.split_once(',') {
+        Some((m, n)) => (parse(m), parse(n)),
+        None => (parse(&spec), parse(&spec)),
+    }
+}
+
+fn emit_atoms(atoms: &[(Atom, u32, u32)], rng: &mut TestRng, out: &mut String) {
+    for (atom, min, max) in atoms {
+        let reps = if min == max { *min } else { rng.range_u64(*min as u64, *max as u64 + 1) as u32 };
+        for _ in 0..reps {
+            match atom {
+                Atom::Class(set) => {
+                    out.push(set[rng.range_usize(0, set.len())]);
+                }
+                Atom::Literal(c) => out.push(*c),
+                Atom::Group(inner) => emit_atoms(inner, rng, out),
+            }
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! In-repo placeholder for the `rand` crate.
+//!
+//! The workspace deliberately uses its own `Pcg32` (see
+//! `crates/tensor/src/prng.rs`) for reproducibility, so no `rand` API is
+//! actually called; this empty shim only satisfies the declared dependency
+//! in an environment with no crate registry.

@@ -1,0 +1,29 @@
+//! Deserialization errors.
+//!
+//! In real serde, `de::Error` is a trait; this shim provides a single
+//! concrete error type with the same `custom` constructor call-shape, which
+//! `serde_json` re-exports as its error type.
+
+use std::fmt;
+
+/// A (de)serialization error: a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from any displayable message (serde's
+    /// `de::Error::custom`).
+    pub fn custom<T: fmt::Display>(msg: T) -> Error {
+        Error { msg: msg.to_string() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}

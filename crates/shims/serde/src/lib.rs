@@ -1,0 +1,360 @@
+//! In-repo shim of the `serde` API surface this workspace uses.
+//!
+//! The build environment has no network access to a crate registry, so the
+//! real serde cannot be vendored. This shim keeps source code that says
+//! `use serde::{Serialize, Deserialize}` + `#[derive(Serialize, Deserialize)]`
+//! compiling and behaving like serde-with-serde_json does for every shape the
+//! workspace serializes, with one simplification: the data model is
+//! JSON-only. [`Serialize`] converts a value into a [`Value`] tree and
+//! [`Deserialize`] reads one back, instead of streaming through generic
+//! `Serializer`/`Deserializer` visitors.
+//!
+//! Supported serde behaviours (used by this workspace and mirrored here):
+//! * structs with named fields → JSON objects; missing `Option` fields
+//!   deserialize to `None`; `#[serde(default)]`; `#[serde(skip_serializing_if
+//!   = "path")]`.
+//! * single-field tuple structs (newtypes) → transparent.
+//! * unit-only and data-carrying enums, externally tagged by default,
+//!   `#[serde(tag = "...")]` internally tagged, `#[serde(rename_all =
+//!   "snake_case")]`.
+//! * JSON numbers preserve the u64/i64/f64 distinction, so `u64` seeds and
+//!   PRNG state round-trip exactly; non-finite floats serialize to `null`
+//!   exactly like serde_json.
+
+pub mod de;
+pub mod value;
+
+pub use serde_derive::{Deserialize as DeriveDeserialize, Serialize as DeriveSerialize};
+pub use value::{Map, Number, Value};
+
+/// The derive macro for [`Serialize`] (same name as the trait, as in serde).
+pub use serde_derive::Serialize;
+
+/// A value that can be converted into a JSON [`Value`].
+pub trait Serialize {
+    /// Converts `self` to a JSON value.
+    fn to_value(&self) -> Value;
+}
+
+/// The derive macro for [`Deserialize`] (same name as the trait, as in serde).
+pub use serde_derive::Deserialize;
+
+/// A value that can be reconstructed from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Reads `Self` back out of a JSON value.
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for primitives and std containers.
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::from_u64(v as u64))
+                } else {
+                    Value::Number(Number::from_i64(v))
+                }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Number(Number::from_f64(*self))
+        } else {
+            // serde_json serializes non-finite floats as null.
+            Value::Null
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        (*self as f64).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )+};
+}
+ser_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+);
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), v.to_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        let mut m = Map::new();
+        for k in keys {
+            m.insert(k.clone(), self[k].to_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        // serde's representation: {"secs": u64, "nanos": u32}.
+        let mut m = Map::new();
+        m.insert("secs".to_string(), self.as_secs().to_value());
+        m.insert("nanos".to_string(), self.subsec_nanos().to_value());
+        Value::Object(m)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls.
+// ---------------------------------------------------------------------------
+
+fn type_err(expected: &str, got: &Value) -> de::Error {
+    de::Error::custom(format!("expected {expected}, got {}", got.kind_name()))
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let n = v.as_u64().ok_or_else(|| type_err(stringify!($t), v))?;
+                <$t>::try_from(n)
+                    .map_err(|_| de::Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let n = v.as_i64().ok_or_else(|| type_err(stringify!($t), v))?;
+                <$t>::try_from(n)
+                    .map_err(|_| de::Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_f64().ok_or_else(|| type_err("f64", v))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(f64::from_value(v)? as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_bool().ok_or_else(|| type_err("bool", v))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_str().map(str::to_string).ok_or_else(|| type_err("string", v))
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let s = v.as_str().ok_or_else(|| type_err("char", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(de::Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let arr = v.as_array().ok_or_else(|| type_err("array", v))?;
+        arr.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(Box::new(T::from_value(v)?))
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let arr = v.as_array().ok_or_else(|| type_err("tuple array", v))?;
+                if arr.len() != $len {
+                    return Err(de::Error::custom(format!(
+                        "expected array of length {}, got {}", $len, arr.len()
+                    )));
+                }
+                Ok(($($t::from_value(&arr[$n])?,)+))
+            }
+        }
+    )+};
+}
+de_tuple!(
+    (1; 0 A),
+    (2; 0 A, 1 B),
+    (3; 0 A, 1 B, 2 C),
+    (4; 0 A, 1 B, 2 C, 3 D),
+);
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let obj = v.as_object().ok_or_else(|| type_err("object", v))?;
+        obj.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let obj = v.as_object().ok_or_else(|| type_err("object", v))?;
+        obj.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let obj = v.as_object().ok_or_else(|| type_err("duration object", v))?;
+        let secs = obj
+            .get("secs")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| de::Error::custom("duration missing `secs`"))?;
+        let nanos = obj
+            .get("nanos")
+            .and_then(Value::as_u64)
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| de::Error::custom("duration missing `nanos`"))?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}

@@ -1,0 +1,603 @@
+//! In-repo shim of serde's `#[derive(Serialize, Deserialize)]`.
+//!
+//! The build environment has no crate registry, so `syn`/`quote` are
+//! unavailable; this macro parses the item's token stream by hand. It
+//! supports exactly the shapes this workspace derives on:
+//!
+//! * structs with named fields, with the field attributes `#[serde(default)]`
+//!   and `#[serde(skip_serializing_if = "path")]`;
+//! * single-field tuple structs (newtypes), serialized transparently;
+//! * enums with unit, newtype, and struct variants, externally tagged by
+//!   default, with the container attributes `#[serde(rename_all =
+//!   "snake_case")]` and `#[serde(tag = "...")]` (internal tagging).
+//!
+//! Generics are not supported (nothing in the workspace derives on a generic
+//! type); the macro panics with a clear message if it meets one.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim `serde::Serialize` (JSON-value-based).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives the shim `serde::Deserialize` (JSON-value-based).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    rename_all: Option<String>,
+    tag: Option<String>,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    /// Named-field struct.
+    Struct(Vec<Field>),
+    /// Single-field tuple struct; the string is the inner type.
+    Newtype(String),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    ty: String,
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    /// Single-field tuple variant; the string is the inner type.
+    Newtype(String),
+    Struct(Vec<Field>),
+}
+
+/// Attributes collected from `#[serde(...)]` lists.
+#[derive(Default)]
+struct SerdeAttrs {
+    rename_all: Option<String>,
+    tag: Option<String>,
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    let attrs = parse_attrs(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic type `{name}`");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let types = parse_tuple_types(g.stream());
+                if types.len() != 1 {
+                    panic!(
+                        "serde shim derive supports only single-field tuple structs; \
+                         `{name}` has {} fields",
+                        types.len()
+                    );
+                }
+                ItemKind::Newtype(types.into_iter().next().expect("one tuple field"))
+            }
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde shim derive supports structs and enums, got `{other}`"),
+    };
+
+    Item { name, rename_all: attrs.rename_all, tag: attrs.tag, kind }
+}
+
+/// Parses leading `#[...]` attributes, returning any serde attrs found.
+fn parse_attrs(tokens: &[TokenTree], pos: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *pos += 1;
+        let Some(TokenTree::Group(g)) = tokens.get(*pos) else {
+            panic!("expected attribute group after `#`");
+        };
+        parse_attr_group(g.stream(), &mut attrs);
+        *pos += 1;
+    }
+    attrs
+}
+
+fn parse_attr_group(stream: TokenStream, attrs: &mut SerdeAttrs) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(name)) if name.to_string() == "serde" => {}
+        _ => return, // not a serde attribute (doc comment, derive, ...)
+    }
+    let Some(TokenTree::Group(list)) = tokens.get(1) else {
+        return;
+    };
+    let items: Vec<TokenTree> = list.stream().into_iter().collect();
+    let mut i = 0;
+    while i < items.len() {
+        let TokenTree::Ident(key) = &items[i] else {
+            panic!("unsupported serde attribute syntax: {:?}", items[i]);
+        };
+        let key = key.to_string();
+        let value = match items.get(i + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                let Some(TokenTree::Literal(lit)) = items.get(i + 2) else {
+                    panic!("expected string literal after `{key} =`");
+                };
+                i += 3;
+                Some(strip_quotes(&lit.to_string()))
+            }
+            _ => {
+                i += 1;
+                None
+            }
+        };
+        // Skip a separating comma.
+        if matches!(items.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        match (key.as_str(), value) {
+            ("rename_all", Some(v)) => attrs.rename_all = Some(v),
+            ("tag", Some(v)) => attrs.tag = Some(v),
+            ("default", None) => attrs.default = true,
+            ("skip_serializing_if", Some(v)) => attrs.skip_serializing_if = Some(v),
+            (other, _) => panic!("unsupported serde attribute `{other}` in shim derive"),
+        }
+    }
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        // pub(crate), pub(super), ...
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            i.to_string()
+        }
+        other => panic!("expected identifier, got {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` named fields (with optional attrs/visibility).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let attrs = parse_attrs(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        let ty = take_type(&tokens, &mut pos);
+        fields.push(Field {
+            name,
+            ty,
+            default: attrs.default,
+            skip_serializing_if: attrs.skip_serializing_if,
+        });
+        // Skip the trailing comma.
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Collects type tokens up to a top-level `,` (tracking `<...>` nesting).
+fn take_type(tokens: &[TokenTree], pos: &mut usize) -> String {
+    let mut depth = 0usize;
+    let mut parts: Vec<TokenTree> = Vec::new();
+    while let Some(tok) = tokens.get(*pos) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+        parts.push(tok.clone());
+        *pos += 1;
+    }
+    // Render through TokenStream's Display so joint punctuation (`::`) stays
+    // intact instead of degrading to `: :`.
+    parts.into_iter().collect::<TokenStream>().to_string()
+}
+
+/// Parses tuple-struct/variant field types `(Type, Type)`.
+fn parse_tuple_types(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut types = Vec::new();
+    while pos < tokens.len() {
+        let mut scratch = pos;
+        let _ = parse_attrs(&tokens, &mut scratch);
+        pos = scratch;
+        skip_visibility(&tokens, &mut pos);
+        let ty = take_type(&tokens, &mut pos);
+        if !ty.is_empty() {
+            types.push(ty);
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    types
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        let _attrs = parse_attrs(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos);
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                let types = parse_tuple_types(g.stream());
+                if types.len() != 1 {
+                    panic!(
+                        "serde shim derive supports only single-field tuple variants; \
+                         `{name}` has {} fields",
+                        types.len()
+                    );
+                }
+                VariantShape::Newtype(types.into_iter().next().expect("one variant field"))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// Applies `rename_all` to a variant name (only snake_case is used/supported).
+fn rename_variant(name: &str, rename_all: Option<&str>) -> String {
+    match rename_all {
+        None => name.to_string(),
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, c) in name.chars().enumerate() {
+                if c.is_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.extend(c.to_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        Some(other) => panic!("unsupported rename_all rule `{other}` in shim derive"),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut b = String::from("let mut __map = ::serde::value::Map::new();\n");
+            for f in fields {
+                let insert = format!(
+                    "__map.insert({:?}.to_string(), ::serde::Serialize::to_value(&self.{}));\n",
+                    f.name, f.name
+                );
+                if let Some(skip_if) = &f.skip_serializing_if {
+                    b.push_str(&format!("if !{skip_if}(&self.{}) {{ {insert} }}\n", f.name));
+                } else {
+                    b.push_str(&insert);
+                }
+            }
+            b.push_str("::serde::Value::Object(__map)");
+            b
+        }
+        ItemKind::Newtype(_) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let wire = rename_variant(&v.name, item.rename_all.as_deref());
+                match (&v.shape, &item.tag) {
+                    (VariantShape::Unit, None) => {
+                        arms.push_str(&format!(
+                            "{name}::{} => ::serde::Value::String({wire:?}.to_string()),\n",
+                            v.name
+                        ));
+                    }
+                    (VariantShape::Unit, Some(tag)) => {
+                        arms.push_str(&format!(
+                            "{name}::{} => {{\n\
+                             let mut __map = ::serde::value::Map::new();\n\
+                             __map.insert({tag:?}.to_string(), ::serde::Value::String({wire:?}.to_string()));\n\
+                             ::serde::Value::Object(__map)\n\
+                             }}\n",
+                            v.name
+                        ));
+                    }
+                    (VariantShape::Newtype(_), None) => {
+                        arms.push_str(&format!(
+                            "{name}::{}(__inner) => {{\n\
+                             let mut __map = ::serde::value::Map::new();\n\
+                             __map.insert({wire:?}.to_string(), ::serde::Serialize::to_value(__inner));\n\
+                             ::serde::Value::Object(__map)\n\
+                             }}\n",
+                            v.name
+                        ));
+                    }
+                    (VariantShape::Newtype(_), Some(tag)) => {
+                        // Internally tagged: the inner value must be an
+                        // object; the tag is prepended (as serde does).
+                        arms.push_str(&format!(
+                            "{name}::{}(__inner) => {{\n\
+                             let __inner_v = ::serde::Serialize::to_value(__inner);\n\
+                             let mut __map = ::serde::value::Map::new();\n\
+                             __map.insert({tag:?}.to_string(), ::serde::Value::String({wire:?}.to_string()));\n\
+                             match __inner_v {{\n\
+                                 ::serde::Value::Object(__inner_map) => {{\n\
+                                     for (__k, __v) in &__inner_map {{ __map.insert(__k.clone(), __v.clone()); }}\n\
+                                 }}\n\
+                                 __other => panic!(\"internally tagged variant must serialize to an object, got {{}}\", __other.kind_name()),\n\
+                             }}\n\
+                             ::serde::Value::Object(__map)\n\
+                             }}\n",
+                            v.name
+                        ));
+                    }
+                    (VariantShape::Struct(fields), tag) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner =
+                            String::from("let mut __fields = ::serde::value::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__fields.insert({:?}.to_string(), ::serde::Serialize::to_value({}));\n",
+                                f.name, f.name
+                            ));
+                        }
+                        let wrap = match tag {
+                            None => format!(
+                                "let mut __map = ::serde::value::Map::new();\n\
+                                 __map.insert({wire:?}.to_string(), ::serde::Value::Object(__fields));\n\
+                                 ::serde::Value::Object(__map)"
+                            ),
+                            Some(tag) => format!(
+                                "let mut __map = ::serde::value::Map::new();\n\
+                                 __map.insert({tag:?}.to_string(), ::serde::Value::String({wire:?}.to_string()));\n\
+                                 for (__k, __v) in &__fields {{ __map.insert(__k.clone(), __v.clone()); }}\n\
+                                 ::serde::Value::Object(__map)"
+                            ),
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{} {{ {} }} => {{\n{inner}{wrap}\n}}\n",
+                            v.name,
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// Generates the expression deserializing one struct field from `__obj`.
+fn field_expr(owner: &str, f: &Field) -> String {
+    let missing = if f.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        // `Option` fields yield `None` from Null (serde's behaviour for
+        // missing Option fields); everything else reports a missing field.
+        format!(
+            "<{} as ::serde::Deserialize>::from_value(&::serde::Value::Null)\n\
+             .map_err(|_| ::serde::de::Error::custom(\
+                 concat!(\"missing field `{}` in {}\")))?",
+            f.ty, f.name, owner
+        )
+    };
+    format!(
+        "match __obj.get({:?}) {{\n\
+             Some(__v) => <{} as ::serde::Deserialize>::from_value(__v)\n\
+                 .map_err(|__e| ::serde::de::Error::custom(\
+                     format!(\"field `{}` of {}: {{}}\", __e)))?,\n\
+             None => {missing},\n\
+         }}",
+        f.name, f.ty, f.name, owner
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!("{}: {},\n", f.name, field_expr(name, f)));
+            }
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::de::Error::custom(concat!(\"expected object for \", stringify!({name}))))?;\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        ItemKind::Newtype(ty) => format!(
+            "Ok({name}(<{ty} as ::serde::Deserialize>::from_value(__v)?))"
+        ),
+        ItemKind::Enum(variants) => {
+            let wire_names: Vec<String> = variants
+                .iter()
+                .map(|v| rename_variant(&v.name, item.rename_all.as_deref()))
+                .collect();
+            let expected = wire_names.join(", ");
+            match &item.tag {
+                Some(tag) => {
+                    // Internally tagged: dispatch on the tag key.
+                    let mut arms = String::new();
+                    for (v, wire) in variants.iter().zip(&wire_names) {
+                        let construct = match &v.shape {
+                            VariantShape::Unit => format!("Ok({name}::{})", v.name),
+                            VariantShape::Newtype(ty) => format!(
+                                "Ok({name}::{}(<{ty} as ::serde::Deserialize>::from_value(__v)?))",
+                                v.name
+                            ),
+                            VariantShape::Struct(fields) => {
+                                let mut inits = String::new();
+                                for f in fields {
+                                    inits.push_str(&format!(
+                                        "{}: {},\n",
+                                        f.name,
+                                        field_expr(name, f)
+                                    ));
+                                }
+                                format!("Ok({name}::{} {{\n{inits}}})", v.name)
+                            }
+                        };
+                        arms.push_str(&format!("{wire:?} => {{ {construct} }}\n"));
+                    }
+                    format!(
+                        "let __obj = __v.as_object().ok_or_else(|| \
+                             ::serde::de::Error::custom(concat!(\"expected object for \", stringify!({name}))))?;\n\
+                         let __tag = __obj.get({tag:?})\
+                             .and_then(::serde::Value::as_str)\
+                             .ok_or_else(|| ::serde::de::Error::custom(\
+                                 concat!(\"missing tag `\", {tag:?}, \"` for \", stringify!({name}))))?;\n\
+                         match __tag {{\n{arms}\
+                             __other => Err(::serde::de::Error::custom(format!(\
+                                 \"unknown {name} variant {{__other:?}}, expected one of: {expected}\"))),\n\
+                         }}"
+                    )
+                }
+                None => {
+                    // Externally tagged: a bare string for unit variants, a
+                    // single-key object for data variants.
+                    let mut unit_arms = String::new();
+                    let mut keyed_arms = String::new();
+                    for (v, wire) in variants.iter().zip(&wire_names) {
+                        match &v.shape {
+                            VariantShape::Unit => {
+                                unit_arms
+                                    .push_str(&format!("{wire:?} => Ok({name}::{}),\n", v.name));
+                            }
+                            VariantShape::Newtype(ty) => {
+                                keyed_arms.push_str(&format!(
+                                    "{wire:?} => Ok({name}::{}(<{ty} as ::serde::Deserialize>::from_value(__inner)?)),\n",
+                                    v.name
+                                ));
+                            }
+                            VariantShape::Struct(fields) => {
+                                let mut inits = String::new();
+                                for f in fields {
+                                    inits.push_str(&format!(
+                                        "{}: {},\n",
+                                        f.name,
+                                        field_expr(name, f)
+                                    ));
+                                }
+                                keyed_arms.push_str(&format!(
+                                    "{wire:?} => {{\n\
+                                         let __obj = __inner.as_object().ok_or_else(|| \
+                                             ::serde::de::Error::custom(\"expected object for struct variant\"))?;\n\
+                                         Ok({name}::{} {{\n{inits}}})\n\
+                                     }}\n",
+                                    v.name
+                                ));
+                            }
+                        }
+                    }
+                    format!(
+                        "match __v {{\n\
+                             ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                                 __other => Err(::serde::de::Error::custom(format!(\
+                                     \"unknown {name} variant {{__other:?}}, expected one of: {expected}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__map) if __map.len() == 1 => {{\n\
+                                 let (__key, __inner) = __map.iter().next().expect(\"len checked\");\n\
+                                 match __key.as_str() {{\n{keyed_arms}\
+                                     __other => Err(::serde::de::Error::custom(format!(\
+                                         \"unknown {name} variant {{__other:?}}, expected one of: {expected}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => Err(::serde::de::Error::custom(format!(\
+                                 \"expected {name} variant, got {{}}\", __other.kind_name()))),\n\
+                         }}"
+                    )
+                }
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}

@@ -1,0 +1,70 @@
+//! In-repo shim of `tempfile::tempdir`.
+//!
+//! Creates uniquely named directories under the system temp dir and removes
+//! them (recursively) on drop — the subset of tempfile this workspace uses.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::{fs, io};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory deleted (recursively) when this handle is dropped.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        // Best-effort, as in tempfile: cleanup failure is not a panic.
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Creates a fresh uniquely named temporary directory.
+pub fn tempdir() -> io::Result<TempDir> {
+    let base = std::env::temp_dir();
+    let pid = std::process::id();
+    // Retry with a process-wide counter until creation succeeds at an unused
+    // name; create_dir fails (AlreadyExists) rather than reusing a dir.
+    for _ in 0..1024 {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = base.join(format!(".mmlib-tmp-{pid}-{n:06}"));
+        match fs::create_dir(&path) {
+            Ok(()) => return Ok(TempDir { path }),
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(io::Error::new(io::ErrorKind::AlreadyExists, "could not find a free temp dir name"))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn creates_and_removes() {
+        let kept_path;
+        {
+            let dir = crate::tempdir().unwrap();
+            kept_path = dir.path().to_path_buf();
+            assert!(kept_path.is_dir());
+            std::fs::write(kept_path.join("f.txt"), b"x").unwrap();
+        }
+        assert!(!kept_path.exists());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let a = crate::tempdir().unwrap();
+        let b = crate::tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}

@@ -28,4 +28,4 @@ pub mod storage;
 pub use document::{DocId, DocStore, Document};
 pub use files::{FileId, FileStore};
 pub use network::SimNetwork;
-pub use storage::{ModelStorage, StoreError};
+pub use storage::{ModelStorage, StorageBackend, StoreError};

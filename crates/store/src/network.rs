@@ -47,7 +47,10 @@ impl SimNetwork {
 
     /// Time one transfer of `bytes` takes on this link.
     pub fn transfer_time(&self, bytes: u64) -> Duration {
-        self.latency + Duration::from_nanos(bytes.saturating_mul(1_000_000_000) / self.bytes_per_sec)
+        // Widen to u128: `bytes * 1e9` overflows u64 beyond ~18.4 GB, which
+        // full-scale DIST payloads exceed.
+        let nanos = u128::from(bytes) * 1_000_000_000 / u128::from(self.bytes_per_sec);
+        self.latency + duration_from_nanos_u128(nanos)
     }
 
     /// Records a transfer in the ledger and returns its simulated duration.
@@ -67,6 +70,15 @@ impl SimNetwork {
     pub fn simulated_time(&self) -> Duration {
         Duration::from_nanos(self.sim_nanos.load(Ordering::Relaxed))
     }
+}
+
+/// `Duration::from_nanos` takes u64, which caps out at ~584 years of
+/// nanoseconds; split into whole seconds first so arbitrarily large modeled
+/// transfers stay exact.
+fn duration_from_nanos_u128(nanos: u128) -> Duration {
+    let secs = (nanos / 1_000_000_000) as u64;
+    let subsec = (nanos % 1_000_000_000) as u32;
+    Duration::new(secs, subsec)
 }
 
 #[cfg(test)]
@@ -95,6 +107,20 @@ mod tests {
         net.record_transfer(2_000_000);
         assert_eq!(net.bytes_transferred(), 3_000_000);
         assert_eq!(net.simulated_time(), Duration::from_millis(3000 + 2));
+    }
+
+    #[test]
+    fn huge_transfers_do_not_overflow() {
+        // Regression: `bytes * 1_000_000_000` saturated u64 above ~18.4 GB,
+        // collapsing every larger payload to the same wrong duration.
+        let hundred_gb: u64 = 100 * 1_000_000_000;
+        let net = SimNetwork::infiniband_100g();
+        let t = net.transfer_time(hundred_gb);
+        // 100 GB at 11.25 GB/s goodput ≈ 8.889 s.
+        assert!(t > Duration::from_secs(8), "got {t:?}");
+        assert!(t < Duration::from_secs(10), "got {t:?}");
+        // Strictly monotone in size even past the old saturation point.
+        assert!(net.transfer_time(2 * hundred_gb) > t);
     }
 
     #[test]

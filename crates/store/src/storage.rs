@@ -20,6 +20,9 @@ pub enum StoreError {
     MissingFile(FileId),
     /// A document or field had an unexpected shape.
     Malformed(String),
+    /// A remote backend could not complete the operation (connection,
+    /// protocol, or server-side failure).
+    Remote(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -30,6 +33,7 @@ impl std::fmt::Display for StoreError {
             StoreError::MissingDocument(id) => write!(f, "missing document {id}"),
             StoreError::MissingFile(id) => write!(f, "missing file {id}"),
             StoreError::Malformed(m) => write!(f, "malformed document: {m}"),
+            StoreError::Remote(m) => write!(f, "remote storage error: {m}"),
         }
     }
 }
@@ -70,73 +74,248 @@ impl Accounting {
     }
 }
 
+/// The document/file operations one storage backend must provide.
+///
+/// [`ModelStorage`] delegates everything here, so the save/recover stack is
+/// agnostic to *where* the bytes live: the default backend writes a local
+/// directory (the paper's MongoDB + shared-FS stand-in), while `mmlib-net`
+/// implements this trait with a TCP client talking to a registry server.
+pub trait StorageBackend: Send + Sync {
+    /// Inserts a document of `kind`, returning its generated id.
+    fn insert_doc(&self, kind: &str, body: serde_json::Value) -> Result<DocId, StoreError>;
+
+    /// Loads a document by id.
+    fn get_doc(&self, id: &DocId) -> Result<Document, StoreError>;
+
+    /// Replaces an existing document's body.
+    fn update_doc(&self, id: &DocId, body: serde_json::Value) -> Result<(), StoreError>;
+
+    /// Whether a document exists.
+    fn contains_doc(&self, id: &DocId) -> bool;
+
+    /// Deletes a document.
+    fn remove_doc(&self, id: &DocId) -> Result<(), StoreError>;
+
+    /// Every stored document id.
+    fn doc_ids(&self) -> Result<Vec<DocId>, StoreError>;
+
+    /// Saves a blob, returning its generated id.
+    fn put_file(&self, bytes: &[u8]) -> Result<FileId, StoreError>;
+
+    /// Loads a blob by id.
+    fn get_file(&self, id: &FileId) -> Result<Vec<u8>, StoreError>;
+
+    /// A blob's size in bytes.
+    fn file_size(&self, id: &FileId) -> Result<u64, StoreError>;
+
+    /// Whether a blob exists.
+    fn contains_file(&self, id: &FileId) -> bool;
+
+    /// Deletes a blob.
+    fn remove_file(&self, id: &FileId) -> Result<(), StoreError>;
+
+    /// Total bytes written through this backend so far.
+    fn bytes_written(&self) -> u64;
+
+    /// Total bytes read through this backend so far.
+    fn bytes_read(&self) -> u64;
+}
+
+/// The default backend: a local directory split into `docs/` + `files/`.
+struct LocalBackend {
+    docs: DocStore,
+    files: FileStore,
+    accounting: Arc<Accounting>,
+}
+
+impl StorageBackend for LocalBackend {
+    fn insert_doc(&self, kind: &str, body: serde_json::Value) -> Result<DocId, StoreError> {
+        self.docs.insert(kind, body)
+    }
+
+    fn get_doc(&self, id: &DocId) -> Result<Document, StoreError> {
+        self.docs.get(id)
+    }
+
+    fn update_doc(&self, id: &DocId, body: serde_json::Value) -> Result<(), StoreError> {
+        self.docs.update(id, body)
+    }
+
+    fn contains_doc(&self, id: &DocId) -> bool {
+        self.docs.contains(id)
+    }
+
+    fn remove_doc(&self, id: &DocId) -> Result<(), StoreError> {
+        self.docs.remove(id)
+    }
+
+    fn doc_ids(&self) -> Result<Vec<DocId>, StoreError> {
+        self.docs.ids()
+    }
+
+    fn put_file(&self, bytes: &[u8]) -> Result<FileId, StoreError> {
+        self.files.put(bytes)
+    }
+
+    fn get_file(&self, id: &FileId) -> Result<Vec<u8>, StoreError> {
+        self.files.get(id)
+    }
+
+    fn file_size(&self, id: &FileId) -> Result<u64, StoreError> {
+        self.files.size(id)
+    }
+
+    fn contains_file(&self, id: &FileId) -> bool {
+        self.files.contains(id)
+    }
+
+    fn remove_file(&self, id: &FileId) -> Result<(), StoreError> {
+        self.files.remove(id)
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.accounting.written.load(Ordering::Relaxed)
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.accounting.read.load(Ordering::Relaxed)
+    }
+}
+
 /// One logical storage backend: a document database plus a shared file
 /// system, as in the paper's MongoDB + shared-FS deployment.
 ///
-/// Cloning is cheap and shares the underlying stores and accounting (the
+/// Cloning is cheap and shares the underlying backend and accounting (the
 /// paper's server and nodes all talk to the same MongoDB instance and
 /// shared file system).
 #[derive(Clone)]
 pub struct ModelStorage {
-    docs: DocStore,
-    files: FileStore,
-    accounting: Arc<Accounting>,
+    backend: Arc<dyn StorageBackend>,
     root: PathBuf,
 }
 
 impl ModelStorage {
-    /// Opens (or creates) a storage rooted at `root`.
+    /// Opens (or creates) a local directory-backed storage rooted at `root`.
     pub fn open(root: impl AsRef<Path>) -> Result<ModelStorage, StoreError> {
         let root = root.as_ref().to_path_buf();
         let accounting = Arc::new(Accounting::default());
         let docs = DocStore::open(root.join("docs"), Arc::clone(&accounting))?;
         let files = FileStore::open(root.join("files"), Arc::clone(&accounting))?;
-        Ok(ModelStorage { docs, files, accounting, root })
+        let backend = Arc::new(LocalBackend { docs, files, accounting });
+        Ok(ModelStorage { backend, root })
     }
 
-    /// The storage root directory.
+    /// Wraps a custom backend (e.g. a remote registry client). `descriptor`
+    /// labels the storage location in diagnostics, like the root directory
+    /// does for local storage.
+    pub fn from_backend(
+        backend: Arc<dyn StorageBackend>,
+        descriptor: impl Into<PathBuf>,
+    ) -> ModelStorage {
+        ModelStorage { backend, root: descriptor.into() }
+    }
+
+    /// The storage root directory (or descriptor for non-local backends).
     pub fn root(&self) -> &Path {
         &self.root
     }
 
     /// The document half.
-    pub fn docs(&self) -> &DocStore {
-        &self.docs
+    pub fn docs(&self) -> DocsView<'_> {
+        DocsView { backend: &*self.backend }
     }
 
     /// The file half.
-    pub fn files(&self) -> &FileStore {
-        &self.files
+    pub fn files(&self) -> FilesView<'_> {
+        FilesView { backend: &*self.backend }
     }
 
     /// Total bytes written through this storage so far.
     pub fn bytes_written(&self) -> u64 {
-        self.accounting.written.load(Ordering::Relaxed)
+        self.backend.bytes_written()
     }
 
     /// Total bytes read through this storage so far.
     pub fn bytes_read(&self) -> u64 {
-        self.accounting.read.load(Ordering::Relaxed)
+        self.backend.bytes_read()
     }
 
     /// Convenience: insert a document of `kind` with a JSON `body`.
     pub fn insert_doc(&self, kind: &str, body: serde_json::Value) -> Result<DocId, StoreError> {
-        self.docs.insert(kind, body)
+        self.backend.insert_doc(kind, body)
     }
 
     /// Convenience: load a document by id.
     pub fn get_doc(&self, id: &DocId) -> Result<Document, StoreError> {
-        self.docs.get(id)
+        self.backend.get_doc(id)
     }
 
     /// Convenience: save a file and return its generated id.
     pub fn put_file(&self, bytes: &[u8]) -> Result<FileId, StoreError> {
-        self.files.put(bytes)
+        self.backend.put_file(bytes)
     }
 
     /// Convenience: load a file by id.
     pub fn get_file(&self, id: &FileId) -> Result<Vec<u8>, StoreError> {
-        self.files.get(id)
+        self.backend.get_file(id)
+    }
+}
+
+/// Document operations of a [`ModelStorage`], backend-agnostic.
+pub struct DocsView<'a> {
+    backend: &'a dyn StorageBackend,
+}
+
+impl DocsView<'_> {
+    pub fn insert(&self, kind: &str, body: serde_json::Value) -> Result<DocId, StoreError> {
+        self.backend.insert_doc(kind, body)
+    }
+
+    pub fn get(&self, id: &DocId) -> Result<Document, StoreError> {
+        self.backend.get_doc(id)
+    }
+
+    pub fn update(&self, id: &DocId, body: serde_json::Value) -> Result<(), StoreError> {
+        self.backend.update_doc(id, body)
+    }
+
+    pub fn contains(&self, id: &DocId) -> bool {
+        self.backend.contains_doc(id)
+    }
+
+    pub fn remove(&self, id: &DocId) -> Result<(), StoreError> {
+        self.backend.remove_doc(id)
+    }
+
+    pub fn ids(&self) -> Result<Vec<DocId>, StoreError> {
+        self.backend.doc_ids()
+    }
+}
+
+/// File operations of a [`ModelStorage`], backend-agnostic.
+pub struct FilesView<'a> {
+    backend: &'a dyn StorageBackend,
+}
+
+impl FilesView<'_> {
+    pub fn put(&self, bytes: &[u8]) -> Result<FileId, StoreError> {
+        self.backend.put_file(bytes)
+    }
+
+    pub fn get(&self, id: &FileId) -> Result<Vec<u8>, StoreError> {
+        self.backend.get_file(id)
+    }
+
+    pub fn size(&self, id: &FileId) -> Result<u64, StoreError> {
+        self.backend.file_size(id)
+    }
+
+    pub fn contains(&self, id: &FileId) -> bool {
+        self.backend.contains_file(id)
+    }
+
+    pub fn remove(&self, id: &FileId) -> Result<(), StoreError> {
+        self.backend.remove_file(id)
     }
 }
 
@@ -193,5 +372,24 @@ mod tests {
         let reopened = ModelStorage::open(dir.path()).unwrap();
         assert_eq!(reopened.get_doc(&id).unwrap().body["v"], true);
         assert_eq!(reopened.get_file(&fid).unwrap(), b"persisted");
+    }
+
+    #[test]
+    fn views_expose_full_backend_surface() {
+        let dir = tempfile::tempdir().unwrap();
+        let storage = ModelStorage::open(dir.path()).unwrap();
+        let id = storage.docs().insert("k", json!({"n": 1})).unwrap();
+        assert!(storage.docs().contains(&id));
+        storage.docs().update(&id, json!({"n": 2})).unwrap();
+        assert_eq!(storage.docs().get(&id).unwrap().body["n"], 2);
+        assert_eq!(storage.docs().ids().unwrap(), vec![id.clone()]);
+        storage.docs().remove(&id).unwrap();
+        assert!(!storage.docs().contains(&id));
+
+        let fid = storage.files().put(b"abc").unwrap();
+        assert!(storage.files().contains(&fid));
+        assert_eq!(storage.files().size(&fid).unwrap(), 3);
+        storage.files().remove(&fid).unwrap();
+        assert!(!storage.files().contains(&fid));
     }
 }

@@ -55,14 +55,14 @@ impl fmt::Display for Digest {
 }
 
 impl Serialize for Digest {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(&self.to_hex())
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.to_hex())
     }
 }
 
-impl<'de> Deserialize<'de> for Digest {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
+impl Deserialize for Digest {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::de::Error> {
+        let s = String::from_value(v)?;
         Digest::from_hex(&s).ok_or_else(|| serde::de::Error::custom("invalid digest hex"))
     }
 }

@@ -229,7 +229,7 @@ mod tests {
     #[test]
     fn corrupt_state_is_rejected() {
         let mut adam = Adam::new(AdamConfig::default());
-        let entries = vec![("bogus.key".to_string(), Tensor::zeros([2]))];
+        let entries = [("bogus.key".to_string(), Tensor::zeros([2]))];
         let bytes =
             state_to_bytes(entries.iter().map(|(n, t)| (n.as_str(), t)).collect::<Vec<_>>());
         assert!(adam.load_state(&bytes).is_err());

@@ -95,7 +95,7 @@ fn main() {
 
     // GC with v2 live: sweeps only the abandoned experiment.
     println!("\ngarbage-collecting with {v2} as the only live model ...");
-    let report = collect_garbage(&svc, &[v2.clone()]).unwrap();
+    let report = collect_garbage(&svc, std::slice::from_ref(&v2)).unwrap();
     println!(
         "  removed {} model(s) ({}), {} files, {:.2} MB reclaimed",
         report.removed_models.len(),

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything must build, every test must pass, clippy must be
+# silent. `cargo test -q` at the root only covers the facade package (the
+# root Cargo.toml is itself a package), so the test step is --workspace.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test --workspace -q
+cargo clippy --workspace --all-targets -- -D warnings
+echo "check.sh: all gates passed"

@@ -47,6 +47,8 @@ pub use mmlib_data as data;
 pub use mmlib_dist as dist;
 /// Layers, blocks, and the five evaluation architectures (paper Table 2).
 pub use mmlib_model as model;
+/// Wire protocol, TCP registry server, and remote store client.
+pub use mmlib_net as net;
 /// Document store, file store, and the simulated cluster network.
 pub use mmlib_store as store;
 /// Tensors, deterministic/parallel kernels, PRNG, SHA-256, serialization.
