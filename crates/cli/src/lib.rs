@@ -47,6 +47,9 @@ commands:\n  \
   delete <id>              delete a model (refused while dependents exist)\n  \
   gc --keep <id,id,...>    garbage-collect everything unreachable from the kept models\n  \
   probe <id> [det|par]     recover a model and probe its reproducibility\n  \
+  fsck [--repair] [--no-hashes]\n                           \
+check store consistency: re-verify layer hashes, find\n                           \
+orphans/truncations; --repair quarantines damaged entries\n  \
   stats                    store statistics\n  \
   serve --addr <ip:port> [--for <secs>]\n                           \
 serve the store as a TCP model registry (requires --store)\n\
@@ -94,6 +97,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "delete" => delete(&svc, one_id(tail)?),
         "gc" => gc(&svc, tail),
         "probe" => probe(&svc, tail),
+        "fsck" => fsck(&svc, tail),
         "stats" => stats(&svc),
         other => Err(CliError::Usage(format!("unknown command {other:?}\n{USAGE}"))),
     }
@@ -305,6 +309,29 @@ fn probe(svc: &SaveService, tail: &[&str]) -> Result<String, CliError> {
             cmp.first_divergence.unwrap_or_default()
         )
     })
+}
+
+/// Checks the store for crash damage and dangling references:
+/// `mmlib --store <dir> fsck [--repair] [--no-hashes]`.
+fn fsck(svc: &SaveService, tail: &[&str]) -> Result<String, CliError> {
+    let mut opts = mmlib_core::FsckOptions::default();
+    for flag in tail {
+        match *flag {
+            "--repair" => opts.repair = true,
+            "--no-hashes" => opts.verify_hashes = false,
+            other => return Err(CliError::Usage(format!("unknown fsck flag {other:?}\n{USAGE}"))),
+        }
+    }
+    let report = mmlib_core::fsck::fsck(svc.storage(), &opts).map_err(fail)?;
+    let mut out = String::new();
+    for issue in &report.issues {
+        writeln!(out, "{issue}").unwrap();
+    }
+    for dest in &report.quarantined {
+        writeln!(out, "quarantined {}", dest.display()).unwrap();
+    }
+    writeln!(out, "fsck: {report}").unwrap();
+    Ok(out)
 }
 
 fn stats(svc: &SaveService) -> Result<String, CliError> {

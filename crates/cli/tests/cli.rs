@@ -162,6 +162,11 @@ fn remote_flag_runs_commands_against_a_served_store() {
     let out = run(&remote(&["verify", &update])).unwrap();
     assert!(out.contains("verified OK"));
 
+    // fsck works over the wire too: reference resolution and hash checks
+    // run through the remote backend (repair needs the local store).
+    let out = run(&remote(&["fsck"])).unwrap();
+    assert!(out.contains("clean"), "remote fsck: {out}");
+
     let out_file = dir.path().join("remote-recovered.bin");
     let out = run(&remote(&["recover", &update, "--out", out_file.to_str().unwrap()])).unwrap();
     assert!(out.contains("recovered"));
@@ -195,5 +200,63 @@ fn serve_command_serves_then_reports() {
 #[test]
 fn serve_requires_a_local_store() {
     let err = run(&["serve".to_string()]).unwrap_err();
+    assert!(matches!(err, CliError::Usage(_)));
+}
+
+/// `mmlib fsck` must detect every injected corruption: a truncated weights
+/// blob, a bit-flipped (unparsable) document, and an orphaned file — and
+/// `--repair` must quarantine the damage.
+#[test]
+fn fsck_detects_every_injected_corruption() {
+    let dir = tempfile::tempdir().unwrap();
+    let (initial, _) = seed_store(dir.path());
+
+    let clean = run(&args(dir.path(), &["fsck"])).unwrap();
+    assert!(clean.contains("clean"), "fresh store must fsck clean: {clean}");
+
+    let storage = ModelStorage::open(dir.path()).unwrap();
+    let info = storage
+        .get_doc(&mmlib_store::DocId::from_string(initial.clone()))
+        .unwrap();
+
+    // Corruption 1: truncate the baseline's weights blob.
+    let weights = info.body["weights_file"].as_str().unwrap();
+    let blob_path = dir.path().join("files").join(format!("{weights}.bin"));
+    let bytes = std::fs::read(&blob_path).unwrap();
+    std::fs::write(&blob_path, &bytes[..bytes.len() / 3]).unwrap();
+
+    // Corruption 2: bit-flip the environment document into invalid JSON.
+    let env = info.body["environment_doc"].as_str().unwrap();
+    let doc_path = dir.path().join("docs").join(format!("{env}.json"));
+    let mut doc_bytes = std::fs::read(&doc_path).unwrap();
+    doc_bytes[0] ^= 0x80;
+    std::fs::write(&doc_path, &doc_bytes).unwrap();
+
+    // Corruption 3: a blob no saved model references.
+    let orphan = storage.put_file(b"stray bytes").unwrap();
+
+    let out = run(&args(dir.path(), &["fsck"])).unwrap();
+    assert!(out.contains("corrupt blob"), "truncated blob missed: {out}");
+    assert!(out.contains("corrupt document"), "flipped doc missed: {out}");
+    assert!(
+        out.contains(&format!("orphan file {orphan}")),
+        "orphan file missed: {out}"
+    );
+
+    let repaired = run(&args(dir.path(), &["fsck", "--repair"])).unwrap();
+    assert!(repaired.contains("quarantined"), "no repairs reported: {repaired}");
+    assert!(!blob_path.exists() && !doc_path.exists());
+
+    // Only the now-dangling references remain; the damage itself is gone.
+    let after = run(&args(dir.path(), &["fsck"])).unwrap();
+    assert!(!after.contains("corrupt"), "damage must be quarantined: {after}");
+    assert!(after.contains("missing"), "dangling refs still reported: {after}");
+}
+
+#[test]
+fn fsck_rejects_unknown_flags() {
+    let dir = tempfile::tempdir().unwrap();
+    seed_store(dir.path());
+    let err = run(&args(dir.path(), &["fsck", "--frobnicate"])).unwrap_err();
     assert!(matches!(err, CliError::Usage(_)));
 }

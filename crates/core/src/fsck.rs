@@ -1,0 +1,757 @@
+//! Store consistency checking — the model-aware half of `mmlib fsck`.
+//!
+//! Crashes, torn writes, and at-least-once network retries can leave a
+//! store physically intact but semantically damaged: documents whose
+//! references dangle, blobs no saved model reaches, weights whose bytes no
+//! longer hash to the Merkle leaves recorded at save time. [`fsck`] walks
+//! every document and blob and cross-checks them against the model
+//! metadata schema (paper §3.1):
+//!
+//! * **physical scan** (local roots only) — leftover `*.tmp` files from
+//!   interrupted atomic writes, unparsable documents, id mismatches
+//!   (delegated to [`mmlib_store::fsck::scan_local`]);
+//! * **reference resolution** — every document and file a `model_info`
+//!   document references (environment, layer hashes, base model, wrapper
+//!   closure via `ref_args`, code/weights/dataset files) must exist;
+//! * **hash re-verification** — weights blobs are re-parsed and re-hashed
+//!   layer by layer against the stored Merkle tree, and the tree's root
+//!   against the recorded `root_hash`, detecting truncations and bit
+//!   flips without recovering a model. (`delta_v1`-encoded updates are
+//!   checked for readability only; decoding them requires the base
+//!   chain.)
+//! * **orphan detection** — documents and blobs no saved model reaches.
+//!
+//! With [`FsckOptions::repair`] on a local root, damaged and orphaned
+//! entries are moved into `root/quarantine/` — out of every scan's way but
+//! recoverable by hand.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+
+use mmlib_store::fsck as store_fsck;
+use mmlib_store::fsck::ScanIssue;
+use mmlib_store::{DocId, Document, FileId, ModelStorage};
+use mmlib_tensor::hash::{hash_tensor, Digest, Sha256};
+use mmlib_tensor::ser::state_from_bytes;
+use mmlib_tensor::Tensor;
+
+use crate::error::CoreError;
+use crate::merkle::MerkleTree;
+use crate::meta::{kinds, ApproachKind, ModelInfoDoc, SavedModelId};
+
+/// What [`fsck`] should do.
+#[derive(Debug, Clone)]
+pub struct FsckOptions {
+    /// Re-parse weights blobs and re-verify their per-layer hashes against
+    /// the stored Merkle trees (slower, catches silent corruption).
+    pub verify_hashes: bool,
+    /// Quarantine damaged and orphaned entries under `root/quarantine/`
+    /// (local roots only; ignored for remote backends).
+    pub repair: bool,
+}
+
+impl Default for FsckOptions {
+    fn default() -> FsckOptions {
+        FsckOptions { verify_hashes: true, repair: false }
+    }
+}
+
+/// One inconsistency found by [`fsck`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsckIssue {
+    /// A `*.tmp` file left behind by an interrupted atomic write.
+    LeftoverTmp {
+        /// Absolute path of the temporary file.
+        path: PathBuf,
+    },
+    /// A document that cannot be read or parsed (truncation, bit flip).
+    CorruptDoc {
+        /// The damaged document.
+        id: DocId,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A `model_info` document whose body does not decode to the schema.
+    BadModelDoc {
+        /// The offending model.
+        id: SavedModelId,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A document referenced by a saved model does not exist.
+    MissingDoc {
+        /// The model whose reference dangles.
+        model: SavedModelId,
+        /// The missing document.
+        id: DocId,
+        /// What the document was (environment, layer hashes, wrapper, ...).
+        role: String,
+    },
+    /// A file referenced by a saved model does not exist.
+    MissingFile {
+        /// The model whose reference dangles.
+        model: SavedModelId,
+        /// The missing blob.
+        id: FileId,
+        /// What the file was (weights, code, dataset container, ...).
+        role: String,
+    },
+    /// A weights blob that cannot be read or parsed back into state
+    /// entries — the signature of a truncated write.
+    CorruptBlob {
+        /// The model owning the blob.
+        model: SavedModelId,
+        /// The damaged blob.
+        id: FileId,
+        /// Read or parse error text.
+        detail: String,
+    },
+    /// A re-hashed layer disagrees with the stored Merkle leaf — the
+    /// signature of a bit flip.
+    HashMismatch {
+        /// The model whose weights mismatch.
+        model: SavedModelId,
+        /// The offending layer path (with detail when structural).
+        layer: String,
+    },
+    /// The stored Merkle tree's root disagrees with the model document's
+    /// recorded `root_hash`.
+    RootHashMismatch {
+        /// The inconsistent model.
+        model: SavedModelId,
+    },
+    /// A document no saved model reaches.
+    OrphanDoc {
+        /// The unreferenced document.
+        id: DocId,
+        /// Its document kind.
+        kind: String,
+    },
+    /// A blob no saved model reaches.
+    OrphanFile {
+        /// The unreferenced blob.
+        id: FileId,
+    },
+}
+
+impl std::fmt::Display for FsckIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsckIssue::LeftoverTmp { path } => {
+                write!(f, "leftover tmp file {}", path.display())
+            }
+            FsckIssue::CorruptDoc { id, detail } => {
+                write!(f, "corrupt document {id}: {detail}")
+            }
+            FsckIssue::BadModelDoc { id, reason } => {
+                write!(f, "bad model document {id}: {reason}")
+            }
+            FsckIssue::MissingDoc { model, id, role } => {
+                write!(f, "model {model}: missing {role} document {id}")
+            }
+            FsckIssue::MissingFile { model, id, role } => {
+                write!(f, "model {model}: missing {role} file {id}")
+            }
+            FsckIssue::CorruptBlob { model, id, detail } => {
+                write!(f, "model {model}: corrupt blob {id}: {detail}")
+            }
+            FsckIssue::HashMismatch { model, layer } => {
+                write!(f, "model {model}: layer hash mismatch at {layer}")
+            }
+            FsckIssue::RootHashMismatch { model } => {
+                write!(f, "model {model}: merkle root does not match recorded root_hash")
+            }
+            FsckIssue::OrphanDoc { id, kind } => {
+                write!(f, "orphan document {id} (kind {kind:?})")
+            }
+            FsckIssue::OrphanFile { id } => write!(f, "orphan file {id}"),
+        }
+    }
+}
+
+/// Result of an [`fsck`] pass.
+#[derive(Debug, Default)]
+pub struct FsckReport {
+    /// Inconsistencies found, in scan order.
+    pub issues: Vec<FsckIssue>,
+    /// Saved models whose references and hashes were checked.
+    pub models_checked: usize,
+    /// Documents visited.
+    pub docs_seen: usize,
+    /// Blobs visited.
+    pub files_seen: usize,
+    /// Destination paths of entries moved to quarantine (repair mode).
+    pub quarantined: Vec<PathBuf>,
+}
+
+impl FsckReport {
+    /// True when no inconsistency was found.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+impl std::fmt::Display for FsckReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} model(s), {} document(s), {} file(s): {}",
+            self.models_checked,
+            self.docs_seen,
+            self.files_seen,
+            if self.is_clean() {
+                "clean".to_string()
+            } else {
+                format!("{} issue(s)", self.issues.len())
+            }
+        )?;
+        if !self.quarantined.is_empty() {
+            write!(f, ", {} entr(ies) quarantined", self.quarantined.len())?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-layer digests of a parsed state dict, grouped exactly like
+/// [`crate::merkle::model_layer_hashes`] groups a live model's entries —
+/// so a weights blob can be verified against its Merkle tree without
+/// constructing a [`mmlib_model::Model`].
+fn entry_layer_hashes(entries: &[(String, Tensor)]) -> Vec<(String, Digest)> {
+    let mut out: Vec<(String, Digest)> = Vec::new();
+    let mut current: Option<(String, Sha256)> = None;
+    for (path, tensor) in entries {
+        let (layer, name) = path.rsplit_once('.').unwrap_or(("", path.as_str()));
+        match &mut current {
+            Some((cur_layer, h)) if cur_layer.as_str() == layer => {
+                h.update(name.as_bytes());
+                h.update(&hash_tensor(tensor).0);
+            }
+            _ => {
+                if let Some((l, h)) = current.take() {
+                    out.push((l, h.finalize()));
+                }
+                let mut h = Sha256::new();
+                h.update(name.as_bytes());
+                h.update(&hash_tensor(tensor).0);
+                current = Some((layer.to_string(), h));
+            }
+        }
+    }
+    if let Some((l, h)) = current.take() {
+        out.push((l, h.finalize()));
+    }
+    out
+}
+
+struct Checker<'a> {
+    storage: &'a ModelStorage,
+    opts: &'a FsckOptions,
+    local: bool,
+    report: FsckReport,
+    /// Documents by id (only those that read and parsed).
+    docs: BTreeMap<String, Document>,
+    /// Ids of documents already reported as corrupt (skip orphan pass).
+    corrupt_docs: BTreeSet<String>,
+    file_set: BTreeSet<String>,
+    reachable_docs: BTreeSet<String>,
+    reachable_files: BTreeSet<String>,
+}
+
+/// Checks a store's documents and blobs for semantic consistency; see the
+/// module docs for the checks performed.
+pub fn fsck(storage: &ModelStorage, opts: &FsckOptions) -> Result<FsckReport, CoreError> {
+    let mut c = Checker {
+        storage,
+        opts,
+        local: store_fsck::is_local_root(storage.root()),
+        report: FsckReport::default(),
+        docs: BTreeMap::new(),
+        corrupt_docs: BTreeSet::new(),
+        file_set: BTreeSet::new(),
+        reachable_docs: BTreeSet::new(),
+        reachable_files: BTreeSet::new(),
+    };
+    c.physical_scan()?;
+    c.load_documents()?;
+    let models = c.decode_model_infos();
+    for (id, info) in &models {
+        c.check_model(id, info)?;
+    }
+    c.report.models_checked = models.len();
+    c.orphan_pass()?;
+    Ok(c.report)
+}
+
+impl Checker<'_> {
+    /// Physical filesystem scan (local roots only): tmp leftovers and
+    /// damaged document files, quarantined straight away in repair mode.
+    fn physical_scan(&mut self) -> Result<(), CoreError> {
+        if !self.local {
+            return Ok(());
+        }
+        let root = self.storage.root();
+        for issue in store_fsck::scan_local(root)?.issues {
+            match issue {
+                ScanIssue::LeftoverTmp { path } => {
+                    if self.opts.repair {
+                        self.report.quarantined.push(store_fsck::quarantine(root, &path)?);
+                    }
+                    self.report.issues.push(FsckIssue::LeftoverTmp { path });
+                }
+                ScanIssue::UnparsableDoc { id, error } => {
+                    self.quarantine_doc(&id)?;
+                    self.corrupt_docs.insert(id.as_str().to_string());
+                    self.report.issues.push(FsckIssue::CorruptDoc { id, detail: error });
+                }
+                ScanIssue::DocIdMismatch { id, embedded } => {
+                    self.quarantine_doc(&id)?;
+                    self.corrupt_docs.insert(id.as_str().to_string());
+                    self.report.issues.push(FsckIssue::CorruptDoc {
+                        id,
+                        detail: format!("embedded id {embedded:?} does not match filename"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn quarantine_doc(&mut self, id: &DocId) -> Result<(), CoreError> {
+        if self.opts.repair && self.local {
+            self.report.quarantined.push(store_fsck::quarantine_doc(self.storage.root(), id)?);
+        }
+        Ok(())
+    }
+
+    fn quarantine_file(&mut self, id: &FileId) -> Result<(), CoreError> {
+        if self.opts.repair && self.local {
+            self.report.quarantined.push(store_fsck::quarantine_file(self.storage.root(), id)?);
+        }
+        Ok(())
+    }
+
+    /// Reads every document and lists every blob. Read failures (the only
+    /// corruption signal available through a remote backend) are recorded
+    /// as [`FsckIssue::CorruptDoc`].
+    fn load_documents(&mut self) -> Result<(), CoreError> {
+        for id in self.storage.docs().ids()? {
+            self.report.docs_seen += 1;
+            if self.corrupt_docs.contains(id.as_str()) {
+                continue;
+            }
+            match self.storage.get_doc(&id) {
+                Ok(doc) => {
+                    self.docs.insert(id.as_str().to_string(), doc);
+                }
+                Err(e) => {
+                    self.corrupt_docs.insert(id.as_str().to_string());
+                    self.report
+                        .issues
+                        .push(FsckIssue::CorruptDoc { id, detail: e.to_string() });
+                }
+            }
+        }
+        for id in self.storage.files().ids()? {
+            self.report.files_seen += 1;
+            self.file_set.insert(id.as_str().to_string());
+        }
+        Ok(())
+    }
+
+    fn decode_model_infos(&mut self) -> Vec<(SavedModelId, ModelInfoDoc)> {
+        let mut models = Vec::new();
+        for (id, doc) in &self.docs {
+            if doc.kind != kinds::MODEL_INFO {
+                continue;
+            }
+            self.reachable_docs.insert(id.clone());
+            let sid = SavedModelId(DocId::from_string(id.clone()));
+            match serde_json::from_value::<ModelInfoDoc>(doc.body.clone()) {
+                Ok(info) => models.push((sid, info)),
+                Err(e) => self.report.issues.push(FsckIssue::BadModelDoc {
+                    id: sid,
+                    reason: format!("undecodable body: {e}"),
+                }),
+            }
+        }
+        models
+    }
+
+    /// Resolves every reference of one saved model, then re-verifies its
+    /// hashes if requested.
+    fn check_model(&mut self, sid: &SavedModelId, info: &ModelInfoDoc) -> Result<(), CoreError> {
+        let mut need_docs: Vec<(String, &str)> = vec![
+            (info.environment_doc.clone(), "environment"),
+            (info.layer_hash_doc.clone(), "layer-hash"),
+        ];
+        if let Some(base) = &info.base_model {
+            need_docs.push((base.clone(), "base-model"));
+        }
+        for (id, role) in need_docs {
+            self.require_doc(sid, &id, role);
+        }
+        if let Some(train) = &info.train_doc {
+            self.walk_wrapper_closure(sid, train);
+        }
+
+        let mut need_files: Vec<(String, &str)> = Vec::new();
+        if let Some(f) = &info.code_file {
+            need_files.push((f.clone(), "architecture-code"));
+        }
+        if let Some(f) = &info.weights_file {
+            need_files.push((f.clone(), "weights"));
+        }
+        if let Some(ds) = &info.dataset {
+            if let Some(f) = &ds.container_file {
+                need_files.push((f.clone(), "dataset-container"));
+            }
+        }
+        for (id, role) in need_files {
+            self.require_file(sid, &id, role);
+        }
+
+        if self.opts.verify_hashes {
+            self.verify_hashes(sid, info)?;
+        }
+        Ok(())
+    }
+
+    fn require_doc(&mut self, sid: &SavedModelId, id: &str, role: &str) {
+        self.reachable_docs.insert(id.to_string());
+        if !self.docs.contains_key(id) {
+            self.report.issues.push(FsckIssue::MissingDoc {
+                model: sid.clone(),
+                id: DocId::from_string(id.to_string()),
+                role: role.to_string(),
+            });
+        }
+    }
+
+    fn require_file(&mut self, sid: &SavedModelId, id: &str, role: &str) {
+        self.reachable_files.insert(id.to_string());
+        if !self.file_set.contains(id) {
+            self.report.issues.push(FsckIssue::MissingFile {
+                model: sid.clone(),
+                id: FileId::from_string(id.to_string()),
+                role: role.to_string(),
+            });
+        }
+    }
+
+    /// Marks the wrapper tree of a provenance save reachable: the train
+    /// wrapper, everything its `ref_args` reach transitively, and every
+    /// wrapper's captured `state_file` blob.
+    fn walk_wrapper_closure(&mut self, sid: &SavedModelId, train_doc: &str) {
+        let mut queue = vec![train_doc.to_string()];
+        while let Some(wid) = queue.pop() {
+            if !self.reachable_docs.insert(wid.clone()) {
+                continue; // already visited
+            }
+            let Some(doc) = self.docs.get(&wid) else {
+                self.report.issues.push(FsckIssue::MissingDoc {
+                    model: sid.clone(),
+                    id: DocId::from_string(wid),
+                    role: "wrapper".to_string(),
+                });
+                continue;
+            };
+            if let Some(refs) = doc.body["ref_args"].as_object() {
+                queue.extend(refs.values().filter_map(|v| v.as_str().map(str::to_string)));
+            }
+            if let Some(state) = doc.body["state_file"].as_str().map(str::to_string) {
+                self.require_file(sid, &state, "wrapper-state");
+            }
+        }
+    }
+
+    /// Re-verifies one model's Merkle tree: stored root vs recorded
+    /// `root_hash`, and (for state-dict weights) re-parsed, re-hashed
+    /// layers vs the stored leaves.
+    fn verify_hashes(&mut self, sid: &SavedModelId, info: &ModelInfoDoc) -> Result<(), CoreError> {
+        let Some(tree_doc) = self.docs.get(&info.layer_hash_doc) else {
+            return Ok(()); // dangling reference already reported
+        };
+        let tree: MerkleTree = match serde_json::from_value(tree_doc.body.clone()) {
+            Ok(t) => t,
+            Err(e) => {
+                self.report.issues.push(FsckIssue::BadModelDoc {
+                    id: sid.clone(),
+                    reason: format!("undecodable layer-hash tree: {e}"),
+                });
+                return Ok(());
+            }
+        };
+        if tree.root().to_hex() != info.root_hash {
+            self.report.issues.push(FsckIssue::RootHashMismatch { model: sid.clone() });
+        }
+
+        let Some(weights) = &info.weights_file else { return Ok(()) };
+        if !self.file_set.contains(weights) {
+            return Ok(()); // missing file already reported
+        }
+        match info.update_encoding.as_deref() {
+            None | Some("state_dict") => {}
+            // Compressed deltas need the base chain to decode; their
+            // readability was established by the file listing.
+            Some(_) => return Ok(()),
+        }
+        let fid = FileId::from_string(weights.clone());
+        let bytes = match self.storage.get_file(&fid) {
+            Ok(b) => b,
+            Err(e) => {
+                self.quarantine_file(&fid)?;
+                self.report.issues.push(FsckIssue::CorruptBlob {
+                    model: sid.clone(),
+                    id: fid,
+                    detail: e.to_string(),
+                });
+                return Ok(());
+            }
+        };
+        let entries = match state_from_bytes(&bytes) {
+            Ok(entries) => entries,
+            Err(e) => {
+                self.quarantine_file(&fid)?;
+                self.report.issues.push(FsckIssue::CorruptBlob {
+                    model: sid.clone(),
+                    id: fid,
+                    detail: e.to_string(),
+                });
+                return Ok(());
+            }
+        };
+
+        let computed = entry_layer_hashes(&entries);
+        match info.approach {
+            // A baseline snapshot is the whole model: its layer hashes must
+            // reproduce the stored leaves exactly, paths and order included.
+            ApproachKind::Baseline => {
+                let leaves: Vec<(&str, &Digest)> = tree.leaves().collect();
+                if leaves.len() != computed.len() {
+                    self.report.issues.push(FsckIssue::HashMismatch {
+                        model: sid.clone(),
+                        layer: format!(
+                            "(structure: {} stored leaves vs {} in blob)",
+                            leaves.len(),
+                            computed.len()
+                        ),
+                    });
+                    return Ok(());
+                }
+                for ((lpath, ldigest), (cpath, cdigest)) in leaves.iter().zip(&computed) {
+                    if *lpath != cpath.as_str() || **ldigest != *cdigest {
+                        self.report.issues.push(FsckIssue::HashMismatch {
+                            model: sid.clone(),
+                            layer: cpath.clone(),
+                        });
+                    }
+                }
+            }
+            // A parameter update holds only the changed layers; each must
+            // hash to that layer's leaf in the derived model's tree.
+            ApproachKind::ParamUpdate => {
+                for (path, digest) in &computed {
+                    match tree.leaf(path) {
+                        Some(d) if d == digest => {}
+                        Some(_) => self.report.issues.push(FsckIssue::HashMismatch {
+                            model: sid.clone(),
+                            layer: path.clone(),
+                        }),
+                        None => self.report.issues.push(FsckIssue::HashMismatch {
+                            model: sid.clone(),
+                            layer: format!("{path} (layer not in tree)"),
+                        }),
+                    }
+                }
+            }
+            // Provenance saves store no weights blob; nothing to re-hash.
+            ApproachKind::Provenance => {}
+        }
+        Ok(())
+    }
+
+    /// Reports (and in repair mode quarantines) every document and blob no
+    /// saved model reaches.
+    fn orphan_pass(&mut self) -> Result<(), CoreError> {
+        let orphan_docs: Vec<String> = self
+            .docs
+            .keys()
+            .filter(|id| !self.reachable_docs.contains(*id))
+            .cloned()
+            .collect();
+        for id in orphan_docs {
+            let kind = self.docs[&id].kind.clone();
+            let doc_id = DocId::from_string(id);
+            self.quarantine_doc(&doc_id)?;
+            self.report.issues.push(FsckIssue::OrphanDoc { id: doc_id, kind });
+        }
+        let orphan_files: Vec<String> = self
+            .file_set
+            .iter()
+            .filter(|id| !self.reachable_files.contains(*id))
+            .cloned()
+            .collect();
+        for id in orphan_files {
+            let file_id = FileId::from_string(id);
+            self.quarantine_file(&file_id)?;
+            self.report.issues.push(FsckIssue::OrphanFile { id: file_id });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recovery::SaveService;
+    use mmlib_model::{ArchId, Model};
+
+    fn service(dir: &std::path::Path) -> SaveService {
+        SaveService::new(ModelStorage::open(dir).unwrap())
+    }
+
+    fn saved_info(svc: &SaveService, id: &SavedModelId) -> ModelInfoDoc {
+        let doc = svc.storage().get_doc(id.doc_id()).unwrap();
+        serde_json::from_value(doc.body).unwrap()
+    }
+
+    #[test]
+    fn clean_store_is_clean() {
+        let dir = tempfile::tempdir().unwrap();
+        let svc = service(dir.path());
+        let model = Model::new_initialized(ArchId::TinyCnn, 7);
+        svc.save_full(&model, None, "initial").unwrap();
+        let report = fsck(svc.storage(), &FsckOptions::default()).unwrap();
+        assert!(report.is_clean(), "unexpected issues: {:?}", report.issues);
+        assert_eq!(report.models_checked, 1);
+        assert!(report.docs_seen >= 3, "model info + environment + layer hashes");
+    }
+
+    #[test]
+    fn truncated_weights_blob_is_detected_and_quarantined() {
+        let dir = tempfile::tempdir().unwrap();
+        let svc = service(dir.path());
+        let model = Model::new_initialized(ArchId::TinyCnn, 7);
+        let id = svc.save_full(&model, None, "initial").unwrap();
+        let weights = saved_info(&svc, &id).weights_file.unwrap();
+
+        let path = dir.path().join("files").join(format!("{weights}.bin"));
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        let report = fsck(svc.storage(), &FsckOptions::default()).unwrap();
+        assert!(
+            report.issues.iter().any(|i| matches!(i, FsckIssue::CorruptBlob { .. })),
+            "truncation not detected: {:?}",
+            report.issues
+        );
+
+        let repaired =
+            fsck(svc.storage(), &FsckOptions { repair: true, ..Default::default() }).unwrap();
+        assert!(!repaired.quarantined.is_empty());
+        assert!(!path.exists(), "corrupt blob must be quarantined");
+    }
+
+    #[test]
+    fn bit_flip_in_weights_is_detected_via_merkle_leaves() {
+        let dir = tempfile::tempdir().unwrap();
+        let svc = service(dir.path());
+        let model = Model::new_initialized(ArchId::TinyCnn, 7);
+        let id = svc.save_full(&model, None, "initial").unwrap();
+        let weights = saved_info(&svc, &id).weights_file.unwrap();
+
+        let path = dir.path().join("files").join(format!("{weights}.bin"));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let report = fsck(svc.storage(), &FsckOptions::default()).unwrap();
+        assert!(
+            report.issues.iter().any(|i| matches!(
+                i,
+                FsckIssue::HashMismatch { .. } | FsckIssue::CorruptBlob { .. }
+            )),
+            "bit flip not detected: {:?}",
+            report.issues
+        );
+    }
+
+    #[test]
+    fn bit_flipped_root_hash_is_detected() {
+        let dir = tempfile::tempdir().unwrap();
+        let svc = service(dir.path());
+        let model = Model::new_initialized(ArchId::TinyCnn, 7);
+        let id = svc.save_full(&model, None, "initial").unwrap();
+
+        let mut info = saved_info(&svc, &id);
+        let mut root = info.root_hash.into_bytes();
+        root[0] = if root[0] == b'0' { b'1' } else { b'0' };
+        info.root_hash = String::from_utf8(root).unwrap();
+        let body = serde_json::to_value(&info).unwrap();
+        svc.storage().docs().update(id.doc_id(), body).unwrap();
+
+        let report = fsck(svc.storage(), &FsckOptions::default()).unwrap();
+        assert!(
+            report.issues.iter().any(|i| matches!(i, FsckIssue::RootHashMismatch { .. })),
+            "root mismatch not detected: {:?}",
+            report.issues
+        );
+    }
+
+    #[test]
+    fn orphans_and_missing_references_are_reported() {
+        let dir = tempfile::tempdir().unwrap();
+        let svc = service(dir.path());
+        let model = Model::new_initialized(ArchId::TinyCnn, 7);
+        let id = svc.save_full(&model, None, "initial").unwrap();
+
+        // An orphan blob and an orphan document nothing references.
+        let orphan_file = svc.storage().put_file(b"stray bytes").unwrap();
+        let orphan_doc = svc
+            .storage()
+            .insert_doc(kinds::WRAPPER, serde_json::json!({"class_name": "stray"}))
+            .unwrap();
+        // A dangling reference: delete the environment document.
+        let env = saved_info(&svc, &id).environment_doc;
+        svc.storage().docs().remove(&DocId::from_string(env)).unwrap();
+
+        let report = fsck(svc.storage(), &FsckOptions::default()).unwrap();
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| matches!(i, FsckIssue::OrphanFile { id } if *id == orphan_file)));
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| matches!(i, FsckIssue::OrphanDoc { id, .. } if *id == orphan_doc)));
+        assert!(report.issues.iter().any(
+            |i| matches!(i, FsckIssue::MissingDoc { role, .. } if role == "environment")
+        ));
+
+        // Repair quarantines the orphans; the dangling reference remains
+        // reported (fsck cannot invent a lost document).
+        let repaired =
+            fsck(svc.storage(), &FsckOptions { repair: true, ..Default::default() }).unwrap();
+        assert_eq!(repaired.quarantined.len(), 2);
+        let after =
+            fsck(svc.storage(), &FsckOptions::default()).unwrap();
+        assert!(after.issues.iter().all(|i| matches!(i, FsckIssue::MissingDoc { .. })));
+    }
+
+    #[test]
+    fn param_update_save_verifies_clean() {
+        let dir = tempfile::tempdir().unwrap();
+        let svc = service(dir.path());
+        let base = Model::new_initialized(ArchId::TinyCnn, 7);
+        let base_id = svc.save_full(&base, None, "initial").unwrap();
+        let mut derived = base.duplicate();
+        derived.set_classifier_only_trainable();
+        derived.visit_trainable_mut(&mut |_, param, _| param.data_mut()[0] += 0.5);
+        svc.save_update(&derived, &base_id, "partially_updated").unwrap();
+
+        let report = fsck(svc.storage(), &FsckOptions::default()).unwrap();
+        assert!(report.is_clean(), "unexpected issues: {:?}", report.issues);
+        assert_eq!(report.models_checked, 2);
+    }
+}

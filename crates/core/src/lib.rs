@@ -51,6 +51,7 @@ pub mod baseline;
 pub mod gc;
 pub mod env;
 pub mod error;
+pub mod fsck;
 pub mod merkle;
 pub mod meta;
 pub mod param_update;
@@ -63,6 +64,7 @@ pub mod wrapper;
 
 pub use env::EnvironmentInfo;
 pub use error::CoreError;
+pub use fsck::{FsckIssue, FsckOptions, FsckReport};
 pub use merkle::MerkleTree;
 pub use meta::{ApproachKind, ModelRelation, SavedModelId};
 pub use probe::{ProbeRecord, ProbeReport};

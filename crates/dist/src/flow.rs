@@ -284,30 +284,55 @@ pub fn run_flow_with_transport(
             };
             run_flow_inner(config, &make_storage, &net)
         }
-        Transport::Tcp { workers } => {
-            let backing =
-                ModelStorage::open(storage_root).expect("storage root must be writable");
-            // Connections live for the whole flow, so there must be a worker
-            // for every concurrent client: the server plus every node.
-            let workers = workers.max(config.kind.nodes() + 1);
-            let mut server = mmlib_net::RegistryServer::bind_with_config(
-                backing,
-                "127.0.0.1:0",
-                mmlib_net::ServerConfig { workers, ..Default::default() },
-            )
-            .expect("bind loopback registry server");
-            let addr = server.addr();
-            let make_storage = move || {
-                mmlib_net::RemoteStore::connect(addr)
-                    .expect("connect to loopback registry")
-                    .into_storage()
-            };
-            let mut result = run_flow_inner(config, &make_storage, &NetModel::Real);
-            result.transport_stats = Some(server.metrics().snapshot());
-            server.shutdown();
-            result
-        }
+        Transport::Tcp { workers } => run_flow_tcp(config, storage_root, workers, None),
     }
+}
+
+/// Executes one flow over loopback TCP against a registry server that
+/// injects the given network faults (dropped replies, truncated frames,
+/// connection resets) — the distributed half of the fault-injection rig.
+/// The nodes' retry loops must absorb every fault, so the flow's records
+/// come out exactly as they would against a healthy server; what faults
+/// *do* leave behind are at-least-once duplicates in the backing store,
+/// which `mmlib fsck` finds as orphans.
+///
+/// Takes the faults as an [`Arc`] so callers keep a handle for inspecting
+/// the injectors after the flow.
+pub fn run_flow_with_faulty_tcp(
+    config: &FlowConfig,
+    storage_root: &std::path::Path,
+    workers: usize,
+    faults: std::sync::Arc<mmlib_net::NetFaults>,
+) -> FlowResult {
+    run_flow_tcp(config, storage_root, workers, Some(faults))
+}
+
+fn run_flow_tcp(
+    config: &FlowConfig,
+    storage_root: &std::path::Path,
+    workers: usize,
+    faults: Option<std::sync::Arc<mmlib_net::NetFaults>>,
+) -> FlowResult {
+    let backing = ModelStorage::open(storage_root).expect("storage root must be writable");
+    // Connections live for the whole flow, so there must be a worker
+    // for every concurrent client: the server plus every node.
+    let workers = workers.max(config.kind.nodes() + 1);
+    let mut server = mmlib_net::RegistryServer::bind_with_config(
+        backing,
+        "127.0.0.1:0",
+        mmlib_net::ServerConfig { workers, faults, ..Default::default() },
+    )
+    .expect("bind loopback registry server");
+    let addr = server.addr();
+    let make_storage = move || {
+        mmlib_net::RemoteStore::connect(addr)
+            .expect("connect to loopback registry")
+            .into_storage()
+    };
+    let mut result = run_flow_inner(config, &make_storage, &NetModel::Real);
+    result.transport_stats = Some(server.metrics().snapshot());
+    server.shutdown();
+    result
 }
 
 /// Transport-agnostic flow body; `make_storage` yields one storage handle

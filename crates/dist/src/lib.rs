@@ -25,6 +25,7 @@ pub mod flow;
 pub mod metrics;
 
 pub use flow::{
-    FlowConfig, FlowKind, FlowResult, RecoverRecord, SaveRecord, TrainParams, Transport,
+    run_flow_with_faulty_tcp, FlowConfig, FlowKind, FlowResult, RecoverRecord, SaveRecord,
+    TrainParams, Transport,
 };
 pub use metrics::{median_duration, MedianSeries};

@@ -382,6 +382,22 @@ impl StorageBackend for RemoteStore {
         expect_ok(reply).map(|_| ())
     }
 
+    fn file_ids(&self) -> Result<Vec<FileId>, StoreError> {
+        let reply = self.request(Frame::new(Opcode::FileIds, json!({})))?;
+        let header = expect_ok(reply)?;
+        let ids = header
+            .get("ids")
+            .and_then(Value::as_array)
+            .ok_or_else(|| StoreError::Remote("ids reply missing list".to_string()))?;
+        ids.iter()
+            .map(|v| {
+                v.as_str()
+                    .map(|s| FileId::from_string(s.to_string()))
+                    .ok_or_else(|| StoreError::Remote("non-string id in list".to_string()))
+            })
+            .collect()
+    }
+
     fn bytes_written(&self) -> u64 {
         self.bytes_written.load(Ordering::Relaxed)
     }

@@ -23,9 +23,11 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod fault;
 pub mod protocol;
 pub mod server;
 
 pub use client::{ClientConfig, RemoteStore};
+pub use fault::NetFaults;
 pub use protocol::{Frame, Opcode, WireError, CHUNK_SIZE, MAX_FRAME_LEN, PROTOCOL_VERSION};
 pub use server::{RegistryServer, ServerConfig, ServerMetrics};

@@ -64,6 +64,8 @@ pub enum Opcode {
     FileContains = 0x23,
     /// Delete a blob. Header: `{"id": s}`.
     FileRemove = 0x24,
+    /// List all blob ids. Header: `{}`.
+    FileIds = 0x25,
     /// Server metrics snapshot. Header: `{}`.
     Stats = 0x30,
     /// Success response. Header: operation-specific result.
@@ -76,7 +78,7 @@ pub enum Opcode {
 
 impl Opcode {
     /// Every opcode, for metrics tables.
-    pub const ALL: [Opcode; 16] = [
+    pub const ALL: [Opcode; 17] = [
         Opcode::Ping,
         Opcode::DocInsert,
         Opcode::DocGet,
@@ -89,6 +91,7 @@ impl Opcode {
         Opcode::FileSize,
         Opcode::FileContains,
         Opcode::FileRemove,
+        Opcode::FileIds,
         Opcode::Stats,
         Opcode::Ok,
         Opcode::Err,
@@ -110,6 +113,7 @@ impl Opcode {
             Opcode::FileSize => "file_size",
             Opcode::FileContains => "file_contains",
             Opcode::FileRemove => "file_remove",
+            Opcode::FileIds => "file_ids",
             Opcode::Stats => "stats",
             Opcode::Ok => "ok",
             Opcode::Err => "err",

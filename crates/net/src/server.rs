@@ -15,12 +15,15 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use bytes::Bytes;
+use mmlib_store::fault::Fault;
 use mmlib_store::{DocId, FileId, ModelStorage, StoreError};
 use serde_json::{json, Value};
 
+use crate::fault::{injected_io_error, NetFaults};
 use crate::protocol::{
-    header_str, header_u64, read_chunks, read_frame, write_chunks, write_frame, Frame, Opcode,
-    WireError, PROTOCOL_VERSION,
+    encode_frame, header_str, header_u64, read_chunks, read_frame, write_frame, Frame, Opcode,
+    WireError, CHUNK_SIZE, PROTOCOL_VERSION,
 };
 
 /// Server tuning knobs.
@@ -33,6 +36,9 @@ pub struct ServerConfig {
     pub read_timeout: Option<Duration>,
     /// Per-connection socket write timeout.
     pub write_timeout: Option<Duration>,
+    /// Deterministic fault schedules for the accept loop and response
+    /// frames (tests only; `None` serves faithfully).
+    pub faults: Option<Arc<NetFaults>>,
 }
 
 impl Default for ServerConfig {
@@ -41,6 +47,7 @@ impl Default for ServerConfig {
             workers: 8,
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
+            faults: None,
         }
     }
 }
@@ -196,6 +203,16 @@ fn serve(
         while !stop.load(Ordering::SeqCst) {
             match listener.accept() {
                 Ok((stream, _peer)) => {
+                    // Fault hook: a scheduled accept fault closes the
+                    // connection before it is served — the transient
+                    // ECONNRESET of a restarting registry. Clients survive
+                    // it through their retry loop.
+                    if let Some(faults) = &config.faults {
+                        if faults.on_accept().is_some() {
+                            drop(stream);
+                            continue;
+                        }
+                    }
                     if tx.send(stream).is_err() {
                         break;
                     }
@@ -240,11 +257,21 @@ fn handle_connection(
             Err(e) => return Err(e),
         };
         metrics.count(frame.opcode);
-        match respond(&frame, &mut reader, &mut writer, storage, metrics) {
+        let faults = config.faults.as_deref();
+        match respond(&frame, &mut reader, &mut writer, storage, metrics, faults) {
             Ok(()) => writer.flush()?,
             Err(e) => {
-                // Try to tell the peer before giving up on the connection.
-                let _ = send_counted(&mut writer, metrics, &err_frame("protocol", &e.to_string()));
+                // Try to tell the peer before giving up on the connection —
+                // unless the failure *is* an injected drop, which must look
+                // like a dead socket, not a served error.
+                if !is_injected(&e) {
+                    let _ = send_counted(
+                        &mut writer,
+                        metrics,
+                        None,
+                        &err_frame("protocol", &e.to_string()),
+                    );
+                }
                 let _ = writer.flush();
                 return Err(e);
             }
@@ -259,6 +286,7 @@ fn respond(
     writer: &mut (impl Write + Sized),
     storage: &ModelStorage,
     metrics: &ServerMetrics,
+    faults: Option<&NetFaults>,
 ) -> Result<(), WireError> {
     metrics.bytes_in.fetch_add(wire_size(frame), Ordering::Relaxed);
     match frame.opcode {
@@ -269,9 +297,9 @@ fn respond(
                     "version_mismatch",
                     &format!("server speaks version {PROTOCOL_VERSION}, client sent {version}"),
                 );
-                return send_counted(writer, metrics, &reply);
+                return send_counted(writer, metrics, faults, &reply);
             }
-            send_counted(writer, metrics, &ok_frame(json!({"version": PROTOCOL_VERSION})))
+            send_counted(writer, metrics, faults, &ok_frame(json!({"version": PROTOCOL_VERSION})))
         }
         Opcode::DocInsert => {
             let kind = header_str(&frame.header, "kind")?;
@@ -284,7 +312,7 @@ fn respond(
                 Ok(id) => ok_frame(json!({"id": id.as_str()})),
                 Err(e) => store_err_frame(&e),
             };
-            send_counted(writer, metrics, &reply)
+            send_counted(writer, metrics, faults, &reply)
         }
         Opcode::DocGet => {
             let id = DocId::from_string(header_str(&frame.header, "id")?.to_string());
@@ -296,7 +324,7 @@ fn respond(
                 })),
                 Err(e) => store_err_frame(&e),
             };
-            send_counted(writer, metrics, &reply)
+            send_counted(writer, metrics, faults, &reply)
         }
         Opcode::DocUpdate => {
             let id = DocId::from_string(header_str(&frame.header, "id")?.to_string());
@@ -314,12 +342,12 @@ fn respond(
                 Ok(kind) => ok_frame(json!({"kind": kind})),
                 Err(e) => store_err_frame(&e),
             };
-            send_counted(writer, metrics, &reply)
+            send_counted(writer, metrics, faults, &reply)
         }
         Opcode::DocContains => {
             let id = DocId::from_string(header_str(&frame.header, "id")?.to_string());
             let present = storage.docs().contains(&id);
-            send_counted(writer, metrics, &ok_frame(json!({"present": present})))
+            send_counted(writer, metrics, faults, &ok_frame(json!({"present": present})))
         }
         Opcode::DocRemove => {
             let id = DocId::from_string(header_str(&frame.header, "id")?.to_string());
@@ -327,7 +355,7 @@ fn respond(
                 Ok(()) => ok_frame(json!({})),
                 Err(e) => store_err_frame(&e),
             };
-            send_counted(writer, metrics, &reply)
+            send_counted(writer, metrics, faults, &reply)
         }
         Opcode::DocIds => {
             let reply = match storage.docs().ids() {
@@ -338,7 +366,7 @@ fn respond(
                 }
                 Err(e) => store_err_frame(&e),
             };
-            send_counted(writer, metrics, &reply)
+            send_counted(writer, metrics, faults, &reply)
         }
         Opcode::FilePut => {
             let len = header_u64(&frame.header, "len")?;
@@ -348,17 +376,16 @@ fn respond(
                 Ok(id) => ok_frame(json!({"id": id.as_str()})),
                 Err(e) => store_err_frame(&e),
             };
-            send_counted(writer, metrics, &reply)
+            send_counted(writer, metrics, faults, &reply)
         }
         Opcode::FileGet => {
             let id = FileId::from_string(header_str(&frame.header, "id")?.to_string());
             match storage.get_file(&id) {
                 Ok(blob) => {
-                    send_counted(writer, metrics, &ok_frame(json!({"len": blob.len() as u64})))?;
-                    metrics.bytes_out.fetch_add(blob.len() as u64, Ordering::Relaxed);
-                    write_chunks(writer, &blob)
+                    send_counted(writer, metrics, faults, &ok_frame(json!({"len": blob.len() as u64})))?;
+                    send_chunks_counted(writer, metrics, faults, &blob)
                 }
-                Err(e) => send_counted(writer, metrics, &store_err_frame(&e)),
+                Err(e) => send_counted(writer, metrics, faults, &store_err_frame(&e)),
             }
         }
         Opcode::FileSize => {
@@ -367,12 +394,12 @@ fn respond(
                 Ok(size) => ok_frame(json!({"len": size})),
                 Err(e) => store_err_frame(&e),
             };
-            send_counted(writer, metrics, &reply)
+            send_counted(writer, metrics, faults, &reply)
         }
         Opcode::FileContains => {
             let id = FileId::from_string(header_str(&frame.header, "id")?.to_string());
             let present = storage.files().contains(&id);
-            send_counted(writer, metrics, &ok_frame(json!({"present": present})))
+            send_counted(writer, metrics, faults, &ok_frame(json!({"present": present})))
         }
         Opcode::FileRemove => {
             let id = FileId::from_string(header_str(&frame.header, "id")?.to_string());
@@ -380,9 +407,20 @@ fn respond(
                 Ok(()) => ok_frame(json!({})),
                 Err(e) => store_err_frame(&e),
             };
-            send_counted(writer, metrics, &reply)
+            send_counted(writer, metrics, faults, &reply)
         }
-        Opcode::Stats => send_counted(writer, metrics, &ok_frame(metrics.snapshot())),
+        Opcode::FileIds => {
+            let reply = match storage.files().ids() {
+                Ok(ids) => {
+                    let ids: Vec<Value> =
+                        ids.iter().map(|id| Value::String(id.as_str().to_string())).collect();
+                    ok_frame(json!({"ids": Value::Array(ids)}))
+                }
+                Err(e) => store_err_frame(&e),
+            };
+            send_counted(writer, metrics, faults, &reply)
+        }
+        Opcode::Stats => send_counted(writer, metrics, faults, &ok_frame(metrics.snapshot())),
         Opcode::Ok | Opcode::Err | Opcode::Chunk => Err(WireError::Protocol(format!(
             "{} is not a request opcode",
             frame.opcode.name()
@@ -416,14 +454,57 @@ fn store_err_frame(e: &StoreError) -> Frame {
     }
 }
 
+/// True when a wire error stems from an injected fault (such failures must
+/// look like a dead socket to the peer, never like a served error frame).
+fn is_injected(e: &WireError) -> bool {
+    matches!(e, WireError::Io(io) if io.to_string().starts_with("injected fault"))
+}
+
 /// Sends a frame, adding its wire size to the outbound byte counter.
+///
+/// The fault hook fires here, once per outgoing frame (replies and blob
+/// chunks alike): a scheduled truncation writes only a prefix of the
+/// encoded frame before failing, a drop fails before any byte — and the
+/// byte counter records exactly what reached the socket, so metrics stay
+/// consistent with committed data even mid-fault.
 fn send_counted(
     writer: &mut impl Write,
     metrics: &ServerMetrics,
+    faults: Option<&NetFaults>,
     frame: &Frame,
 ) -> Result<(), WireError> {
+    match faults.and_then(NetFaults::on_response) {
+        None => {}
+        Some(Fault::TruncateFrame { after_bytes }) | Some(Fault::TornWrite { after_bytes }) => {
+            let encoded = encode_frame(frame);
+            let cut = (after_bytes as usize).min(encoded.len());
+            writer.write_all(&encoded[..cut])?;
+            writer.flush()?;
+            metrics.bytes_out.fetch_add(cut as u64, Ordering::Relaxed);
+            return Err(WireError::Io(injected_io_error(&Fault::TruncateFrame {
+                after_bytes,
+            })));
+        }
+        Some(other) => return Err(WireError::Io(injected_io_error(&other))),
+    }
     metrics.bytes_out.fetch_add(wire_size(frame), Ordering::Relaxed);
     write_frame(writer, frame)
+}
+
+/// Streams a blob as `Chunk` frames through [`send_counted`], so each chunk
+/// passes the fault hook and is byte-counted individually.
+fn send_chunks_counted(
+    writer: &mut impl Write,
+    metrics: &ServerMetrics,
+    faults: Option<&NetFaults>,
+    blob: &[u8],
+) -> Result<(), WireError> {
+    for chunk in blob.chunks(CHUNK_SIZE) {
+        let frame =
+            Frame::with_payload(Opcode::Chunk, json!({}), Bytes::copy_from_slice(chunk));
+        send_counted(writer, metrics, faults, &frame)?;
+    }
+    Ok(())
 }
 
 /// Approximate on-wire size of a frame (exact for frames we build).

@@ -1,0 +1,154 @@
+//! Crash-consistent file writes: tmp + rename with fsync points.
+//!
+//! Both stores persist every document/blob through [`atomic_write`], so a
+//! crash (real or injected) at any point leaves either the old file or the
+//! new file fully visible — never a prefix. The protocol:
+//!
+//! 1. write the payload to `<name>.<n>.tmp` in the destination directory,
+//! 2. `fsync` the temporary file (the data is durable before it is named),
+//! 3. `rename` it over the destination (atomic on POSIX),
+//! 4. best-effort `fsync` of the parent directory (the rename is durable).
+//!
+//! Temporary names never match the stores' `.json`/`.bin` scans, so an
+//! interrupted write is invisible to readers; `fsck` sweeps the leftovers.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::fault::{injected_io_error, Fault, FaultInjector};
+
+/// Process-wide counter making temporary names and writer nonces unique
+/// within one process regardless of how many store handles exist.
+static PROCESS_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Temporary-file sibling of `path`: `<file_name>.<n>.tmp` in the same
+/// directory (rename must not cross filesystems).
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let n = PROCESS_SEQ.fetch_add(1, Ordering::Relaxed);
+    let name = path.file_name().and_then(|s| s.to_str()).unwrap_or("unnamed");
+    path.with_file_name(format!("{name}.{n}.tmp"))
+}
+
+/// True if `file_name` is one of our temporary names (an interrupted write).
+pub(crate) fn is_tmp_name(file_name: &str) -> bool {
+    file_name.ends_with(".tmp")
+}
+
+/// Writes `bytes` to `path` atomically; consults `injector` (one operation
+/// per call) for scheduled faults. A [`Fault::TornWrite`] persists only a
+/// prefix of the temporary file and fails without renaming — the simulated
+/// mid-write crash; any other scheduled fault fails before writing.
+pub(crate) fn atomic_write(
+    path: &Path,
+    bytes: &[u8],
+    injector: Option<&FaultInjector>,
+) -> std::io::Result<()> {
+    let fault = injector.and_then(|i| i.next());
+    let tmp = tmp_sibling(path);
+    match fault {
+        None => {}
+        Some(Fault::TornWrite { after_bytes }) => {
+            let cut = (after_bytes as usize).min(bytes.len());
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&bytes[..cut])?;
+            f.sync_all()?;
+            // The "crash": the tmp file stays on disk, the rename never
+            // happens, and the caller sees a failed operation.
+            return Err(injected_io_error(&Fault::TornWrite { after_bytes }));
+        }
+        Some(other) => return Err(injected_io_error(&other)),
+    }
+
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    // fsync point 1: payload durable under its temporary name.
+    f.sync_all()?;
+    drop(f);
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    // fsync point 2: the rename itself. Directory fsync is best-effort —
+    // not every filesystem supports opening a directory for sync.
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// A writer nonce unique across processes (pid + clock) *and* across
+/// handles within one process (process-wide counter) — the collision guard
+/// `nanotime()` alone did not provide. Only the low 32 bits survive into
+/// generated ids, so the counter is spread with a 64-bit odd multiplier.
+pub(crate) fn writer_nonce() -> u64 {
+    let seq = PROCESS_SEQ.fetch_add(1, Ordering::Relaxed);
+    (std::process::id() as u64) ^ nanotime() ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+pub(crate) fn nanotime() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+
+    #[test]
+    fn atomic_write_replaces_content() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("x.json");
+        atomic_write(&path, b"old", None).unwrap();
+        atomic_write(&path, b"new", None).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"new");
+        // No temporary files survive a successful write.
+        let leftovers: Vec<_> = std::fs::read_dir(dir.path())
+            .unwrap()
+            .filter(|e| is_tmp_name(e.as_ref().unwrap().file_name().to_str().unwrap()))
+            .collect();
+        assert!(leftovers.is_empty());
+    }
+
+    #[test]
+    fn torn_write_leaves_old_content_and_a_tmp_file() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("x.json");
+        atomic_write(&path, b"old", None).unwrap();
+
+        let inj = FaultInjector::new(FaultPlan::new(0).with(0, Fault::TornWrite { after_bytes: 2 }));
+        let err = atomic_write(&path, b"new-content", Some(&inj)).unwrap_err();
+        assert!(err.to_string().contains("injected fault"));
+        assert_eq!(std::fs::read(&path).unwrap(), b"old", "destination untouched");
+
+        let tmps: Vec<_> = std::fs::read_dir(dir.path())
+            .unwrap()
+            .map(|e| e.unwrap())
+            .filter(|e| is_tmp_name(e.file_name().to_str().unwrap()))
+            .collect();
+        assert_eq!(tmps.len(), 1, "the interrupted write leaves its tmp file");
+        assert_eq!(std::fs::metadata(tmps[0].path()).unwrap().len(), 2, "cut after 2 bytes");
+    }
+
+    #[test]
+    fn io_error_fault_writes_nothing() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("x.bin");
+        let inj = FaultInjector::new(FaultPlan::new(0).with(0, Fault::IoError));
+        assert!(atomic_write(&path, b"data", Some(&inj)).is_err());
+        assert!(!path.exists());
+        assert_eq!(std::fs::read_dir(dir.path()).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn writer_nonces_differ_within_a_process() {
+        let a = writer_nonce();
+        let b = writer_nonce();
+        assert_ne!(a as u32, b as u32, "low 32 bits (the id prefix) must differ");
+    }
+}

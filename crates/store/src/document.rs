@@ -14,6 +14,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
+use crate::atomic::atomic_write;
+use crate::fault::FaultInjector;
 use crate::storage::{Accounting, StoreError};
 
 /// Generated identifier of a stored document.
@@ -59,6 +61,7 @@ pub struct DocStore {
     accounting: Arc<Accounting>,
     // Serializes id generation scans on reopen.
     init_lock: Arc<Mutex<()>>,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl DocStore {
@@ -75,16 +78,23 @@ impl DocStore {
                 }
             }
         }
-        // The nonce distinguishes writers sharing a directory; derived from
-        // process id + time, it only needs uniqueness, not secrecy.
-        let nonce = std::process::id() as u64 ^ nanotime();
+        // The nonce distinguishes writers sharing a directory; it only
+        // needs uniqueness (across processes and across handles), not
+        // secrecy.
+        let nonce = crate::atomic::writer_nonce();
         Ok(DocStore {
             dir,
             counter: Arc::new(AtomicU64::new(max_seq + 1)),
             nonce,
             accounting,
             init_lock: Arc::new(Mutex::new(())),
+            faults: None,
         })
+    }
+
+    /// Routes every subsequent write through `injector` (fault injection).
+    pub(crate) fn set_faults(&mut self, injector: Arc<FaultInjector>) {
+        self.faults = Some(injector);
     }
 
     fn path_of(&self, id: &DocId) -> PathBuf {
@@ -93,11 +103,19 @@ impl DocStore {
 
     /// Inserts a document of `kind`, returning its generated id.
     pub fn insert(&self, kind: &str, body: serde_json::Value) -> Result<DocId, StoreError> {
-        let seq = self.counter.fetch_add(1, Ordering::Relaxed);
-        let id = DocId(format!("{:08x}-{:x}", self.nonce as u32, seq));
+        // Uniqueness fallback: two writers can race to the same id when
+        // their nonces collide (e.g. a handle reopened from a stale scan),
+        // so skip ids whose file already exists instead of overwriting.
+        let id = loop {
+            let seq = self.counter.fetch_add(1, Ordering::Relaxed);
+            let candidate = DocId(format!("{:08x}-{:x}", self.nonce as u32, seq));
+            if !self.path_of(&candidate).exists() {
+                break candidate;
+            }
+        };
         let doc = Document { id: id.clone(), kind: kind.to_string(), body };
         let bytes = serde_json::to_vec_pretty(&doc)?;
-        std::fs::write(self.path_of(&id), &bytes)?;
+        atomic_write(&self.path_of(&id), &bytes, self.faults.as_deref())?;
         self.accounting.add_written(bytes.len() as u64);
         Ok(id)
     }
@@ -121,7 +139,7 @@ impl DocStore {
         let mut doc = self.get(id)?;
         doc.body = body;
         let bytes = serde_json::to_vec_pretty(&doc)?;
-        std::fs::write(self.path_of(id), &bytes)?;
+        atomic_write(&self.path_of(id), &bytes, self.faults.as_deref())?;
         self.accounting.add_written(bytes.len() as u64);
         Ok(())
     }
@@ -155,13 +173,6 @@ impl DocStore {
         out.sort();
         Ok(out)
     }
-}
-
-fn nanotime() -> u64 {
-    std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
-        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -223,6 +234,49 @@ mod tests {
         assert_ne!(first, second);
         assert!(s2.contains(&first));
         assert_eq!(s2.ids().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn colliding_nonces_never_overwrite_documents() {
+        // Regression: two handles whose nonces collide (and whose counters
+        // restarted at the same point, as after a stale reopen scan) used to
+        // silently overwrite each other's documents. The exists-check
+        // fallback must skip taken ids.
+        let dir = tempfile::tempdir().unwrap();
+        let mut a = store(dir.path());
+        let mut b = store(dir.path());
+        a.nonce = 0xdead_beef;
+        b.nonce = 0xdead_beef;
+        a.counter = Arc::new(AtomicU64::new(1));
+        b.counter = Arc::new(AtomicU64::new(1));
+
+        let mut ids = std::collections::HashSet::new();
+        for i in 0..10 {
+            assert!(ids.insert(a.insert("k", json!({"writer": "a", "i": i})).unwrap()));
+            assert!(ids.insert(b.insert("k", json!({"writer": "b", "i": i})).unwrap()));
+        }
+        assert_eq!(a.ids().unwrap().len(), 20, "no document was overwritten");
+    }
+
+    #[test]
+    fn concurrent_inserts_across_handles_stay_unique() {
+        let dir = tempfile::tempdir().unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = store(dir.path());
+                std::thread::spawn(move || {
+                    (0..25).map(|i| s.insert("k", json!({"i": i})).unwrap()).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut all = std::collections::HashSet::new();
+        for h in handles {
+            for id in h.join().unwrap() {
+                assert!(all.insert(id), "two writers produced the same document id");
+            }
+        }
+        let s = store(dir.path());
+        assert_eq!(s.ids().unwrap().len(), 100);
     }
 
     #[test]

@@ -7,6 +7,8 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
+use crate::atomic::atomic_write;
+use crate::fault::FaultInjector;
 use crate::storage::{Accounting, StoreError};
 
 /// Generated identifier of a stored file.
@@ -38,6 +40,7 @@ pub struct FileStore {
     counter: Arc<AtomicU64>,
     nonce: u64,
     accounting: Arc<Accounting>,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl FileStore {
@@ -53,8 +56,19 @@ impl FileStore {
                 }
             }
         }
-        let nonce = std::process::id() as u64 ^ nanotime();
-        Ok(FileStore { dir, counter: Arc::new(AtomicU64::new(max_seq + 1)), nonce, accounting })
+        let nonce = crate::atomic::writer_nonce();
+        Ok(FileStore {
+            dir,
+            counter: Arc::new(AtomicU64::new(max_seq + 1)),
+            nonce,
+            accounting,
+            faults: None,
+        })
+    }
+
+    /// Routes every subsequent write through `injector` (fault injection).
+    pub(crate) fn set_faults(&mut self, injector: Arc<FaultInjector>) {
+        self.faults = Some(injector);
     }
 
     fn path_of(&self, id: &FileId) -> PathBuf {
@@ -63,11 +77,32 @@ impl FileStore {
 
     /// Stores `bytes`, returning the generated file id.
     pub fn put(&self, bytes: &[u8]) -> Result<FileId, StoreError> {
-        let seq = self.counter.fetch_add(1, Ordering::Relaxed);
-        let id = FileId(format!("{:08x}-{:x}", self.nonce as u32, seq));
-        std::fs::write(self.path_of(&id), bytes)?;
+        // Uniqueness fallback mirroring `DocStore::insert`: skip ids whose
+        // file already exists rather than overwriting a colliding writer's
+        // blob.
+        let id = loop {
+            let seq = self.counter.fetch_add(1, Ordering::Relaxed);
+            let candidate = FileId(format!("{:08x}-{:x}", self.nonce as u32, seq));
+            if !self.path_of(&candidate).exists() {
+                break candidate;
+            }
+        };
+        atomic_write(&self.path_of(&id), bytes, self.faults.as_deref())?;
         self.accounting.add_written(bytes.len() as u64);
         Ok(id)
+    }
+
+    /// Ids of all stored files (diagnostics/fsck).
+    pub fn ids(&self) -> Result<Vec<FileId>, StoreError> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            if let Some(stem) = name.to_str().and_then(|n| n.strip_suffix(".bin")) {
+                out.push(FileId(stem.to_string()));
+            }
+        }
+        out.sort();
+        Ok(out)
     }
 
     /// Loads a file by id.
@@ -112,13 +147,6 @@ impl FileStore {
     }
 }
 
-fn nanotime() -> u64 {
-    std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
-        .unwrap_or(0)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +182,59 @@ mod tests {
         assert!(matches!(s.get(&missing), Err(StoreError::MissingFile(_))));
         assert!(matches!(s.size(&missing), Err(StoreError::MissingFile(_))));
         assert!(!s.contains(&missing));
+    }
+
+    #[test]
+    fn colliding_nonces_never_overwrite_files() {
+        // Regression: writers whose `nanotime()`-derived nonces collided
+        // could hand out the same file id and silently clobber each other's
+        // bytes; the exists-check fallback must skip taken ids.
+        let dir = tempfile::tempdir().unwrap();
+        let mut a = store(dir.path());
+        let mut b = store(dir.path());
+        a.nonce = 0xfeed_f00d;
+        b.nonce = 0xfeed_f00d;
+        a.counter = Arc::new(AtomicU64::new(1));
+        b.counter = Arc::new(AtomicU64::new(1));
+
+        let ia = a.put(b"from-a").unwrap();
+        let ib = b.put(b"from-b").unwrap();
+        assert_ne!(ia, ib);
+        assert_eq!(a.get(&ia).unwrap(), b"from-a");
+        assert_eq!(a.get(&ib).unwrap(), b"from-b");
+    }
+
+    #[test]
+    fn concurrent_puts_across_handles_stay_unique() {
+        let dir = tempfile::tempdir().unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|w: u8| {
+                let s = store(dir.path());
+                std::thread::spawn(move || {
+                    (0..25u8).map(|i| (s.put(&[w, i]).unwrap(), vec![w, i])).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut all = std::collections::HashSet::new();
+        let reader = store(dir.path());
+        for h in handles {
+            for (id, expect) in h.join().unwrap() {
+                assert!(all.insert(id.clone()), "two writers produced the same file id");
+                assert_eq!(reader.get(&id).unwrap(), expect, "blob content intact");
+            }
+        }
+        assert_eq!(reader.ids().unwrap().len(), 100);
+    }
+
+    #[test]
+    fn ids_scan_lists_stored_files() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = store(dir.path());
+        let a = s.put(b"a").unwrap();
+        let b = s.put(b"b").unwrap();
+        let mut expect = vec![a, b];
+        expect.sort();
+        assert_eq!(s.ids().unwrap(), expect);
     }
 
     #[test]

@@ -17,15 +17,24 @@
 //! * [`network`] — [`network::SimNetwork`], a bandwidth/latency transfer
 //!   model for the distributed experiments (the paper's machines share a
 //!   100 Gb/s InfiniBand link). Transfer times are *accounted*, never slept.
+//! * [`fault`] — seeded deterministic fault injection ([`FaultPlan`],
+//!   [`FaultInjector`], [`FaultyBackend`]) driving the crash-consistency
+//!   test matrix.
+//! * [`fsck`] — physical consistency scan of a local root (leftover tmp
+//!   files, unparsable documents) with quarantine-based repair.
 
 #![forbid(unsafe_code)]
 
+mod atomic;
 pub mod document;
+pub mod fault;
 pub mod files;
+pub mod fsck;
 pub mod network;
 pub mod storage;
 
 pub use document::{DocId, DocStore, Document};
+pub use fault::{Fault, FaultInjector, FaultPlan, FaultyBackend};
 pub use files::{FileId, FileStore};
 pub use network::SimNetwork;
 pub use storage::{ModelStorage, StorageBackend, StoreError};

@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::document::{DocId, DocStore, Document};
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::files::{FileId, FileStore};
 
 /// Errors from the storage layer.
@@ -114,6 +115,9 @@ pub trait StorageBackend: Send + Sync {
     /// Deletes a blob.
     fn remove_file(&self, id: &FileId) -> Result<(), StoreError>;
 
+    /// Every stored blob id (diagnostics/fsck).
+    fn file_ids(&self) -> Result<Vec<FileId>, StoreError>;
+
     /// Total bytes written through this backend so far.
     fn bytes_written(&self) -> u64;
 
@@ -173,6 +177,10 @@ impl StorageBackend for LocalBackend {
         self.files.remove(id)
     }
 
+    fn file_ids(&self) -> Result<Vec<FileId>, StoreError> {
+        self.files.ids()
+    }
+
     fn bytes_written(&self) -> u64 {
         self.accounting.written.load(Ordering::Relaxed)
     }
@@ -205,6 +213,28 @@ impl ModelStorage {
         Ok(ModelStorage { backend, root })
     }
 
+    /// Opens local storage like [`ModelStorage::open`], but routes every
+    /// document/file write through a [`FaultInjector`] executing `plan`.
+    /// Writes consume operation indices in issue order, so the plan's op
+    /// numbers address "the K-th write of this run" deterministically.
+    ///
+    /// Returns the injector alongside the storage so tests can inspect how
+    /// many faults actually fired.
+    pub fn open_with_faults(
+        root: impl AsRef<Path>,
+        plan: FaultPlan,
+    ) -> Result<(ModelStorage, Arc<FaultInjector>), StoreError> {
+        let root = root.as_ref().to_path_buf();
+        let injector = Arc::new(FaultInjector::new(plan));
+        let accounting = Arc::new(Accounting::default());
+        let mut docs = DocStore::open(root.join("docs"), Arc::clone(&accounting))?;
+        let mut files = FileStore::open(root.join("files"), Arc::clone(&accounting))?;
+        docs.set_faults(Arc::clone(&injector));
+        files.set_faults(Arc::clone(&injector));
+        let backend = Arc::new(LocalBackend { docs, files, accounting });
+        Ok((ModelStorage { backend, root }, injector))
+    }
+
     /// Wraps a custom backend (e.g. a remote registry client). `descriptor`
     /// labels the storage location in diagnostics, like the root directory
     /// does for local storage.
@@ -218,6 +248,12 @@ impl ModelStorage {
     /// The storage root directory (or descriptor for non-local backends).
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// The underlying backend handle (for wrapping, e.g. by
+    /// [`FaultyBackend`](crate::fault::FaultyBackend)).
+    pub fn backend(&self) -> Arc<dyn StorageBackend> {
+        Arc::clone(&self.backend)
     }
 
     /// The document half.
@@ -316,6 +352,10 @@ impl FilesView<'_> {
 
     pub fn remove(&self, id: &FileId) -> Result<(), StoreError> {
         self.backend.remove_file(id)
+    }
+
+    pub fn ids(&self) -> Result<Vec<FileId>, StoreError> {
+        self.backend.file_ids()
     }
 }
 

@@ -7,5 +7,16 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test --workspace -q
+
+# Fault matrix: BA/PUA/MPA x 32 seeded fault plans, pinned to a fixed seed
+# base so every run exercises the identical fault schedule. Failures print
+# the offending plan; reproduce any cell with the same seed base.
+FAULT_SEED_BASE=1024151
+if ! MMLIB_FAULT_SEED_BASE="$FAULT_SEED_BASE" cargo test --test fault_matrix -q; then
+    echo "check.sh: fault matrix FAILED at seed base $FAULT_SEED_BASE" >&2
+    echo "reproduce: MMLIB_FAULT_SEED_BASE=$FAULT_SEED_BASE cargo test --test fault_matrix" >&2
+    exit 1
+fi
+
 cargo clippy --workspace --all-targets -- -D warnings
 echo "check.sh: all gates passed"
