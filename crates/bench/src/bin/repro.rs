@@ -13,7 +13,10 @@
 //! default 1.0 = the paper's sizes), `--dist-scale <f>` (DIST-N flows,
 //! default 1/16), `--runs <n>` (repetitions for timed experiments,
 //! default 1; the paper uses 5), `--fast` (smaller stand-ins for the most
-//! expensive experiments).
+//! expensive experiments), `--json [path]` (skip the tables/figures and
+//! instead run the per-approach phase benchmark, writing TTS/TTR/storage
+//! phase breakdowns to `path`, default `BENCH_PR4.json`; exits nonzero if
+//! any instrumented phase reports zero samples).
 
 use std::time::{Duration, Instant};
 
@@ -35,6 +38,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = HarnessConfig::default();
     let mut experiments: Vec<String> = Vec::new();
+    let mut json_out: Option<String> = None;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -42,12 +46,21 @@ fn main() {
             "--dist-scale" => config.dist_scale = take_f64(&mut iter, "--dist-scale"),
             "--runs" => config.runs = take_f64(&mut iter, "--runs") as usize,
             "--fast" => config.fast = true,
+            "--json" => {
+                json_out = Some(match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next().unwrap().clone(),
+                    _ => "BENCH_PR4.json".to_string(),
+                });
+            }
             other if other.starts_with("--") => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
             }
             exp => experiments.push(exp.to_string()),
         }
+    }
+    if let Some(path) = json_out {
+        return json_bench(&config, &path);
     }
     if experiments.is_empty() {
         experiments.push("all".into());
@@ -91,6 +104,23 @@ fn main() {
             }
         }
         println!("[{exp} done in {:.1?}]\n", start.elapsed());
+    }
+}
+
+/// `repro --json`: the per-approach phase benchmark. One standard flow per
+/// approach at the pinned seed, written as JSON; a phase that recorded zero
+/// samples fails the run (it means an instrumentation path went dark).
+fn json_bench(config: &HarnessConfig, path: &str) {
+    let start = Instant::now();
+    let (doc, problems) = mmlib_bench::phase_benchmark(config, 42);
+    let rendered = serde_json::to_string_pretty(&doc).expect("render benchmark JSON");
+    std::fs::write(path, rendered + "\n").expect("write benchmark JSON");
+    println!("wrote {path} in {:.1?}", start.elapsed());
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("phase coverage regression: {p}");
+        }
+        std::process::exit(3);
     }
 }
 

@@ -79,6 +79,119 @@ pub fn mb(bytes: u64) -> f64 {
     bytes as f64 / 1e6
 }
 
+/// The save phases each approach is expected to exercise during a standard
+/// flow (its U1 is always a full snapshot, so the baseline's phases appear
+/// in every approach's flow; listed here are the phases of the approach's
+/// own U2/U3 saves plus that shared snapshot).
+pub fn expected_save_phases(approach: ApproachKind) -> &'static [&'static str] {
+    match approach {
+        ApproachKind::Baseline => &["serialize", "hash", "write"],
+        ApproachKind::ParamUpdate => &["diff", "hash", "serialize", "write"],
+        ApproachKind::Provenance => &["pack", "hash", "write"],
+    }
+}
+
+/// Recover phases every recovery reports (zero-duration phases included).
+pub const EXPECTED_RECOVER_PHASES: [&str; 4] = ["fetch", "rebuild", "check_env", "verify"];
+
+/// Aggregates phase breakdowns into `{phase: {seconds, samples}}`, where
+/// `samples` counts the records whose breakdown contains the phase.
+fn phase_stats<'a>(
+    breakdowns: impl Iterator<Item = &'a mmlib_obs::PhaseBreakdown>,
+) -> serde_json::Value {
+    let mut acc: Vec<(String, f64, u64)> = Vec::new();
+    for b in breakdowns {
+        for (phase, d) in b.entries() {
+            match acc.iter_mut().find(|(p, _, _)| p == phase) {
+                Some(slot) => {
+                    slot.1 += d.as_secs_f64();
+                    slot.2 += 1;
+                }
+                None => acc.push((phase.to_string(), d.as_secs_f64(), 1)),
+            }
+        }
+    }
+    let mut map = serde_json::Map::new();
+    for (phase, seconds, samples) in acc {
+        map.insert(
+            phase,
+            serde_json::json!({"seconds": seconds, "samples": samples}),
+        );
+    }
+    serde_json::Value::Object(map)
+}
+
+/// Runs the standard flow once per approach at a pinned scale/seed and
+/// renders per-approach TTS/TTR/storage with per-phase breakdowns as JSON
+/// (the `repro --json` payload, written to `BENCH_PR4.json`).
+///
+/// Returns the document and the list of problems — instrumented phases that
+/// reported zero samples — so callers can fail the run on regressions.
+pub fn phase_benchmark(config: &HarnessConfig, seed: u64) -> (serde_json::Value, Vec<String>) {
+    let mut approaches = serde_json::Map::new();
+    let mut problems = Vec::new();
+    for approach in ApproachKind::all() {
+        let flow = standard_flow_config(
+            approach,
+            ArchId::MobileNetV2,
+            ModelRelation::PartiallyUpdated,
+            mmlib_data::DatasetId::CocoFood512,
+            config.scale,
+            true,
+            seed,
+        );
+        let result = run_flow_runs(&flow, config.runs);
+        let tts = mmlib_dist::metrics::median_duration(
+            result.saves.iter().map(|s| s.tts).collect(),
+        );
+        let ttr = mmlib_dist::metrics::median_duration(
+            result.recovers.iter().map(|r| r.ttr).collect(),
+        );
+        let storage = mmlib_dist::metrics::median_u64(
+            result.saves.iter().map(|s| s.storage_bytes).collect(),
+        );
+        let save_phases = phase_stats(result.saves.iter().map(|s| &s.phases));
+        let recover_phases = phase_stats(result.recovers.iter().map(|r| &r.phases));
+
+        for &phase in expected_save_phases(approach) {
+            if save_phases[phase]["samples"].as_u64().unwrap_or(0) == 0 {
+                problems.push(format!("{}: save phase {phase:?} has zero samples", approach.abbrev()));
+            }
+        }
+        for phase in EXPECTED_RECOVER_PHASES {
+            if recover_phases[phase]["samples"].as_u64().unwrap_or(0) == 0 {
+                problems.push(format!("{}: recover phase {phase:?} has zero samples", approach.abbrev()));
+            }
+        }
+
+        approaches.insert(
+            approach.abbrev().to_string(),
+            serde_json::json!({
+                "saves": result.saves.len(),
+                "recovers": result.recovers.len(),
+                "tts_ms_median": tts.as_secs_f64() * 1e3,
+                "ttr_ms_median": ttr.as_secs_f64() * 1e3,
+                "storage_bytes_median": storage,
+                "save_phases": save_phases,
+                "recover_phases": recover_phases,
+            }),
+        );
+    }
+    let doc = serde_json::json!({
+        "config": {
+            "scale": config.scale,
+            "runs": config.runs,
+            "fast": config.fast,
+            "seed": seed,
+            "arch": "mobilenetv2",
+            "flow": "STANDARD",
+            "relation": "PartiallyUpdated",
+        },
+        "approaches": serde_json::Value::Object(approaches),
+    });
+    (doc, problems)
+}
+
 /// Formats a flow kind name for DIST experiments respecting fast mode.
 pub fn dist_flow_kind(fast: bool) -> FlowKind {
     if fast {

@@ -50,7 +50,9 @@ commands:\n  \
   fsck [--repair] [--no-hashes]\n                           \
 check store consistency: re-verify layer hashes, find\n                           \
 orphans/truncations; --repair quarantines damaged entries\n  \
-  stats                    store statistics\n  \
+  stats                    store statistics; with --remote, the server's\n                           \
+live metrics registry in Prometheus text format\n                           \
+(per-opcode requests/latency/bytes, save/recover phases)\n  \
   serve --addr <ip:port> [--for <secs>]\n                           \
 serve the store as a TCP model registry (requires --store)\n\
 \n\
@@ -78,6 +80,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         let store_dir = store_dir
             .ok_or_else(|| CliError::Usage(format!("serve needs a local --store\n{USAGE}")))?;
         return serve(&store_dir, tail);
+    }
+
+    // `stats --remote` asks the server for its registry instead of walking
+    // documents: the server sees every node's traffic, the client doesn't.
+    if command == "stats" {
+        if let Some(addr) = &remote_addr {
+            let client = mmlib_net::RemoteStore::connect(addr.as_str()).map_err(fail)?;
+            return client.server_stats_text().map_err(fail);
+        }
     }
 
     let storage = match (store_dir, remote_addr) {
@@ -130,7 +141,14 @@ fn serve(store_dir: &str, tail: &[&str]) -> Result<String, CliError> {
     }
 
     let storage = ModelStorage::open(Path::new(store_dir)).map_err(fail)?;
-    let mut server = mmlib_net::RegistryServer::bind(storage, addr.as_str()).map_err(fail)?;
+    // The server's registry carries its own wire metrics plus the full
+    // save/recover phase taxonomy (pre-registered so `mmlib stats --remote`
+    // always shows the complete exposition, even before any save ran).
+    let recorder = std::sync::Arc::new(mmlib_obs::Recorder::new());
+    mmlib_core::register_metrics(&recorder);
+    let config = mmlib_net::ServerConfig { recorder: Some(recorder), ..Default::default() };
+    let mut server =
+        mmlib_net::RegistryServer::bind_with_config(storage, addr.as_str(), config).map_err(fail)?;
     // Announce immediately — clients need the address while we block.
     println!("mmlib registry serving {store_dir} on {}", server.addr());
     match run_for {

@@ -174,6 +174,39 @@ fn remote_flag_runs_commands_against_a_served_store() {
 
     // Registry metrics saw the traffic.
     assert!(server.metrics().total_requests() > 0);
+
+    // `stats --remote` renders the server's registry, not local doc counts.
+    let out = run(&remote(&["stats"])).unwrap();
+    assert!(out.contains("# TYPE mmlib_net_requests_total counter"), "{out}");
+    assert!(out.contains("mmlib_net_request_seconds_bucket"), "{out}");
+    assert!(out.contains("mmlib_net_bytes_out_total"), "{out}");
+}
+
+#[test]
+fn remote_stats_includes_phase_taxonomy_when_served_like_serve() {
+    // A server configured the way `mmlib serve` configures one: the core
+    // save/recover phase taxonomy is pre-registered on its recorder, so
+    // the exposition carries phase histograms alongside wire metrics.
+    let dir = tempfile::tempdir().unwrap();
+    seed_store(dir.path());
+    let recorder = std::sync::Arc::new(mmlib_obs::Recorder::new());
+    mmlib_core::register_metrics(&recorder);
+    let server = mmlib_net::RegistryServer::bind_with_config(
+        ModelStorage::open(dir.path()).unwrap(),
+        "127.0.0.1:0",
+        mmlib_net::ServerConfig { recorder: Some(recorder), ..Default::default() },
+    )
+    .unwrap();
+    let out = run(&[
+        "--remote".to_string(),
+        server.addr().to_string(),
+        "stats".to_string(),
+    ])
+    .unwrap();
+    assert!(out.contains("# TYPE mmlib_save_phase_seconds histogram"), "{out}");
+    assert!(out.contains("mmlib_save_phase_seconds_count{phase=\"hash\"}"), "{out}");
+    assert!(out.contains("mmlib_recover_phase_seconds_count{phase=\"fetch\"}"), "{out}");
+    assert!(out.contains("mmlib_net_requests_total{opcode=\"stats_text\"} 1"), "{out}");
 }
 
 #[test]

@@ -9,12 +9,14 @@
 use std::time::Instant;
 
 use mmlib_model::Model;
+use mmlib_obs::PhaseClock;
 use mmlib_tensor::ser::{state_from_bytes, state_to_bytes};
 
 use crate::error::CoreError;
 use crate::merkle::MerkleTree;
 use crate::meta::{ModelInfoDoc, ModelRelation, SavedModelId};
 use crate::recovery::{RecoverBreakdown, SaveService};
+use crate::report::SaveRequest;
 
 impl SaveService {
     /// Saves a complete snapshot of `model` (the baseline approach).
@@ -22,44 +24,64 @@ impl SaveService {
     /// `base` is recorded as metadata only — the baseline "explicitly
     /// excludes loading documents holding base model information" at
     /// recovery. `relation` documents how this model relates to its base.
+    ///
+    /// Thin wrapper over [`SaveService::save`] with a
+    /// [`SaveRequest::full`] request.
     pub fn save_full(
         &self,
         model: &Model,
         base: Option<&SavedModelId>,
         relation: &str,
     ) -> Result<SavedModelId, CoreError> {
+        let mut req = SaveRequest::full(model).relation(relation);
+        if let Some(base) = base {
+            req = req.base(base);
+        }
+        Ok(self.save(req)?.id)
+    }
+
+    pub(crate) fn save_full_phased(
+        &self,
+        model: &Model,
+        base: Option<&SavedModelId>,
+        relation: &str,
+        clock: &mut PhaseClock<'_>,
+    ) -> Result<SavedModelId, CoreError> {
         let relation = parse_relation(relation, base)?;
-        let env_doc = self.save_environment()?;
+        let env_doc = clock.time("write", || self.save_environment())?;
 
         // Architecture code file.
-        let code_file = self.storage().put_file(model.arch.source_code().as_bytes())?;
+        let code_file =
+            clock.time("write", || self.storage().put_file(model.arch.source_code().as_bytes()))?;
 
         // Full state dict file.
         let entries = model.state_entries();
-        let bytes = state_to_bytes(
-            entries.iter().map(|(p, t, _, _)| (p.as_str(), *t)).collect::<Vec<_>>(),
-        );
-        let weights_file = self.storage().put_file(&bytes)?;
+        let bytes = clock.time("serialize", || {
+            state_to_bytes(entries.iter().map(|(p, t, _, _)| (p.as_str(), *t)).collect::<Vec<_>>())
+        });
+        let weights_file = clock.time("write", || self.storage().put_file(&bytes))?;
 
         // Layer hashes: the baseline's optional recovery checksums —
         // mmlib always stores them, as the paper's PUA interop requires a
         // base's hashes to be loadable without recovering it.
-        let tree = MerkleTree::from_model(model);
-        let hash_doc = self.save_layer_hashes(&tree)?;
+        let tree = clock.time("hash", || MerkleTree::from_model(model));
+        let hash_doc = clock.time("write", || self.save_layer_hashes(&tree))?;
 
-        self.save_model_info(&ModelInfoDoc {
-            approach: crate::meta::ApproachKind::Baseline,
-            arch: model.arch.name().to_string(),
-            relation,
-            base_model: base.map(|b| b.doc_id().as_str().to_string()),
-            environment_doc: env_doc.as_str().to_string(),
-            code_file: Some(code_file.as_str().to_string()),
-            weights_file: Some(weights_file.as_str().to_string()),
-            update_encoding: None,
-            layer_hash_doc: hash_doc.as_str().to_string(),
-            root_hash: tree.root().to_hex(),
-            train_doc: None,
-            dataset: None,
+        clock.time("write", || {
+            self.save_model_info(&ModelInfoDoc {
+                approach: crate::meta::ApproachKind::Baseline,
+                arch: model.arch.name().to_string(),
+                relation,
+                base_model: base.map(|b| b.doc_id().as_str().to_string()),
+                environment_doc: env_doc.as_str().to_string(),
+                code_file: Some(code_file.as_str().to_string()),
+                weights_file: Some(weights_file.as_str().to_string()),
+                update_encoding: None,
+                layer_hash_doc: hash_doc.as_str().to_string(),
+                root_hash: tree.root().to_hex(),
+                train_doc: None,
+                dataset: None,
+            })
         })
     }
 

@@ -59,6 +59,7 @@ pub mod policy;
 pub mod probe;
 pub mod provenance;
 pub mod recovery;
+pub mod report;
 pub mod verify;
 pub mod wrapper;
 
@@ -70,3 +71,7 @@ pub use meta::{ApproachKind, ModelRelation, SavedModelId};
 pub use probe::{ProbeRecord, ProbeReport};
 pub use provenance::TrainProvenance;
 pub use recovery::{RecoverBreakdown, RecoverOptions, RecoveredModel, SaveService};
+pub use report::{
+    register_metrics, RecoverReport, SaveReport, SaveRequest, VerifyOutcome, RECOVER_PHASES,
+    SAVE_PHASES,
+};

@@ -12,28 +12,45 @@
 use std::time::Instant;
 
 use mmlib_model::Model;
+use mmlib_obs::PhaseClock;
 use mmlib_tensor::ser::{state_from_bytes, state_to_bytes};
 
 use crate::error::CoreError;
 use crate::merkle::{MerkleDiff, MerkleTree};
 use crate::meta::{ApproachKind, ModelInfoDoc, SavedModelId};
 use crate::recovery::{RecoverBreakdown, RecoverOptions, SaveService};
+use crate::report::SaveRequest;
 
 impl SaveService {
     /// Saves `model` as a parameter update against `base`.
     ///
     /// Returns the saved id and the Merkle diff that determined the update
     /// (exposed for the Fig. 4 comparison-count experiments).
+    ///
+    /// Thin wrapper over [`SaveService::save`] with a
+    /// [`SaveRequest::update`] request.
     pub fn save_update(
         &self,
         model: &Model,
         base: &SavedModelId,
         relation: &str,
     ) -> Result<(SavedModelId, MerkleDiff), CoreError> {
+        let report = self.save(SaveRequest::update(model, base).relation(relation))?;
+        let diff = report.diff.expect("update reports carry a diff");
+        Ok((report.id, diff))
+    }
+
+    pub(crate) fn save_update_phased(
+        &self,
+        model: &Model,
+        base: &SavedModelId,
+        relation: &str,
+        clock: &mut PhaseClock<'_>,
+    ) -> Result<(SavedModelId, MerkleDiff), CoreError> {
         let relation = crate::baseline::parse_relation(relation, Some(base))?;
 
         // Load only the base's hash document — not its parameters.
-        let base_info = self.load_model_info(base)?;
+        let base_info = clock.time("diff", || self.load_model_info(base))?;
         if base_info.arch != model.arch.name() {
             return Err(CoreError::BadModelDocument {
                 id: base.clone(),
@@ -44,41 +61,45 @@ impl SaveService {
                 ),
             });
         }
-        let base_tree = self.load_layer_hashes(&base_info, base)?;
-        let tree = MerkleTree::from_model(model);
-        let diff = base_tree.diff(&tree);
+        let base_tree = clock.time("diff", || self.load_layer_hashes(&base_info, base))?;
+        let tree = clock.time("hash", || MerkleTree::from_model(model));
+        let diff = clock.time("diff", || base_tree.diff(&tree));
 
         // Serialize only the changed layers' state entries (parameters and
         // buffers — both are part of the exact representation).
         let changed: std::collections::BTreeSet<&str> =
             diff.changed.iter().map(|s| s.as_str()).collect();
         let entries = model.state_entries();
-        let update: Vec<(&str, &mmlib_tensor::Tensor)> = entries
-            .iter()
-            .filter(|(path, _, _, _)| {
-                let layer = path.rsplit_once('.').map_or("", |(l, _)| l);
-                changed.contains(layer)
-            })
-            .map(|(p, t, _, _)| (p.as_str(), *t))
-            .collect();
-        let bytes = state_to_bytes(update);
-        let weights_file = self.storage().put_file(&bytes)?;
+        let bytes = clock.time("serialize", || {
+            let update: Vec<(&str, &mmlib_tensor::Tensor)> = entries
+                .iter()
+                .filter(|(path, _, _, _)| {
+                    let layer = path.rsplit_once('.').map_or("", |(l, _)| l);
+                    changed.contains(layer)
+                })
+                .map(|(p, t, _, _)| (p.as_str(), *t))
+                .collect();
+            state_to_bytes(update)
+        });
+        let weights_file = clock.time("write", || self.storage().put_file(&bytes))?;
 
-        let env_doc = self.save_environment()?;
-        let hash_doc = self.save_layer_hashes(&tree)?;
-        let id = self.save_model_info(&ModelInfoDoc {
-            approach: ApproachKind::ParamUpdate,
-            arch: model.arch.name().to_string(),
-            relation,
-            base_model: Some(base.doc_id().as_str().to_string()),
-            environment_doc: env_doc.as_str().to_string(),
-            code_file: None, // derived models share the base's code
-            weights_file: Some(weights_file.as_str().to_string()),
-            update_encoding: None,
-            layer_hash_doc: hash_doc.as_str().to_string(),
-            root_hash: tree.root().to_hex(),
-            train_doc: None,
-            dataset: None,
+        let env_doc = clock.time("write", || self.save_environment())?;
+        let hash_doc = clock.time("write", || self.save_layer_hashes(&tree))?;
+        let id = clock.time("write", || {
+            self.save_model_info(&ModelInfoDoc {
+                approach: ApproachKind::ParamUpdate,
+                arch: model.arch.name().to_string(),
+                relation,
+                base_model: Some(base.doc_id().as_str().to_string()),
+                environment_doc: env_doc.as_str().to_string(),
+                code_file: None, // derived models share the base's code
+                weights_file: Some(weights_file.as_str().to_string()),
+                update_encoding: None,
+                layer_hash_doc: hash_doc.as_str().to_string(),
+                root_hash: tree.root().to_hex(),
+                train_doc: None,
+                dataset: None,
+            })
         })?;
         Ok((id, diff))
     }
@@ -91,6 +112,8 @@ impl SaveService {
     /// common U3 situation: the node just derived `model` from `base_model`
     /// and still holds both. The base's integrity is checked against the
     /// stored root hash before any delta is formed.
+    /// Thin wrapper over [`SaveService::save`] with a
+    /// [`SaveRequest::compressed_update`] request.
     pub fn save_update_compressed(
         &self,
         model: &Model,
@@ -98,8 +121,23 @@ impl SaveService {
         base: &SavedModelId,
         relation: &str,
     ) -> Result<(SavedModelId, MerkleDiff, mmlib_compress::EncodedUpdate), CoreError> {
+        let report =
+            self.save(SaveRequest::compressed_update(model, base_model, base).relation(relation))?;
+        let diff = report.diff.expect("compressed-update reports carry a diff");
+        let encoded = report.encoded.expect("compressed-update reports carry the encoding");
+        Ok((report.id, diff, encoded))
+    }
+
+    pub(crate) fn save_update_compressed_phased(
+        &self,
+        model: &Model,
+        base_model: &Model,
+        base: &SavedModelId,
+        relation: &str,
+        clock: &mut PhaseClock<'_>,
+    ) -> Result<(SavedModelId, MerkleDiff, mmlib_compress::EncodedUpdate), CoreError> {
         let relation = crate::baseline::parse_relation(relation, Some(base))?;
-        let base_info = self.load_model_info(base)?;
+        let base_info = clock.time("diff", || self.load_model_info(base))?;
         if base_info.arch != model.arch.name() || base_model.arch != model.arch {
             return Err(CoreError::BadModelDocument {
                 id: base.clone(),
@@ -107,12 +145,15 @@ impl SaveService {
             });
         }
         // The in-memory base must be the stored base, or deltas would
-        // decode against the wrong parameters.
-        crate::verify::verify_against_root(base_model, &base_info.root_hash, base)?;
+        // decode against the wrong parameters. (Charged to "hash": this is
+        // a Merkle pass over the base's parameters.)
+        clock.time("hash", || {
+            crate::verify::verify_against_root(base_model, &base_info.root_hash, base)
+        })?;
 
-        let base_tree = self.load_layer_hashes(&base_info, base)?;
-        let tree = MerkleTree::from_model(model);
-        let diff = base_tree.diff(&tree);
+        let base_tree = clock.time("diff", || self.load_layer_hashes(&base_info, base))?;
+        let tree = clock.time("hash", || MerkleTree::from_model(model));
+        let diff = clock.time("diff", || base_tree.diff(&tree));
         let changed: std::collections::BTreeSet<&str> =
             diff.changed.iter().map(|s| s.as_str()).collect();
 
@@ -130,24 +171,26 @@ impl SaveService {
         let base_map: std::collections::BTreeMap<&str, &mmlib_tensor::Tensor> =
             base_entries.iter().map(|(p, t, _, _)| (p.as_str(), *t)).collect();
         let base_fn = |name: &str| base_map.get(name).copied();
-        let encoded = mmlib_compress::encode_update(&update, &base_fn);
-        let weights_file = self.storage().put_file(&encoded.bytes)?;
+        let encoded = clock.time("compress", || mmlib_compress::encode_update(&update, &base_fn));
+        let weights_file = clock.time("write", || self.storage().put_file(&encoded.bytes))?;
 
-        let env_doc = self.save_environment()?;
-        let hash_doc = self.save_layer_hashes(&tree)?;
-        let id = self.save_model_info(&ModelInfoDoc {
-            approach: ApproachKind::ParamUpdate,
-            arch: model.arch.name().to_string(),
-            relation,
-            base_model: Some(base.doc_id().as_str().to_string()),
-            environment_doc: env_doc.as_str().to_string(),
-            code_file: None,
-            weights_file: Some(weights_file.as_str().to_string()),
-            update_encoding: Some("delta_v1".to_string()),
-            layer_hash_doc: hash_doc.as_str().to_string(),
-            root_hash: tree.root().to_hex(),
-            train_doc: None,
-            dataset: None,
+        let env_doc = clock.time("write", || self.save_environment())?;
+        let hash_doc = clock.time("write", || self.save_layer_hashes(&tree))?;
+        let id = clock.time("write", || {
+            self.save_model_info(&ModelInfoDoc {
+                approach: ApproachKind::ParamUpdate,
+                arch: model.arch.name().to_string(),
+                relation,
+                base_model: Some(base.doc_id().as_str().to_string()),
+                environment_doc: env_doc.as_str().to_string(),
+                code_file: None,
+                weights_file: Some(weights_file.as_str().to_string()),
+                update_encoding: Some("delta_v1".to_string()),
+                layer_hash_doc: hash_doc.as_str().to_string(),
+                root_hash: tree.root().to_hex(),
+                train_doc: None,
+                dataset: None,
+            })
         })?;
         Ok((id, diff, encoded))
     }

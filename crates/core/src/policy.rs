@@ -87,6 +87,9 @@ impl SaveService {
     ///
     /// `provenance` must be supplied when the cheap approach is
     /// [`ApproachKind::Provenance`].
+    ///
+    /// Thin wrapper over [`SaveService::save`] with a
+    /// [`crate::report::SaveRequest::with_policy`] request.
     pub fn save_with_policy(
         &self,
         model: &mmlib_model::Model,
@@ -95,40 +98,17 @@ impl SaveService {
         policy: ChainPolicy,
         provenance: Option<&TrainProvenance>,
     ) -> Result<PolicySaveOutcome, CoreError> {
-        let base_depth = self.chain_depth(base)?;
-        let would_be = base_depth + 1;
-        if would_be > policy.max_depth {
-            let id = self.save_full(model, Some(base), relation)?;
-            return Ok(PolicySaveOutcome { id, used: ApproachKind::Baseline, chain_depth: 0, diff: None });
+        let mut req = crate::report::SaveRequest::with_policy(model, base, policy).relation(relation);
+        if let Some(prov) = provenance {
+            req = req.provenance_data(prov);
         }
-        match policy.cheap {
-            ApproachKind::Baseline => {
-                let id = self.save_full(model, Some(base), relation)?;
-                Ok(PolicySaveOutcome { id, used: ApproachKind::Baseline, chain_depth: 0, diff: None })
-            }
-            ApproachKind::ParamUpdate => {
-                let (id, diff) = self.save_update(model, base, relation)?;
-                Ok(PolicySaveOutcome {
-                    id,
-                    used: ApproachKind::ParamUpdate,
-                    chain_depth: would_be,
-                    diff: Some(diff),
-                })
-            }
-            ApproachKind::Provenance => {
-                let prov = provenance.ok_or_else(|| CoreError::BadModelDocument {
-                    id: base.clone(),
-                    reason: "provenance chain policy requires TrainProvenance".into(),
-                })?;
-                let id = self.save_provenance(model, base, prov)?;
-                Ok(PolicySaveOutcome {
-                    id,
-                    used: ApproachKind::Provenance,
-                    chain_depth: would_be,
-                    diff: None,
-                })
-            }
-        }
+        let report = self.save(req)?;
+        Ok(PolicySaveOutcome {
+            id: report.id,
+            used: report.approach,
+            chain_depth: report.chain_depth.expect("policy saves report a chain depth"),
+            diff: report.diff,
+        })
     }
 }
 

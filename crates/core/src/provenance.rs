@@ -15,12 +15,14 @@ use std::time::Instant;
 use mmlib_data::loader::LoaderConfig;
 use mmlib_data::{container, Dataset, DatasetId};
 use mmlib_model::Model;
+use mmlib_obs::PhaseClock;
 use mmlib_train::{ImageNetTrainService, OptimizerConfig, TrainConfig, TrainService};
 
 use crate::error::CoreError;
 use crate::merkle::MerkleTree;
 use crate::meta::{ApproachKind, DatasetRef, ModelInfoDoc, ModelRelation, SavedModelId};
 use crate::recovery::{RecoverBreakdown, RecoverOptions, SaveService};
+use crate::report::SaveRequest;
 use crate::wrapper;
 
 /// Everything the provenance approach must capture about one training run.
@@ -56,11 +58,24 @@ impl SaveService {
     ///
     /// The model's parameters are **not** stored — only its Merkle root (to
     /// verify the replay) and the provenance needed to reproduce it.
+    ///
+    /// Thin wrapper over [`SaveService::save`] with a
+    /// [`SaveRequest::provenance`] request.
     pub fn save_provenance(
         &self,
         model_after_training: &Model,
         base: &SavedModelId,
         prov: &TrainProvenance,
+    ) -> Result<SavedModelId, CoreError> {
+        Ok(self.save(SaveRequest::provenance(model_after_training, base, prov))?.id)
+    }
+
+    pub(crate) fn save_provenance_phased(
+        &self,
+        model_after_training: &Model,
+        base: &SavedModelId,
+        prov: &TrainProvenance,
+        clock: &mut PhaseClock<'_>,
     ) -> Result<SavedModelId, CoreError> {
         if prov.relation == ModelRelation::Initial {
             return Err(CoreError::BadModelDocument {
@@ -80,8 +95,8 @@ impl SaveService {
         let container_file = if prov.dataset_external {
             None
         } else {
-            let packed = container::pack(&dataset);
-            Some(self.storage().put_file(&packed)?.as_str().to_string())
+            let packed = clock.time("pack", || container::pack(&dataset));
+            Some(clock.time("write", || self.storage().put_file(&packed))?.as_str().to_string())
         };
         let dataset_ref = DatasetRef {
             name: prov.dataset_id.short_name().to_string(),
@@ -91,40 +106,47 @@ impl SaveService {
         };
 
         // (1) Training process: wrapper documents.
-        let loader_doc = wrapper::save_loader_wrapper(self.storage(), &prov.loader_config)?;
-        let sgd_doc = wrapper::save_optimizer_wrapper(
-            self.storage(),
-            &prov.optimizer,
-            &prov.optimizer_state_before,
-        )?;
-        let train_doc = wrapper::save_train_service_wrapper(
-            self.storage(),
-            &prov.train_config,
-            &loader_doc,
-            &sgd_doc,
-        )?;
+        let loader_doc =
+            clock.time("write", || wrapper::save_loader_wrapper(self.storage(), &prov.loader_config))?;
+        let sgd_doc = clock.time("write", || {
+            wrapper::save_optimizer_wrapper(
+                self.storage(),
+                &prov.optimizer,
+                &prov.optimizer_state_before,
+            )
+        })?;
+        let train_doc = clock.time("write", || {
+            wrapper::save_train_service_wrapper(
+                self.storage(),
+                &prov.train_config,
+                &loader_doc,
+                &sgd_doc,
+            )
+        })?;
 
         // (2) Environment.
-        let env_doc = self.save_environment()?;
+        let env_doc = clock.time("write", || self.save_environment())?;
 
         // Verification data: the resulting model's layer hashes.
-        let tree = MerkleTree::from_model(model_after_training);
-        let hash_doc = self.save_layer_hashes(&tree)?;
+        let tree = clock.time("hash", || MerkleTree::from_model(model_after_training));
+        let hash_doc = clock.time("write", || self.save_layer_hashes(&tree))?;
 
         // (4) Base reference, tied together in the model-info document.
-        self.save_model_info(&ModelInfoDoc {
-            approach: ApproachKind::Provenance,
-            arch: model_after_training.arch.name().to_string(),
-            relation: prov.relation,
-            base_model: Some(base.doc_id().as_str().to_string()),
-            environment_doc: env_doc.as_str().to_string(),
-            code_file: None,
-            weights_file: None,
-            update_encoding: None,
-            layer_hash_doc: hash_doc.as_str().to_string(),
-            root_hash: tree.root().to_hex(),
-            train_doc: Some(train_doc.as_str().to_string()),
-            dataset: Some(dataset_ref),
+        clock.time("write", || {
+            self.save_model_info(&ModelInfoDoc {
+                approach: ApproachKind::Provenance,
+                arch: model_after_training.arch.name().to_string(),
+                relation: prov.relation,
+                base_model: Some(base.doc_id().as_str().to_string()),
+                environment_doc: env_doc.as_str().to_string(),
+                code_file: None,
+                weights_file: None,
+                update_encoding: None,
+                layer_hash_doc: hash_doc.as_str().to_string(),
+                root_hash: tree.root().to_hex(),
+                train_doc: Some(train_doc.as_str().to_string()),
+                dataset: Some(dataset_ref),
+            })
         })
     }
 

@@ -6,9 +6,11 @@
 //! [`SaveService::recover`] entry point that resolves base-model chains
 //! recursively — the paper's recursive recovery of §3.2/§3.3.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mmlib_model::{ArchId, Model};
+use mmlib_obs::Recorder;
 use mmlib_store::{DocId, FileId, ModelStorage};
 
 use crate::env::EnvironmentInfo;
@@ -31,6 +33,31 @@ pub struct RecoverOptions {
 impl Default for RecoverOptions {
     fn default() -> Self {
         RecoverOptions { check_env: true, verify: true, max_chain_depth: 1024 }
+    }
+}
+
+impl RecoverOptions {
+    /// The defaults: environment check on, verification on, depth 1024.
+    pub fn new() -> RecoverOptions {
+        RecoverOptions::default()
+    }
+
+    /// Enables/disables the environment check.
+    pub fn check_env(mut self, on: bool) -> RecoverOptions {
+        self.check_env = on;
+        self
+    }
+
+    /// Enables/disables Merkle-root verification of the result.
+    pub fn verify(mut self, on: bool) -> RecoverOptions {
+        self.verify = on;
+        self
+    }
+
+    /// Sets the maximum base-chain depth.
+    pub fn max_chain_depth(mut self, depth: usize) -> RecoverOptions {
+        self.max_chain_depth = depth;
+        self
     }
 }
 
@@ -78,13 +105,28 @@ impl std::fmt::Debug for RecoveredModel {
 pub struct SaveService {
     storage: ModelStorage,
     environment: EnvironmentInfo,
+    obs: Option<Arc<Recorder>>,
 }
 
 impl SaveService {
     /// Creates a service over a storage backend, capturing the current
-    /// environment once.
+    /// environment once. Metrics go to the process-wide
+    /// [`mmlib_obs::recorder`] unless overridden with
+    /// [`SaveService::with_recorder`].
     pub fn new(storage: ModelStorage) -> SaveService {
-        SaveService { storage, environment: EnvironmentInfo::capture() }
+        SaveService { storage, environment: EnvironmentInfo::capture(), obs: None }
+    }
+
+    /// Routes this service's metrics to `recorder` instead of the global
+    /// one (isolated accounting for tests and benches).
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> SaveService {
+        self.obs = Some(recorder);
+        self
+    }
+
+    /// The recorder this service reports to.
+    pub(crate) fn obs(&self) -> &Recorder {
+        self.obs.as_deref().unwrap_or_else(|| mmlib_obs::recorder())
     }
 
     /// The underlying storage (metrics: `bytes_written`).
@@ -183,18 +225,12 @@ impl SaveService {
     /// over the whole chain. Verification (when enabled) runs once, on the
     /// final model, against the stored Merkle root of the *requested* id —
     /// intermediate chain steps only feed parameters forward.
+    ///
+    /// Thin wrapper over [`SaveService::recover_report`], which adds phase
+    /// and verification reporting.
     pub fn recover(&self, id: &SavedModelId, opts: RecoverOptions) -> Result<RecoveredModel, CoreError> {
-        let mut breakdown = RecoverBreakdown::default();
-        let model = self.recover_inner(id, &opts, 0, &mut breakdown)?;
-
-        // Verification of the final model.
-        if opts.verify {
-            let start = Instant::now();
-            let info = self.load_model_info(id)?;
-            crate::verify::verify_against_root(&model, &info.root_hash, id)?;
-            breakdown.verify += start.elapsed();
-        }
-        Ok(RecoveredModel { model, breakdown })
+        let report = self.recover_report(id, opts)?;
+        Ok(RecoveredModel { model: report.model, breakdown: report.breakdown })
     }
 
     pub(crate) fn recover_inner(

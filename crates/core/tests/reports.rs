@@ -1,0 +1,161 @@
+//! The unified save/recover report surface: phase sums, delegate parity,
+//! and recorder routing.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mmlib_core::{
+    RecoverOptions, SaveRequest, SaveService, VerifyOutcome, RECOVER_PHASES, SAVE_PHASES,
+};
+use mmlib_model::{ArchId, Model};
+use mmlib_obs::Recorder;
+use mmlib_store::ModelStorage;
+
+/// Untimed slack allowed between the sum of phase durations and the total
+/// wall time (argument parsing, vec assembly, clock overhead).
+const EPSILON: Duration = Duration::from_millis(50);
+
+fn service(dir: &std::path::Path) -> (SaveService, Arc<Recorder>) {
+    let recorder = Arc::new(Recorder::new());
+    let svc =
+        SaveService::new(ModelStorage::open(dir).unwrap()).with_recorder(Arc::clone(&recorder));
+    (svc, recorder)
+}
+
+fn bump_classifier(model: &mut Model, salt: f32) {
+    let prefix = model.arch.classifier_prefix();
+    model.visit_trainable_mut(&mut |path, param, _| {
+        if path.starts_with(prefix) {
+            param.data_mut()[0] += salt;
+        }
+    });
+}
+
+#[test]
+fn save_report_phases_sum_to_tts_within_epsilon() {
+    let dir = tempfile::tempdir().unwrap();
+    let (svc, _) = service(dir.path());
+    let mut model = Model::new_initialized(ArchId::TinyCnn, 7);
+    model.set_fully_trainable();
+
+    let full = svc.save(SaveRequest::full(&model)).unwrap();
+    bump_classifier(&mut model, 1.0);
+    let update = svc.save(SaveRequest::update(&model, &full.id)).unwrap();
+
+    for report in [&full, &update] {
+        let phase_sum = report.phases.total();
+        assert!(phase_sum <= report.tts + EPSILON, "phases {phase_sum:?} vs tts {:?}", report.tts);
+        let gap = report.tts.saturating_sub(phase_sum);
+        assert!(gap < EPSILON, "untimed gap {gap:?} exceeds epsilon ({:?} total)", report.tts);
+        // Every reported phase belongs to the published taxonomy.
+        for (phase, _) in report.phases.entries() {
+            assert!(SAVE_PHASES.contains(phase), "unknown phase {phase:?}");
+        }
+        assert!(report.storage_bytes > 0);
+    }
+    assert!(update.diff.is_some());
+    assert!(update.storage_bytes < full.storage_bytes, "updates must be cheaper than snapshots");
+}
+
+#[test]
+fn recover_report_maps_breakdown_into_phases() {
+    let dir = tempfile::tempdir().unwrap();
+    let (svc, _) = service(dir.path());
+    let mut model = Model::new_initialized(ArchId::TinyCnn, 8);
+    model.set_fully_trainable();
+    let base = svc.save(SaveRequest::full(&model)).unwrap();
+    bump_classifier(&mut model, 2.0);
+    let derived = svc.save(SaveRequest::update(&model, &base.id)).unwrap();
+
+    let report = svc.recover_report(&derived.id, RecoverOptions::default()).unwrap();
+    assert!(report.model.models_equal(&model));
+    assert_eq!(report.verification, VerifyOutcome::Verified);
+    assert_eq!(report.phases.get("fetch"), report.breakdown.load);
+    assert_eq!(report.phases.get("rebuild"), report.breakdown.recover);
+    assert_eq!(report.phases.get("verify"), report.breakdown.verify);
+    assert_eq!(report.phases.total(), report.breakdown.total());
+    assert!(report.phases.total() <= report.ttr + EPSILON);
+    for (phase, _) in report.phases.entries() {
+        assert!(RECOVER_PHASES.contains(phase), "unknown phase {phase:?}");
+    }
+    assert_eq!(report.breakdown.recovered_bases, 1);
+}
+
+#[test]
+fn builder_options_skip_verification() {
+    let dir = tempfile::tempdir().unwrap();
+    let (svc, _) = service(dir.path());
+    let model = Model::new_initialized(ArchId::TinyCnn, 9);
+    let saved = svc.save(SaveRequest::full(&model)).unwrap();
+
+    let opts = RecoverOptions::new().check_env(false).verify(false).max_chain_depth(4);
+    assert!(!opts.check_env);
+    assert!(!opts.verify);
+    assert_eq!(opts.max_chain_depth, 4);
+    let report = svc.recover_report(&saved.id, opts).unwrap();
+    assert_eq!(report.verification, VerifyOutcome::Skipped);
+    assert_eq!(report.breakdown.verify, Duration::ZERO);
+    assert_eq!(report.breakdown.check_env, Duration::ZERO);
+}
+
+#[test]
+fn policy_requests_report_chain_depth() {
+    let dir = tempfile::tempdir().unwrap();
+    let (svc, _) = service(dir.path());
+    let mut model = Model::new_initialized(ArchId::TinyCnn, 10);
+    model.set_fully_trainable();
+    let base = svc.save(SaveRequest::full(&model)).unwrap();
+    assert_eq!(base.chain_depth, None); // plain saves don't walk the chain
+
+    bump_classifier(&mut model, 1.0);
+    let policy = mmlib_core::policy::ChainPolicy::updates(2);
+    let first = svc.save(SaveRequest::with_policy(&model, &base.id, policy)).unwrap();
+    assert_eq!(first.chain_depth, Some(1));
+    assert_eq!(first.approach, mmlib_core::ApproachKind::ParamUpdate);
+    assert!(first.phases.get("plan") <= first.tts);
+}
+
+#[test]
+fn service_recorder_override_isolates_and_records() {
+    let dir = tempfile::tempdir().unwrap();
+    let (svc, recorder) = service(dir.path());
+    let model = Model::new_initialized(ArchId::TinyCnn, 11);
+    let saved = svc.save(SaveRequest::full(&model)).unwrap();
+    let _ = svc.recover_report(&saved.id, RecoverOptions::default()).unwrap();
+
+    // The service's own recorder saw the save and the recovery.
+    assert_eq!(recorder.histogram_count("mmlib_save_seconds", Some(("approach", "BA"))), 1);
+    assert_eq!(recorder.histogram_count("mmlib_recover_seconds", None), 1);
+    assert!(recorder.histogram_count("mmlib_save_phase_seconds", Some(("phase", "write"))) > 0);
+    assert!(
+        recorder.counter_value("mmlib_save_bytes_total", Some(("approach", "BA")))
+            >= saved.storage_bytes
+    );
+    // Recover phases record one sample per phase, even zero-duration ones.
+    for phase in RECOVER_PHASES {
+        assert_eq!(
+            recorder.histogram_count("mmlib_recover_phase_seconds", Some(("phase", phase))),
+            1,
+            "{phase}"
+        );
+    }
+}
+
+#[test]
+fn register_metrics_pre_registers_the_taxonomy() {
+    let recorder = Recorder::new();
+    mmlib_core::register_metrics(&recorder);
+    let text = recorder.render_text();
+    for phase in SAVE_PHASES {
+        assert!(
+            text.contains(&format!("mmlib_save_phase_seconds_count{{phase=\"{phase}\"}} 0")),
+            "{phase} missing from exposition"
+        );
+    }
+    for phase in RECOVER_PHASES {
+        assert!(
+            text.contains(&format!("mmlib_recover_phase_seconds_count{{phase=\"{phase}\"}} 0")),
+            "{phase} missing from exposition"
+        );
+    }
+}

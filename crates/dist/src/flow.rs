@@ -1,9 +1,10 @@
 //! Evaluation-flow execution (paper §4.1 and §4.6).
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use mmlib_core::meta::{ApproachKind, ModelRelation, SavedModelId};
-use mmlib_core::{RecoverOptions, SaveService, TrainProvenance};
+use mmlib_core::{RecoverOptions, SaveRequest, SaveService, TrainProvenance};
+use mmlib_obs::PhaseBreakdown;
 use mmlib_data::loader::LoaderConfig;
 use mmlib_data::{DataLoader, Dataset, DatasetId};
 use mmlib_model::{ArchId, Model};
@@ -197,6 +198,9 @@ pub struct SaveRecord {
     pub storage_bytes: u64,
     /// Time-to-save.
     pub tts: Duration,
+    /// Per-phase breakdown of the save (hash / diff / serialize / compress /
+    /// pack / write), straight from the [`mmlib_core::SaveReport`].
+    pub phases: PhaseBreakdown,
     /// Simulated network transfer time for shipping this model's data over
     /// the cluster link (reported separately; never slept).
     pub network_time: Duration,
@@ -213,6 +217,9 @@ pub struct RecoverRecord {
     pub ttr: Duration,
     /// Per-step breakdown (load / recover / check-env / verify).
     pub breakdown: mmlib_core::RecoverBreakdown,
+    /// The same steps as named recovery phases (fetch / rebuild / check_env
+    /// / verify), straight from the [`mmlib_core::RecoverReport`].
+    pub phases: PhaseBreakdown,
     /// Chain length resolved during recovery.
     pub recovered_bases: u32,
 }
@@ -351,21 +358,19 @@ fn run_flow_inner(
     // BA uses").
     let mut initial = Model::new_initialized(config.arch, config.seed);
     initial.set_fully_trainable();
-    let before = server.storage().bytes_written();
-    let start = Instant::now();
-    let u1_id = server.save_full(&initial, None, "initial").expect("U1 save");
-    let tts = start.elapsed();
-    let u1_bytes = server.storage().bytes_written() - before;
+    let u1 = server.save(SaveRequest::full(&initial).relation("initial")).expect("U1 save");
     // Distribute the initial model to every node over the cluster link.
     let network_time = (0..config.kind.nodes())
-        .map(|_| network.record_transfer(u1_bytes))
+        .map(|_| network.record_transfer(u1.storage_bytes))
         .sum();
+    let u1_id = u1.id.clone();
     result.saves.push(SaveRecord {
         use_case: "U1".into(),
         node: 0,
-        id: u1_id.clone(),
-        storage_bytes: u1_bytes,
-        tts,
+        id: u1.id,
+        storage_bytes: u1.storage_bytes,
+        tts: u1.tts,
+        phases: u1.phases,
         network_time,
     });
 
@@ -413,17 +418,16 @@ fn run_flow_inner(
     // ---- U4: recover every saved model from the server.
     if config.recover_all {
         for save in &result.saves {
-            let start = Instant::now();
-            let recovered = server
-                .recover(&save.id, RecoverOptions::default())
+            let report = server
+                .recover_report(&save.id, RecoverOptions::default())
                 .expect("U4 recovery must succeed");
-            let ttr = start.elapsed();
             result.recovers.push(RecoverRecord {
                 use_case: save.use_case.clone(),
                 node: save.node,
-                ttr,
-                recovered_bases: recovered.breakdown.recovered_bases,
-                breakdown: recovered.breakdown,
+                ttr: report.ttr,
+                recovered_bases: report.breakdown.recovered_bases,
+                breakdown: report.breakdown,
+                phases: report.phases,
             });
         }
     }
@@ -549,18 +553,14 @@ fn train_and_save(
         ModelRelation::PartiallyUpdated => "partially_updated",
     };
 
-    // The timed save.
-    let before = service.storage().bytes_written();
-    let start = Instant::now();
-    let id = match config.approach {
-        ApproachKind::Baseline => service
-            .save_full(model, Some(base), relation_str)
-            .expect("baseline save"),
-        ApproachKind::ParamUpdate => {
-            service.save_update(model, base, relation_str).expect("param-update save").0
-        }
+    // The timed save: one SaveRequest per approach, and the report carries
+    // TTS, bytes, and the per-phase breakdown — no external stopwatch.
+    let prov;
+    let request = match config.approach {
+        ApproachKind::Baseline => SaveRequest::full(model).base(base).relation(relation_str),
+        ApproachKind::ParamUpdate => SaveRequest::update(model, base).relation(relation_str),
         ApproachKind::Provenance => {
-            let prov = TrainProvenance {
+            prov = TrainProvenance {
                 dataset_id,
                 dataset_scale: config.dataset_scale,
                 dataset_external: false,
@@ -570,15 +570,22 @@ fn train_and_save(
                 train_config,
                 relation: config.relation,
             };
-            service.save_provenance(model, base, &prov).expect("provenance save")
+            SaveRequest::provenance(model, base, &prov)
         }
     };
-    let tts = start.elapsed();
-    let storage_bytes = service.storage().bytes_written() - before;
+    let report = service.save(request).expect("flow save");
     // The node informs the server / ships the update over the cluster link.
-    let network_time = network.record_transfer(storage_bytes);
+    let network_time = network.record_transfer(report.storage_bytes);
 
-    SaveRecord { use_case: label.to_string(), node, id, storage_bytes, tts, network_time }
+    SaveRecord {
+        use_case: label.to_string(),
+        node,
+        id: report.id,
+        storage_bytes: report.storage_bytes,
+        tts: report.tts,
+        phases: report.phases,
+        network_time,
+    }
 }
 
 /// Copies a model for distribution to a node (U1/U2 deployments).

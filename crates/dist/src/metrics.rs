@@ -119,6 +119,27 @@ pub fn concat_results(runs: &[FlowResult]) -> FlowResult {
     out
 }
 
+/// Sums the per-phase save breakdowns of a whole flow: total time spent
+/// hashing, diffing, serializing, compressing, packing, and writing across
+/// every save, in first-seen phase order.
+pub fn save_phase_totals(saves: &[SaveRecord]) -> mmlib_obs::PhaseBreakdown {
+    let mut total = mmlib_obs::PhaseBreakdown::new();
+    for s in saves {
+        total.merge(&s.phases);
+    }
+    total
+}
+
+/// Sums the per-phase recover breakdowns of a whole flow (fetch / rebuild /
+/// check_env / verify).
+pub fn recover_phase_totals(recovers: &[RecoverRecord]) -> mmlib_obs::PhaseBreakdown {
+    let mut total = mmlib_obs::PhaseBreakdown::new();
+    for r in recovers {
+        total.merge(&r.phases);
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

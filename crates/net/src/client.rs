@@ -122,6 +122,16 @@ impl RemoteStore {
         Ok(self.request(Frame::new(Opcode::Stats, json!({})))?.header)
     }
 
+    /// Fetches the server's full metrics registry rendered in Prometheus
+    /// text format (the `StatsText` opcode).
+    pub fn server_stats_text(&self) -> Result<String, StoreError> {
+        let header = self.request(Frame::new(Opcode::StatsText, json!({})))?.header;
+        match header.get("text").and_then(Value::as_str) {
+            Some(text) => Ok(text.to_string()),
+            None => Err(StoreError::Remote("stats_text reply missing `text`".to_string())),
+        }
+    }
+
     fn open_conn(&self) -> Result<Conn, WireError> {
         let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)?;
         stream.set_read_timeout(self.config.read_timeout)?;

@@ -68,6 +68,9 @@ pub enum Opcode {
     FileIds = 0x25,
     /// Server metrics snapshot. Header: `{}`.
     Stats = 0x30,
+    /// Server metrics in Prometheus text exposition format. Header: `{}`;
+    /// the response carries the rendered text in its header (`{"text": s}`).
+    StatsText = 0x31,
     /// Success response. Header: operation-specific result.
     Ok = 0x40,
     /// Failure response. Header: `{"code": s, "message": s}`.
@@ -78,7 +81,7 @@ pub enum Opcode {
 
 impl Opcode {
     /// Every opcode, for metrics tables.
-    pub const ALL: [Opcode; 17] = [
+    pub const ALL: [Opcode; 18] = [
         Opcode::Ping,
         Opcode::DocInsert,
         Opcode::DocGet,
@@ -93,6 +96,7 @@ impl Opcode {
         Opcode::FileRemove,
         Opcode::FileIds,
         Opcode::Stats,
+        Opcode::StatsText,
         Opcode::Ok,
         Opcode::Err,
         Opcode::Chunk,
@@ -115,6 +119,7 @@ impl Opcode {
             Opcode::FileRemove => "file_remove",
             Opcode::FileIds => "file_ids",
             Opcode::Stats => "stats",
+            Opcode::StatsText => "stats_text",
             Opcode::Ok => "ok",
             Opcode::Err => "err",
             Opcode::Chunk => "chunk",

@@ -11,11 +11,12 @@
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
+use mmlib_obs::{Counter, Recorder};
 use mmlib_store::fault::Fault;
 use mmlib_store::{DocId, FileId, ModelStorage, StoreError};
 use serde_json::{json, Value};
@@ -39,6 +40,12 @@ pub struct ServerConfig {
     /// Deterministic fault schedules for the accept loop and response
     /// frames (tests only; `None` serves faithfully).
     pub faults: Option<Arc<NetFaults>>,
+    /// The metrics registry this server records into. `None` gives the
+    /// server its own fresh [`Recorder`] (isolated counts — what the fault
+    /// tests assert against); `mmlib serve` passes the process-wide
+    /// recorder so the `stats` opcodes expose save/recover phase metrics
+    /// alongside the server's own.
+    pub recorder: Option<Arc<Recorder>>,
 }
 
 impl Default for ServerConfig {
@@ -48,43 +55,84 @@ impl Default for ServerConfig {
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
             faults: None,
+            recorder: None,
         }
     }
 }
 
-/// Per-opcode request counts plus byte totals.
-#[derive(Debug, Default)]
+/// Per-opcode request counts, latency histograms, and byte totals —
+/// recorded through an [`mmlib_obs::Recorder`] registry.
+///
+/// The hot-path counters (per-frame byte counts) go through cached
+/// [`Counter`] handles, so counting stays a single `fetch_add` and totals
+/// stay EXACT even under fault-injected truncation; the registry is what
+/// makes the same numbers visible in the Prometheus exposition.
+#[derive(Debug)]
 pub struct ServerMetrics {
-    requests: [AtomicU64; Opcode::ALL.len()],
-    bytes_in: AtomicU64,
-    bytes_out: AtomicU64,
-    connections: AtomicU64,
+    recorder: Arc<Recorder>,
+    requests: [Arc<Counter>; Opcode::ALL.len()],
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    connections: Arc<Counter>,
+}
+
+/// Counter of requests served, labeled `opcode="..."`.
+pub const NET_REQUESTS_TOTAL: &str = "mmlib_net_requests_total";
+/// Histogram of request service time, labeled `opcode="..."`.
+pub const NET_REQUEST_SECONDS: &str = "mmlib_net_request_seconds";
+/// Counter of wire bytes received.
+pub const NET_BYTES_IN_TOTAL: &str = "mmlib_net_bytes_in_total";
+/// Counter of wire bytes sent.
+pub const NET_BYTES_OUT_TOTAL: &str = "mmlib_net_bytes_out_total";
+/// Counter of connections accepted.
+pub const NET_CONNECTIONS_TOTAL: &str = "mmlib_net_connections_total";
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        ServerMetrics::new(Arc::new(Recorder::new()))
+    }
 }
 
 impl ServerMetrics {
+    /// Creates metrics registered on `recorder`.
+    pub fn new(recorder: Arc<Recorder>) -> ServerMetrics {
+        let requests = std::array::from_fn(|i| {
+            recorder.counter(NET_REQUESTS_TOTAL, Some(("opcode", Opcode::ALL[i].name())))
+        });
+        let bytes_in = recorder.counter(NET_BYTES_IN_TOTAL, None);
+        let bytes_out = recorder.counter(NET_BYTES_OUT_TOTAL, None);
+        let connections = recorder.counter(NET_CONNECTIONS_TOTAL, None);
+        ServerMetrics { recorder, requests, bytes_in, bytes_out, connections }
+    }
+
+    /// The registry backing these metrics.
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
     /// Requests served for one opcode.
     pub fn requests(&self, op: Opcode) -> u64 {
-        self.requests[op.index()].load(Ordering::Relaxed)
+        self.requests[op.index()].value()
     }
 
     /// Requests served across all opcodes.
     pub fn total_requests(&self) -> u64 {
-        self.requests.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        self.requests.iter().map(|c| c.value()).sum()
     }
 
     /// Total wire bytes received (frames in, chunks included).
     pub fn bytes_in(&self) -> u64 {
-        self.bytes_in.load(Ordering::Relaxed)
+        self.bytes_in.value()
     }
 
     /// Total wire bytes sent.
     pub fn bytes_out(&self) -> u64 {
-        self.bytes_out.load(Ordering::Relaxed)
+        self.bytes_out.value()
     }
 
     /// Connections accepted.
     pub fn connections(&self) -> u64 {
-        self.connections.load(Ordering::Relaxed)
+        self.connections.value()
     }
 
     /// JSON snapshot, as served by the `Stats` opcode.
@@ -105,8 +153,18 @@ impl ServerMetrics {
         })
     }
 
+    /// The full registry in Prometheus text format, as served by the
+    /// `StatsText` opcode.
+    pub fn render_text(&self) -> String {
+        self.recorder.render_text()
+    }
+
     fn count(&self, op: Opcode) {
-        self.requests[op.index()].fetch_add(1, Ordering::Relaxed);
+        self.requests[op.index()].add(1);
+    }
+
+    fn observe_latency(&self, op: Opcode, elapsed: Duration) {
+        self.recorder.observe_duration(NET_REQUEST_SECONDS, ("opcode", op.name()), elapsed);
     }
 }
 
@@ -137,7 +195,9 @@ impl RegistryServer {
         // The accept loop polls so the shutdown flag is honoured promptly.
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let metrics = Arc::new(ServerMetrics::default());
+        let recorder =
+            config.recorder.clone().unwrap_or_else(|| Arc::new(Recorder::new()));
+        let metrics = Arc::new(ServerMetrics::new(recorder));
         let stop = Arc::new(AtomicBool::new(false));
 
         let thread = {
@@ -193,7 +253,7 @@ fn serve(
             let config = config.clone();
             s.spawn(move |_| {
                 while let Ok(stream) = rx.recv() {
-                    metrics.connections.fetch_add(1, Ordering::Relaxed);
+                    metrics.connections.add(1);
                     // A failed connection must not take the worker down.
                     let _ = handle_connection(stream, &storage, &config, &metrics);
                 }
@@ -258,7 +318,10 @@ fn handle_connection(
         };
         metrics.count(frame.opcode);
         let faults = config.faults.as_deref();
-        match respond(&frame, &mut reader, &mut writer, storage, metrics, faults) {
+        let started = Instant::now();
+        let outcome = respond(&frame, &mut reader, &mut writer, storage, metrics, faults);
+        metrics.observe_latency(frame.opcode, started.elapsed());
+        match outcome {
             Ok(()) => writer.flush()?,
             Err(e) => {
                 // Try to tell the peer before giving up on the connection —
@@ -288,7 +351,7 @@ fn respond(
     metrics: &ServerMetrics,
     faults: Option<&NetFaults>,
 ) -> Result<(), WireError> {
-    metrics.bytes_in.fetch_add(wire_size(frame), Ordering::Relaxed);
+    metrics.bytes_in.add(wire_size(frame));
     match frame.opcode {
         Opcode::Ping => {
             let version = header_u64(&frame.header, "version")?;
@@ -371,7 +434,7 @@ fn respond(
         Opcode::FilePut => {
             let len = header_u64(&frame.header, "len")?;
             let blob = read_chunks(reader, len)?;
-            metrics.bytes_in.fetch_add(blob.len() as u64, Ordering::Relaxed);
+            metrics.bytes_in.add(blob.len() as u64);
             let reply = match storage.put_file(&blob) {
                 Ok(id) => ok_frame(json!({"id": id.as_str()})),
                 Err(e) => store_err_frame(&e),
@@ -421,6 +484,10 @@ fn respond(
             send_counted(writer, metrics, faults, &reply)
         }
         Opcode::Stats => send_counted(writer, metrics, faults, &ok_frame(metrics.snapshot())),
+        Opcode::StatsText => {
+            let reply = ok_frame(json!({"text": metrics.render_text()}));
+            send_counted(writer, metrics, faults, &reply)
+        }
         Opcode::Ok | Opcode::Err | Opcode::Chunk => Err(WireError::Protocol(format!(
             "{} is not a request opcode",
             frame.opcode.name()
@@ -480,14 +547,14 @@ fn send_counted(
             let cut = (after_bytes as usize).min(encoded.len());
             writer.write_all(&encoded[..cut])?;
             writer.flush()?;
-            metrics.bytes_out.fetch_add(cut as u64, Ordering::Relaxed);
+            metrics.bytes_out.add(cut as u64);
             return Err(WireError::Io(injected_io_error(&Fault::TruncateFrame {
                 after_bytes,
             })));
         }
         Some(other) => return Err(WireError::Io(injected_io_error(&other))),
     }
-    metrics.bytes_out.fetch_add(wire_size(frame), Ordering::Relaxed);
+    metrics.bytes_out.add(wire_size(frame));
     write_frame(writer, frame)
 }
 

@@ -91,6 +91,31 @@ fn server_metrics_count_requests_and_bytes() {
 }
 
 #[test]
+fn stats_text_serves_prometheus_exposition() {
+    let dir = tempfile::tempdir().unwrap();
+    let server1 = server(dir.path());
+    let client = RemoteStore::connect(server1.addr()).unwrap();
+    let id = client.put_file(b"observable").unwrap();
+    let _ = client.get_file(&id).unwrap();
+
+    let text = client.server_stats_text().unwrap();
+    assert!(text.contains("# TYPE mmlib_net_requests_total counter"), "{text}");
+    assert!(text.contains("mmlib_net_requests_total{opcode=\"file_put\"} 1"), "{text}");
+    assert!(text.contains("mmlib_net_requests_total{opcode=\"file_get\"} 1"), "{text}");
+    assert!(text.contains("# TYPE mmlib_net_request_seconds histogram"), "{text}");
+    assert!(text.contains("mmlib_net_request_seconds_count{opcode=\"file_put\"} 1"), "{text}");
+    assert!(text.contains("mmlib_net_bytes_in_total"), "{text}");
+    assert!(text.contains("mmlib_net_connections_total"), "{text}");
+
+    // Each server owns an isolated registry: a second server starts at zero.
+    let dir2 = tempfile::tempdir().unwrap();
+    let server2 = server(dir2.path());
+    let client2 = RemoteStore::connect(server2.addr()).unwrap();
+    let text2 = client2.server_stats_text().unwrap();
+    assert!(text2.contains("mmlib_net_requests_total{opcode=\"file_put\"} 0"), "{text2}");
+}
+
+#[test]
 fn client_reconnects_after_connection_loss() {
     let dir = tempfile::tempdir().unwrap();
     let storage = ModelStorage::open(dir.path()).unwrap();

@@ -1,0 +1,218 @@
+//! The metric primitives: atomic counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! All three are lock-free after creation: recording is `fetch_add` (or a
+//! CAS loop for the float-valued histogram sum), so concurrent recorders on
+//! many threads lose nothing — totals are exact, which the fault-injection
+//! tests rely on when they assert byte counts down to the last truncated
+//! frame.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default histogram buckets for wall-time observations in seconds:
+/// exponential from 1 µs to 5 minutes. Save/recover phases span from
+/// microseconds (a TinyCnn hash) to minutes (a full-scale provenance
+/// replay), so the decades are spread evenly across that range.
+pub const DURATION_BUCKETS: [f64; 12] = [
+    1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0,
+];
+
+/// Default buckets for byte-size observations: exponential from 64 B to
+/// 1 GiB (a ResNet-152 snapshot is ~242 MB; dataset containers are larger).
+pub const SIZE_BUCKETS: [f64; 12] = [
+    64.0,
+    1024.0,
+    16384.0,
+    65536.0,
+    262144.0,
+    1048576.0,
+    8388608.0,
+    33554432.0,
+    134217728.0,
+    268435456.0,
+    536870912.0,
+    1073741824.0,
+];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A gauge holding one instantaneous `f64` value (stored as bits).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge { bits: AtomicU64::new(0f64.to_bits()) }
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative) atomically.
+    pub fn add(&self, delta: f64) {
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self.bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn reset(&self) {
+        self.set(0.0);
+    }
+}
+
+/// A fixed-bucket histogram: cumulative-style bucket counts are derived at
+/// snapshot time from per-bucket atomics, plus an exact total count and a
+/// CAS-maintained `f64` sum.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Upper bounds (inclusive, `le`) of each finite bucket, ascending.
+    bounds: Vec<f64>,
+    /// One slot per finite bound plus the +Inf overflow slot.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending finite bucket bounds.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let slot = self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len());
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// The finite bucket bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Cumulative counts per bound (Prometheus `le` semantics), excluding
+    /// the +Inf bucket (whose cumulative count is [`Histogram::count`]).
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut total = 0u64;
+        self.buckets[..self.bounds.len()]
+            .iter()
+            .map(|b| {
+                total += b.load(Ordering::Relaxed);
+                total
+            })
+            .collect()
+    }
+
+    pub(crate) fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::default();
+        c.add(3);
+        c.add(4);
+        assert_eq!(c.value(), 7);
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let g = Gauge::default();
+        g.set(2.5);
+        g.add(1.0);
+        g.add(-0.5);
+        assert_eq!(g.value(), 3.0);
+    }
+
+    #[test]
+    fn histogram_buckets_count_and_sum() {
+        let h = Histogram::new(&[0.1, 1.0, 10.0]);
+        for v in [0.05, 0.1, 0.5, 2.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 102.65);
+        // le=0.1 → 2 (0.05, 0.1 inclusive), le=1 → 3, le=10 → 4; +Inf → 5.
+        assert_eq!(h.cumulative(), vec![2, 3, 4]);
+    }
+}

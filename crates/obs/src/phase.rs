@@ -1,0 +1,221 @@
+//! Phase tracing: wall-time spans recorded into named histograms.
+//!
+//! Two flavors:
+//!
+//! - [`PhaseClock`] — accumulates a [`PhaseBreakdown`] (an ordered list of
+//!   named durations) for returning in a report, *and* records each phase
+//!   into the recorder's phase histogram. This is what `SaveReport` /
+//!   `RecoverReport` are built from.
+//! - [`SpanGuard`] / [`span!`] — a fire-and-forget guard that observes its
+//!   lifetime into a histogram on drop, for call sites that don't need the
+//!   duration back.
+
+use std::time::{Duration, Instant};
+
+use crate::recorder::Recorder;
+
+/// An ordered list of `(phase, duration)` pairs. Repeated phases (e.g.
+/// "write" hit once per base in a recursive recovery) are summed in place.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseBreakdown {
+    entries: Vec<(&'static str, Duration)>,
+}
+
+impl PhaseBreakdown {
+    /// An empty breakdown.
+    pub fn new() -> PhaseBreakdown {
+        PhaseBreakdown::default()
+    }
+
+    /// Adds `d` to `phase`, creating the entry on first sight (insertion
+    /// order is preserved, so breakdowns read in execution order).
+    pub fn add(&mut self, phase: &'static str, d: Duration) {
+        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == phase) {
+            e.1 += d;
+        } else {
+            self.entries.push((phase, d));
+        }
+    }
+
+    /// Duration recorded for `phase` (zero when absent).
+    pub fn get(&self, phase: &str) -> Duration {
+        self.entries
+            .iter()
+            .find(|(p, _)| *p == phase)
+            .map(|(_, d)| *d)
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// The `(phase, duration)` pairs in execution order.
+    pub fn entries(&self) -> &[(&'static str, Duration)] {
+        &self.entries
+    }
+
+    /// Sum of all phase durations.
+    pub fn total(&self) -> Duration {
+        self.entries.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// True when no phase has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merges another breakdown into this one (phase-wise sums).
+    pub fn merge(&mut self, other: &PhaseBreakdown) {
+        for (phase, d) in &other.entries {
+            self.add(phase, *d);
+        }
+    }
+}
+
+/// Times named phases of one operation: each [`PhaseClock::time`] call both
+/// feeds the breakdown and observes the duration into the recorder histogram
+/// `metric{label_key="<phase>"}`.
+pub struct PhaseClock<'r> {
+    recorder: &'r Recorder,
+    metric: &'static str,
+    label_key: &'static str,
+    breakdown: PhaseBreakdown,
+    started: Instant,
+}
+
+impl<'r> PhaseClock<'r> {
+    /// Starts a clock recording phases into `metric{label_key=...}` on
+    /// `recorder`.
+    pub fn new(recorder: &'r Recorder, metric: &'static str, label_key: &'static str) -> Self {
+        PhaseClock { recorder, metric, label_key, breakdown: PhaseBreakdown::new(), started: Instant::now() }
+    }
+
+    /// Runs `f`, charging its wall time to `phase`.
+    pub fn time<T>(&mut self, phase: &'static str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(phase, start.elapsed());
+        out
+    }
+
+    /// Charges an externally measured duration to `phase`.
+    pub fn record(&mut self, phase: &'static str, d: Duration) {
+        self.breakdown.add(phase, d);
+        self.recorder
+            .observe_duration(self.metric, (self.label_key, phase), d);
+    }
+
+    /// Wall time since the clock was created (the operation's total,
+    /// including anything between timed phases).
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Finishes the clock, returning the accumulated breakdown.
+    pub fn finish(self) -> PhaseBreakdown {
+        self.breakdown
+    }
+
+    /// The breakdown accumulated so far.
+    pub fn breakdown(&self) -> &PhaseBreakdown {
+        &self.breakdown
+    }
+}
+
+/// Observes its own lifetime into a labeled histogram when dropped.
+pub struct SpanGuard<'r> {
+    recorder: &'r Recorder,
+    metric: &'static str,
+    label: (&'static str, &'static str),
+    started: Instant,
+}
+
+impl<'r> SpanGuard<'r> {
+    /// Starts a span; the duration lands in `metric{label.0=label.1}` on
+    /// drop.
+    pub fn new(
+        recorder: &'r Recorder,
+        metric: &'static str,
+        label: (&'static str, &'static str),
+    ) -> Self {
+        SpanGuard { recorder, metric, label, started: Instant::now() }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.recorder
+            .observe_duration(self.metric, self.label, self.started.elapsed());
+    }
+}
+
+/// Opens a [`SpanGuard`] on the global recorder (or an explicit one) that
+/// records its lifetime into a phase histogram:
+///
+/// ```
+/// use mmlib_obs::span;
+/// {
+///     let _span = span!("mmlib_save_phase_seconds", "merkle_hash");
+///     // ... hash work ...
+/// } // duration observed here
+/// assert!(mmlib_obs::recorder()
+///     .histogram_count("mmlib_save_phase_seconds", Some(("phase", "merkle_hash"))) >= 1);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($metric:expr, $phase:expr) => {
+        $crate::SpanGuard::new($crate::recorder(), $metric, ("phase", $phase))
+    };
+    ($recorder:expr, $metric:expr, $phase:expr) => {
+        $crate::SpanGuard::new($recorder, $metric, ("phase", $phase))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_sums_repeated_phases_in_order() {
+        let mut b = PhaseBreakdown::new();
+        b.add("fetch", Duration::from_millis(2));
+        b.add("rebuild", Duration::from_millis(5));
+        b.add("fetch", Duration::from_millis(3));
+        assert_eq!(b.get("fetch"), Duration::from_millis(5));
+        assert_eq!(b.entries()[0].0, "fetch");
+        assert_eq!(b.entries()[1].0, "rebuild");
+        assert_eq!(b.total(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn clock_feeds_breakdown_and_recorder() {
+        let r = Recorder::new();
+        let mut clock = PhaseClock::new(&r, "op_phase_seconds", "phase");
+        let out = clock.time("hash", || 41 + 1);
+        assert_eq!(out, 42);
+        clock.record("write", Duration::from_millis(7));
+        let b = clock.finish();
+        assert_eq!(b.get("write"), Duration::from_millis(7));
+        assert_eq!(r.histogram_count("op_phase_seconds", Some(("phase", "hash"))), 1);
+        assert_eq!(r.histogram_count("op_phase_seconds", Some(("phase", "write"))), 1);
+        let sum = r.histogram_sum("op_phase_seconds", Some(("phase", "write")));
+        assert!((sum - 0.007).abs() < 1e-9, "{sum}");
+    }
+
+    #[test]
+    fn span_guard_records_on_drop() {
+        let r = Recorder::new();
+        {
+            let _g = SpanGuard::new(&r, "span_seconds", ("phase", "verify"));
+        }
+        assert_eq!(r.histogram_count("span_seconds", Some(("phase", "verify"))), 1);
+    }
+
+    #[test]
+    fn disabled_recorder_spans_are_noops() {
+        let r = Recorder::disabled();
+        let mut clock = PhaseClock::new(&r, "op_phase_seconds", "phase");
+        clock.time("hash", || ());
+        // Breakdown still works (reports stay usable even with recording
+        // off); only the shared histogram stays empty.
+        assert_eq!(clock.breakdown().entries().len(), 1);
+        assert_eq!(r.histogram_count("op_phase_seconds", Some(("phase", "hash"))), 0);
+    }
+}

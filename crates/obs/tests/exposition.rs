@@ -1,0 +1,71 @@
+//! Golden test for the Prometheus text exposition format.
+//!
+//! The output must be byte-for-byte deterministic: metrics render in
+//! BTreeMap (name, label) order, with one `# TYPE` header per base name.
+
+use mmlib_obs::Recorder;
+
+#[test]
+fn exposition_matches_golden() {
+    let r = Recorder::new();
+
+    r.inc_labeled("mmlib_net_requests_total", ("opcode", "file_get"), 7);
+    r.inc_labeled("mmlib_net_requests_total", ("opcode", "ping"), 2);
+    r.inc("mmlib_store_bytes_written_total", 4096);
+    r.gauge_set("mmlib_net_active_connections", 3.0);
+    let h = r.histogram("mmlib_save_phase_seconds", Some(("phase", "hash")), &[0.001, 0.01, 0.1]);
+    h.observe(0.0005);
+    h.observe(0.02);
+    h.observe(5.0);
+
+    let golden = "\
+# TYPE mmlib_net_active_connections gauge
+mmlib_net_active_connections 3
+# TYPE mmlib_net_requests_total counter
+mmlib_net_requests_total{opcode=\"file_get\"} 7
+mmlib_net_requests_total{opcode=\"ping\"} 2
+# TYPE mmlib_save_phase_seconds histogram
+mmlib_save_phase_seconds_bucket{phase=\"hash\",le=\"0.001\"} 1
+mmlib_save_phase_seconds_bucket{phase=\"hash\",le=\"0.01\"} 1
+mmlib_save_phase_seconds_bucket{phase=\"hash\",le=\"0.1\"} 2
+mmlib_save_phase_seconds_bucket{phase=\"hash\",le=\"+Inf\"} 3
+mmlib_save_phase_seconds_sum{phase=\"hash\"} 5.0205
+mmlib_save_phase_seconds_count{phase=\"hash\"} 3
+# TYPE mmlib_store_bytes_written_total counter
+mmlib_store_bytes_written_total 4096
+";
+    assert_eq!(r.render_text(), golden);
+}
+
+#[test]
+fn type_header_emitted_once_per_base_name() {
+    let r = Recorder::new();
+    r.inc_labeled("ops_total", ("op", "a"), 1);
+    r.inc_labeled("ops_total", ("op", "b"), 1);
+    r.inc_labeled("ops_total", ("op", "c"), 1);
+    let text = r.render_text();
+    assert_eq!(text.matches("# TYPE ops_total counter").count(), 1);
+    assert_eq!(text.lines().count(), 4);
+}
+
+#[test]
+fn registered_but_unrecorded_metrics_render_as_zero() {
+    // Pre-registration keeps dashboards stable before any traffic arrives.
+    let r = Recorder::new();
+    r.counter("mmlib_net_bytes_in_total", None);
+    r.histogram("mmlib_recover_phase_seconds", Some(("phase", "fetch")), &[0.1, 1.0]);
+    let text = r.render_text();
+    assert!(text.contains("mmlib_net_bytes_in_total 0\n"), "{text}");
+    assert!(text.contains("mmlib_recover_phase_seconds_count{phase=\"fetch\"} 0\n"), "{text}");
+}
+
+#[test]
+fn snapshot_is_sorted_and_complete() {
+    let r = Recorder::new();
+    r.inc("b_total", 2);
+    r.inc("a_total", 1);
+    r.gauge_set("c_level", 9.5);
+    let snaps = r.snapshot();
+    let names: Vec<&str> = snaps.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, ["a_total", "b_total", "c_level"]);
+}

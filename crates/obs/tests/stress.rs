@@ -1,0 +1,73 @@
+//! Concurrent-recording stress test: N threads hammering M metrics must
+//! lose nothing — counter totals and histogram counts/sums stay exact.
+
+use std::sync::Arc;
+use std::thread;
+
+use mmlib_obs::Recorder;
+
+const THREADS: usize = 8;
+const METRICS: usize = 5;
+const ITERS: u64 = 10_000;
+
+#[test]
+fn concurrent_totals_are_exact() {
+    let r = Arc::new(Recorder::new());
+    let ops = ["get", "put", "del", "list", "scan"];
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let r = Arc::clone(&r);
+            thread::spawn(move || {
+                for i in 0..ITERS {
+                    let op = ops[(t + i as usize) % METRICS];
+                    r.inc_labeled("stress_ops_total", ("op", op), 1);
+                    r.inc("stress_bytes_total", 3);
+                    r.observe_labeled("stress_seconds", ("op", op), 0.25);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let total: u64 = ops
+        .iter()
+        .map(|op| r.counter_value("stress_ops_total", Some(("op", op))))
+        .sum();
+    assert_eq!(total, THREADS as u64 * ITERS);
+    assert_eq!(r.counter_value("stress_bytes_total", None), THREADS as u64 * ITERS * 3);
+
+    let mut observed = 0u64;
+    let mut sum = 0.0f64;
+    for op in ops {
+        observed += r.histogram_count("stress_seconds", Some(("op", op)));
+        sum += r.histogram_sum("stress_seconds", Some(("op", op)));
+    }
+    assert_eq!(observed, THREADS as u64 * ITERS);
+    // 0.25 is exactly representable, so the CAS-maintained sum is exact too.
+    assert_eq!(sum, THREADS as f64 * ITERS as f64 * 0.25);
+}
+
+#[test]
+fn concurrent_registration_yields_one_metric() {
+    // All threads race to create the same counter; everyone must land on
+    // the same underlying cell.
+    let r = Arc::new(Recorder::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let r = Arc::clone(&r);
+            thread::spawn(move || {
+                for _ in 0..1_000 {
+                    r.counter("race_total", Some(("k", "v"))).add(1);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(r.counter_value("race_total", Some(("k", "v"))), THREADS as u64 * 1_000);
+    assert_eq!(r.snapshot().len(), 1);
+}

@@ -6,31 +6,36 @@
 //! distributed experiments can report network cost separately from the real
 //! compute/IO time they measure.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use mmlib_obs::Recorder;
+
+/// Counter names for the link ledger, kept in one place so readers and
+/// writers cannot drift.
+const BYTES_TOTAL: &str = "mmlib_simnet_bytes_total";
+const NANOS_TOTAL: &str = "mmlib_simnet_nanos_total";
+
 /// A point-to-point link model: latency + bandwidth, with a transfer ledger.
+///
+/// The ledger is an [`mmlib_obs::Recorder`] shared by all clones of one
+/// link (each `new` starts a fresh, isolated ledger); transfers are also
+/// mirrored into the process-wide recorder so the exposition shows
+/// aggregate simulated-network traffic.
 #[derive(Debug, Clone)]
 pub struct SimNetwork {
     /// One-way latency per transfer.
     latency: Duration,
     /// Usable bandwidth in bytes per second.
     bytes_per_sec: u64,
-    transferred: Arc<AtomicU64>,
-    sim_nanos: Arc<AtomicU64>,
+    ledger: Arc<Recorder>,
 }
 
 impl SimNetwork {
     /// A link with the given latency and bandwidth (bytes/second).
     pub fn new(latency: Duration, bytes_per_sec: u64) -> SimNetwork {
         assert!(bytes_per_sec > 0, "bandwidth must be positive");
-        SimNetwork {
-            latency,
-            bytes_per_sec,
-            transferred: Arc::new(AtomicU64::new(0)),
-            sim_nanos: Arc::new(AtomicU64::new(0)),
-        }
+        SimNetwork { latency, bytes_per_sec, ledger: Arc::new(Recorder::new()) }
     }
 
     /// The paper's setup: 100 Gb/s InfiniBand. We assume ~90% goodput and
@@ -56,19 +61,20 @@ impl SimNetwork {
     /// Records a transfer in the ledger and returns its simulated duration.
     pub fn record_transfer(&self, bytes: u64) -> Duration {
         let d = self.transfer_time(bytes);
-        self.transferred.fetch_add(bytes, Ordering::Relaxed);
-        self.sim_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.ledger.inc(BYTES_TOTAL, bytes);
+        self.ledger.inc(NANOS_TOTAL, d.as_nanos() as u64);
+        mmlib_obs::recorder().inc(BYTES_TOTAL, bytes);
         d
     }
 
     /// Total bytes recorded.
     pub fn bytes_transferred(&self) -> u64 {
-        self.transferred.load(Ordering::Relaxed)
+        self.ledger.counter_value(BYTES_TOTAL, None)
     }
 
     /// Total simulated transfer time recorded.
     pub fn simulated_time(&self) -> Duration {
-        Duration::from_nanos(self.sim_nanos.load(Ordering::Relaxed))
+        Duration::from_nanos(self.ledger.counter_value(NANOS_TOTAL, None))
     }
 }
 

@@ -58,7 +58,9 @@ impl From<serde_json::Error> for StoreError {
 /// The paper's *storage consumption* metric is "the amount of storage that
 /// every approach consumes to save a given model" excluding its base model
 /// (§4.2); callers snapshot [`ModelStorage::bytes_written`] around one save
-/// to obtain exactly that.
+/// to obtain exactly that. Every update is mirrored into the process-wide
+/// [`mmlib_obs::recorder`] (`mmlib_store_bytes_{written,read}_total`), so
+/// the exposition shows aggregate storage traffic without extra plumbing.
 #[derive(Debug, Default)]
 pub struct Accounting {
     written: AtomicU64,
@@ -68,11 +70,19 @@ pub struct Accounting {
 impl Accounting {
     pub(crate) fn add_written(&self, n: u64) {
         self.written.fetch_add(n, Ordering::Relaxed);
+        mmlib_obs::recorder().inc("mmlib_store_bytes_written_total", n);
     }
 
     pub(crate) fn add_read(&self, n: u64) {
         self.read.fetch_add(n, Ordering::Relaxed);
+        mmlib_obs::recorder().inc("mmlib_store_bytes_read_total", n);
     }
+}
+
+/// Records one storage operation in the global ops counter.
+#[inline]
+fn count_op(op: &'static str) {
+    mmlib_obs::recorder().inc_labeled("mmlib_store_ops_total", ("op", op), 1);
 }
 
 /// The document/file operations one storage backend must provide.
@@ -278,22 +288,22 @@ impl ModelStorage {
 
     /// Convenience: insert a document of `kind` with a JSON `body`.
     pub fn insert_doc(&self, kind: &str, body: serde_json::Value) -> Result<DocId, StoreError> {
-        self.backend.insert_doc(kind, body)
+        self.docs().insert(kind, body)
     }
 
     /// Convenience: load a document by id.
     pub fn get_doc(&self, id: &DocId) -> Result<Document, StoreError> {
-        self.backend.get_doc(id)
+        self.docs().get(id)
     }
 
     /// Convenience: save a file and return its generated id.
     pub fn put_file(&self, bytes: &[u8]) -> Result<FileId, StoreError> {
-        self.backend.put_file(bytes)
+        self.files().put(bytes)
     }
 
     /// Convenience: load a file by id.
     pub fn get_file(&self, id: &FileId) -> Result<Vec<u8>, StoreError> {
-        self.backend.get_file(id)
+        self.files().get(id)
     }
 }
 
@@ -304,14 +314,17 @@ pub struct DocsView<'a> {
 
 impl DocsView<'_> {
     pub fn insert(&self, kind: &str, body: serde_json::Value) -> Result<DocId, StoreError> {
+        count_op("doc_insert");
         self.backend.insert_doc(kind, body)
     }
 
     pub fn get(&self, id: &DocId) -> Result<Document, StoreError> {
+        count_op("doc_get");
         self.backend.get_doc(id)
     }
 
     pub fn update(&self, id: &DocId, body: serde_json::Value) -> Result<(), StoreError> {
+        count_op("doc_update");
         self.backend.update_doc(id, body)
     }
 
@@ -320,6 +333,7 @@ impl DocsView<'_> {
     }
 
     pub fn remove(&self, id: &DocId) -> Result<(), StoreError> {
+        count_op("doc_remove");
         self.backend.remove_doc(id)
     }
 
@@ -335,10 +349,12 @@ pub struct FilesView<'a> {
 
 impl FilesView<'_> {
     pub fn put(&self, bytes: &[u8]) -> Result<FileId, StoreError> {
+        count_op("file_put");
         self.backend.put_file(bytes)
     }
 
     pub fn get(&self, id: &FileId) -> Result<Vec<u8>, StoreError> {
+        count_op("file_get");
         self.backend.get_file(id)
     }
 
@@ -351,6 +367,7 @@ impl FilesView<'_> {
     }
 
     pub fn remove(&self, id: &FileId) -> Result<(), StoreError> {
+        count_op("file_remove");
         self.backend.remove_file(id)
     }
 

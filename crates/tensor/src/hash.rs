@@ -226,6 +226,9 @@ pub fn sha256(data: &[u8]) -> Digest {
 /// Including the shape means two tensors with identical bytes but different
 /// shapes hash differently, which the Merkle layer relies on.
 pub fn hash_tensor(t: &Tensor) -> Digest {
+    let obs = mmlib_obs::recorder();
+    obs.inc("mmlib_tensor_hash_ops_total", 1);
+    obs.inc("mmlib_tensor_hash_bytes_total", t.data().len() as u64 * 4);
     let mut h = Sha256::new();
     h.update(&(t.shape().rank() as u64).to_le_bytes());
     for &d in t.shape().dims() {

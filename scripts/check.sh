@@ -18,5 +18,14 @@ if ! MMLIB_FAULT_SEED_BASE="$FAULT_SEED_BASE" cargo test --test fault_matrix -q;
     exit 1
 fi
 
+# Phase-coverage gate: the repro harness in fast mode writes per-approach
+# TTS/TTR/storage phase breakdowns to BENCH_PR4.json (pinned scale + seed)
+# and exits nonzero if any instrumented phase reports zero samples — i.e.
+# if an observability path went dark.
+if ! ./target/release/repro --fast --scale 0.001 --json BENCH_PR4.json; then
+    echo "check.sh: phase benchmark FAILED (zero-sample phase or harness error)" >&2
+    exit 1
+fi
+
 cargo clippy --workspace --all-targets -- -D warnings
 echo "check.sh: all gates passed"

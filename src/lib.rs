@@ -49,6 +49,9 @@ pub use mmlib_dist as dist;
 pub use mmlib_model as model;
 /// Wire protocol, TCP registry server, and remote store client.
 pub use mmlib_net as net;
+/// Metrics registry (counters/gauges/histograms), phase clocks and spans,
+/// and the Prometheus text exposition.
+pub use mmlib_obs as obs;
 /// Document store, file store, and the simulated cluster network.
 pub use mmlib_store as store;
 /// Tensors, deterministic/parallel kernels, PRNG, SHA-256, serialization.
