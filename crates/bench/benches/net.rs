@@ -18,7 +18,7 @@ fn bench_frame_codec(c: &mut Criterion) {
         group.throughput(Throughput::Bytes(size as u64));
         group.bench_with_input(BenchmarkId::from_parameter(size), &frame, |b, frame| {
             b.iter(|| {
-                let mut encoded = encode_frame(frame);
+                let mut encoded = encode_frame(frame).unwrap();
                 decode_frame(&mut encoded).unwrap()
             })
         });

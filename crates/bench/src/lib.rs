@@ -5,6 +5,8 @@
 //! measure the micro costs (hashing, Merkle diffing, serialization,
 //! per-approach save/recover). Both build on the helpers here.
 
+#![forbid(unsafe_code)]
+
 use mmlib_core::meta::{ApproachKind, ModelRelation};
 use mmlib_dist::flow::{run_flow, FlowConfig, FlowKind, FlowResult};
 use mmlib_model::ArchId;

@@ -141,18 +141,15 @@ pub fn choose_approach(scenario: &SaveScenario, policy: &Policy) -> Decision {
             candidates = capped;
         }
     }
-    if candidates.is_empty() {
-        // Budgets were unsatisfiable; the lossless fallback is the baseline.
+    // An empty candidate set means the budgets were unsatisfiable; the
+    // lossless fallback is the baseline.
+    let Some(best) = candidates.into_iter().min_by_key(|a| scenario.estimated_bytes(*a)) else {
         return Decision {
             approach: ApproachKind::Baseline,
             estimated_bytes: scenario.estimated_bytes(ApproachKind::Baseline),
             rationale: "no approach met the configured budgets; falling back to baseline".into(),
         };
-    }
-    let best = candidates
-        .into_iter()
-        .min_by_key(|a| scenario.estimated_bytes(*a))
-        .expect("non-empty");
+    };
     Decision {
         approach: best,
         estimated_bytes: scenario.estimated_bytes(best),

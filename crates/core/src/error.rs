@@ -46,6 +46,11 @@ pub enum CoreError {
     },
     /// A provenance wrapper references an unknown class.
     UnknownWrapperClass(String),
+    /// An internal invariant did not hold (a report missing the field its
+    /// approach promises, an in-memory value failing to serialize). These
+    /// were panics before the panic-freedom pass; they now surface as
+    /// errors the caller can log and survive.
+    Internal(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -68,11 +73,23 @@ impl std::fmt::Display for CoreError {
                 write!(f, "base-model chain of {id} exceeds depth limit {limit}")
             }
             CoreError::UnknownWrapperClass(c) => write!(f, "unknown wrapper class {c}"),
+            CoreError::Internal(reason) => write!(f, "internal invariant violated: {reason}"),
         }
     }
 }
 
 impl std::error::Error for CoreError {}
+
+/// Serializes an in-memory value to a JSON document body, mapping failure
+/// to [`CoreError::Internal`] — these types only fail to serialize on an
+/// internal bug, which callers log and survive instead of aborting on.
+pub(crate) fn to_json_value<T: serde::Serialize>(
+    what: &str,
+    value: T,
+) -> Result<serde_json::Value, CoreError> {
+    serde_json::to_value(value)
+        .map_err(|e| CoreError::Internal(format!("{what} failed to serialize: {e}")))
+}
 
 impl From<StoreError> for CoreError {
     fn from(e: StoreError) -> Self {

@@ -85,16 +85,21 @@ impl MerkleTree {
         assert!(!leaves.is_empty(), "merkle tree needs at least one leaf");
         let (paths, level0): (Vec<String>, Vec<Digest>) = leaves.into_iter().unzip();
         let mut levels = vec![level0];
-        while levels.last().expect("non-empty by construction").len() > 1 {
-            let prev = levels.last().expect("non-empty");
-            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
-            for pair in prev.chunks(2) {
-                match pair {
-                    [a, b] => next.push(hash_pair(a, b)),
-                    [a] => next.push(*a), // odd node carried up unchanged
-                    _ => unreachable!("chunks(2) yields 1- or 2-element slices"),
+        loop {
+            let next = match levels.last() {
+                Some(prev) if prev.len() > 1 => {
+                    let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+                    for pair in prev.chunks(2) {
+                        match pair {
+                            [a, b] => next.push(hash_pair(a, b)),
+                            [a] => next.push(*a), // odd node carried up unchanged
+                            _ => continue, // chunks(2) never yields other sizes
+                        }
+                    }
+                    next
                 }
-            }
+                _ => break,
+            };
             levels.push(next);
         }
         MerkleTree { levels, paths }
@@ -107,7 +112,9 @@ impl MerkleTree {
 
     /// The root digest, committing to all layers.
     pub fn root(&self) -> Digest {
-        self.levels.last().expect("non-empty")[0]
+        // Construction guarantees at least one level holding one digest;
+        // the zero digest covers the impossible empty shape without a panic.
+        self.levels.last().and_then(|level| level.first()).copied().unwrap_or(Digest([0u8; 32]))
     }
 
     /// Number of leaves (layers).

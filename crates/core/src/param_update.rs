@@ -19,7 +19,7 @@ use crate::error::CoreError;
 use crate::merkle::{MerkleDiff, MerkleTree};
 use crate::meta::{ApproachKind, ModelInfoDoc, SavedModelId};
 use crate::recovery::{RecoverBreakdown, RecoverOptions, SaveService};
-use crate::report::SaveRequest;
+use crate::report::{missing_field, SaveRequest};
 
 impl SaveService {
     /// Saves `model` as a parameter update against `base`.
@@ -36,7 +36,9 @@ impl SaveService {
         relation: &str,
     ) -> Result<(SavedModelId, MerkleDiff), CoreError> {
         let report = self.save(SaveRequest::update(model, base).relation(relation))?;
-        let diff = report.diff.expect("update reports carry a diff");
+        let diff = report
+            .diff
+            .ok_or_else(|| missing_field("update reports carry a diff"))?;
         Ok((report.id, diff))
     }
 
@@ -123,8 +125,12 @@ impl SaveService {
     ) -> Result<(SavedModelId, MerkleDiff, mmlib_compress::EncodedUpdate), CoreError> {
         let report =
             self.save(SaveRequest::compressed_update(model, base_model, base).relation(relation))?;
-        let diff = report.diff.expect("compressed-update reports carry a diff");
-        let encoded = report.encoded.expect("compressed-update reports carry the encoding");
+        let diff = report
+            .diff
+            .ok_or_else(|| missing_field("compressed-update reports carry a diff"))?;
+        let encoded = report
+            .encoded
+            .ok_or_else(|| missing_field("compressed-update reports carry the encoding"))?;
         Ok((report.id, diff, encoded))
     }
 

@@ -17,6 +17,7 @@ use crate::error::CoreError;
 use crate::merkle::MerkleDiff;
 use crate::meta::{ApproachKind, SavedModelId};
 use crate::provenance::TrainProvenance;
+use crate::report::missing_field;
 use crate::recovery::SaveService;
 
 /// A depth-bounded save policy.
@@ -106,7 +107,9 @@ impl SaveService {
         Ok(PolicySaveOutcome {
             id: report.id,
             used: report.approach,
-            chain_depth: report.chain_depth.expect("policy saves report a chain depth"),
+            chain_depth: report
+                .chain_depth
+                .ok_or_else(|| missing_field("policy saves report a chain depth"))?,
             diff: report.diff,
         })
     }

@@ -14,7 +14,7 @@ use mmlib_obs::Recorder;
 use mmlib_store::{DocId, FileId, ModelStorage};
 
 use crate::env::EnvironmentInfo;
-use crate::error::CoreError;
+use crate::error::{to_json_value, CoreError};
 use crate::merkle::MerkleTree;
 use crate::meta::{kinds, ApproachKind, ModelInfoDoc, SavedModelId};
 
@@ -145,7 +145,7 @@ impl SaveService {
     pub(crate) fn save_environment(&self) -> Result<DocId, CoreError> {
         Ok(self.storage.insert_doc(
             kinds::ENVIRONMENT,
-            serde_json::to_value(&self.environment).expect("EnvironmentInfo serializes"),
+            to_json_value("EnvironmentInfo", &self.environment)?,
         )?)
     }
 
@@ -153,14 +153,14 @@ impl SaveService {
     pub(crate) fn save_layer_hashes(&self, tree: &MerkleTree) -> Result<DocId, CoreError> {
         Ok(self
             .storage
-            .insert_doc(kinds::LAYER_HASHES, serde_json::to_value(tree).expect("MerkleTree serializes"))?)
+            .insert_doc(kinds::LAYER_HASHES, to_json_value("MerkleTree", tree)?)?)
     }
 
     /// Persists a model-info document and wraps its id.
     pub(crate) fn save_model_info(&self, info: &ModelInfoDoc) -> Result<SavedModelId, CoreError> {
         let id = self
             .storage
-            .insert_doc(kinds::MODEL_INFO, serde_json::to_value(info).expect("ModelInfoDoc serializes"))?;
+            .insert_doc(kinds::MODEL_INFO, to_json_value("ModelInfoDoc", info)?)?;
         Ok(SavedModelId(id))
     }
 

@@ -171,7 +171,7 @@ impl<'a> SaveRequest<'a> {
     }
 }
 
-fn missing_field(reason: &str) -> CoreError {
+pub(crate) fn missing_field(reason: &str) -> CoreError {
     CoreError::BadModelDocument {
         id: SavedModelId(mmlib_store::DocId::from_string("unsaved".into())),
         reason: reason.into(),
@@ -281,7 +281,8 @@ impl SaveService {
             }
             RequestKind::Policy => {
                 let base = req.require_base()?;
-                let policy = req.policy.expect("policy requests carry a policy");
+                let policy =
+                    req.policy.ok_or_else(|| missing_field("policy requests carry a policy"))?;
                 let base_depth = clock.time("plan", || self.chain_depth(base))?;
                 let would_be = base_depth + 1;
                 if would_be > policy.max_depth || policy.cheap == ApproachKind::Baseline {
@@ -289,7 +290,18 @@ impl SaveService {
                     (id, ApproachKind::Baseline, Some(0), None, None)
                 } else {
                     match policy.cheap {
-                        ApproachKind::Baseline => unreachable!("handled above"),
+                        // Handled by the promotion branch above; saving a
+                        // baseline here keeps the arm panic-free and correct
+                        // even if that branch's condition drifts.
+                        ApproachKind::Baseline => {
+                            let id = self.save_full_phased(
+                                req.model,
+                                Some(base),
+                                relation,
+                                &mut clock,
+                            )?;
+                            (id, ApproachKind::Baseline, Some(0), None, None)
+                        }
                         ApproachKind::ParamUpdate => {
                             let (id, diff) =
                                 self.save_update_phased(req.model, base, relation, &mut clock)?;

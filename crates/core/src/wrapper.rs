@@ -20,7 +20,7 @@ use mmlib_store::{DocId, FileId, ModelStorage};
 use mmlib_train::{AnyOptimizer, ImageNetTrainService, OptimizerConfig, TrainConfig};
 use serde::{Deserialize, Serialize};
 
-use crate::error::CoreError;
+use crate::error::{to_json_value, CoreError};
 use crate::meta::kinds;
 
 /// A serialized wrapper object.
@@ -60,12 +60,12 @@ pub fn save_loader_wrapper(
     let doc = WrapperDoc {
         class_name: classes::DATA_LOADER.into(),
         import_or_code: "use mmlib_data::DataLoader;".into(),
-        init_args: serde_json::to_value(config).expect("LoaderConfig is serializable"),
+        init_args: to_json_value("LoaderConfig", config)?,
         config_args: serde_json::Value::Null,
         ref_args: BTreeMap::new(),
         state_file: None,
     };
-    Ok(storage.insert_doc(kinds::WRAPPER, serde_json::to_value(&doc).expect("WrapperDoc"))?)
+    Ok(storage.insert_doc(kinds::WRAPPER, to_json_value("WrapperDoc", &doc)?)?)
 }
 
 /// Saves an optimizer wrapper document, including its state file.
@@ -78,12 +78,12 @@ pub fn save_optimizer_wrapper(
     let doc = WrapperDoc {
         class_name: config.class_name().into(),
         import_or_code: format!("use mmlib_train::{};", config.class_name()),
-        init_args: serde_json::to_value(config).expect("OptimizerConfig is serializable"),
+        init_args: to_json_value("OptimizerConfig", config)?,
         config_args: serde_json::Value::Null,
         ref_args: BTreeMap::new(),
         state_file: Some(state_file.as_str().to_string()),
     };
-    Ok(storage.insert_doc(kinds::WRAPPER, serde_json::to_value(&doc).expect("WrapperDoc"))?)
+    Ok(storage.insert_doc(kinds::WRAPPER, to_json_value("WrapperDoc", &doc)?)?)
 }
 
 /// Saves the train-service wrapper referencing its dataloader and optimizer.
@@ -99,12 +99,12 @@ pub fn save_train_service_wrapper(
     let doc = WrapperDoc {
         class_name: classes::TRAIN_SERVICE.into(),
         import_or_code: "use mmlib_train::ImageNetTrainService;".into(),
-        init_args: serde_json::to_value(train_config).expect("TrainConfig is serializable"),
+        init_args: to_json_value("TrainConfig", train_config)?,
         config_args: serde_json::Value::Null,
         ref_args: refs,
         state_file: None,
     };
-    Ok(storage.insert_doc(kinds::WRAPPER, serde_json::to_value(&doc).expect("WrapperDoc"))?)
+    Ok(storage.insert_doc(kinds::WRAPPER, to_json_value("WrapperDoc", &doc)?)?)
 }
 
 /// Loads and decodes a wrapper document.

@@ -287,6 +287,7 @@ pub fn run_flow_with_transport(
         Transport::Sim => {
             let net = NetModel::Sim(SimNetwork::infiniband_100g());
             let make_storage = || {
+                // mmlib-lint: allow(P1, flow harness aborts on unusable experiment storage by design)
                 ModelStorage::open(storage_root).expect("storage root must be writable")
             };
             run_flow_inner(config, &make_storage, &net)
@@ -320,6 +321,7 @@ fn run_flow_tcp(
     workers: usize,
     faults: Option<std::sync::Arc<mmlib_net::NetFaults>>,
 ) -> FlowResult {
+    // mmlib-lint: allow(P1, flow harness aborts on unusable experiment storage by design)
     let backing = ModelStorage::open(storage_root).expect("storage root must be writable");
     // Connections live for the whole flow, so there must be a worker
     // for every concurrent client: the server plus every node.
@@ -329,10 +331,12 @@ fn run_flow_tcp(
         "127.0.0.1:0",
         mmlib_net::ServerConfig { workers, faults, ..Default::default() },
     )
+    // mmlib-lint: allow(P1, flow harness aborts when the loopback server cannot bind)
     .expect("bind loopback registry server");
     let addr = server.addr();
     let make_storage = move || {
         mmlib_net::RemoteStore::connect(addr)
+            // mmlib-lint: allow(P1, flow harness aborts when the loopback server is unreachable)
             .expect("connect to loopback registry")
             .into_storage()
     };
@@ -358,6 +362,7 @@ fn run_flow_inner(
     // BA uses").
     let mut initial = Model::new_initialized(config.arch, config.seed);
     initial.set_fully_trainable();
+    // mmlib-lint: allow(P1, a failed save invalidates the whole experiment; the harness aborts)
     let u1 = server.save(SaveRequest::full(&initial).relation("initial")).expect("U1 save");
     // Distribute the initial model to every node over the cluster link.
     let network_time = (0..config.kind.nodes())
@@ -420,6 +425,7 @@ fn run_flow_inner(
         for save in &result.saves {
             let report = server
                 .recover_report(&save.id, RecoverOptions::default())
+                // mmlib-lint: allow(P1, a failed recovery invalidates the whole experiment; the harness aborts)
                 .expect("U4 recovery must succeed");
             result.recovers.push(RecoverRecord {
                 use_case: save.use_case.clone(),
@@ -496,9 +502,11 @@ fn run_u3_phase_with_states(
             .collect();
         handles
             .into_iter()
+            // mmlib-lint: allow(P1, a panicked node thread invalidates the experiment; propagate it)
             .map(|h| h.join().expect("node thread panicked"))
             .collect()
     })
+    // mmlib-lint: allow(P1, a panicked node scope invalidates the experiment; propagate it)
     .expect("node scope panicked")
 }
 
@@ -548,6 +556,7 @@ fn train_and_save(
     svc.train(model);
 
     let relation_str = match config.relation {
+        // mmlib-lint: allow(P1, flow configs never train the initial relation; harness invariant)
         ModelRelation::Initial => unreachable!("U2/U3 models always have a base"),
         ModelRelation::FullyUpdated => "fully_updated",
         ModelRelation::PartiallyUpdated => "partially_updated",
@@ -573,6 +582,7 @@ fn train_and_save(
             SaveRequest::provenance(model, base, &prov)
         }
     };
+    // mmlib-lint: allow(P1, a failed save invalidates the whole experiment; the harness aborts)
     let report = service.save(request).expect("flow save");
     // The node informs the server / ships the update over the cluster link.
     let network_time = network.record_transfer(report.storage_bytes);

@@ -1,0 +1,33 @@
+//! mmlib-lint — workspace static analysis for the mmlib repository.
+//!
+//! A zero-dependency, span-aware lint built on a hand-rolled Rust lexer
+//! (the offline workspace has no crate registry, so `syn` is not an
+//! option — and token-level analysis is all these rules need). It
+//! enforces invariants rustc and clippy cannot see:
+//!
+//! - **D1** determinism hygiene: no wall-clock or OS-entropy sources in
+//!   the deterministic crates (`tensor`, `train`, `model`).
+//! - **P1** panic-freedom: no `unwrap`/`expect`/`panic!` family in
+//!   library code of the core/net/store/tensor/dist/obs crates.
+//! - **C1** truncating-cast audit on net/store wire paths.
+//! - **F1** `#![forbid(unsafe_code)]` in every non-shim crate root.
+//! - **X1** protocol cross-check: every opcode has a server dispatch
+//!   arm, client plumbing, and test coverage.
+//! - **M1** metric-taxonomy check: every `mmlib_*` metric name is
+//!   declared (once, snake_case) in the central taxonomy and used.
+//!
+//! Suppression is explicit and budgeted: `// mmlib-lint: allow(RULE,
+//! reason)` pragmas are counted against the committed ratchet file
+//! `lint-budget.txt`, which may only go down.
+
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod lexer;
+pub mod pragma;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+pub use engine::{Budget, Report, Workspace};
+pub use rules::Violation;

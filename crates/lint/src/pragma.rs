@@ -1,0 +1,136 @@
+//! `mmlib-lint:` pragma parsing.
+//!
+//! Two forms, both inside `//` comments:
+//!
+//! * `// mmlib-lint: allow(P1, reason text)` — suppresses rule `P1` on the
+//!   same line, or (for a comment-only line) on the next code line.
+//! * `// mmlib-lint: allow-file(D1, reason text)` — suppresses rule `D1`
+//!   for the whole file (e.g. a dedicated timing module).
+//!
+//! The reason is mandatory: an allow without a stated reason is itself a
+//! violation, and every suppression is counted against the committed
+//! ratchet budget (`lint-budget.txt`), which may only decrease.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Scope of one pragma.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PragmaScope {
+    /// Applies to the pragma's line (or the next line for a standalone
+    /// comment).
+    Line,
+    /// Applies to the whole file.
+    File,
+}
+
+/// One parsed (or malformed) pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// The rule id the pragma names (`"P1"`, `"D1"`, ...), uppercased.
+    pub rule: String,
+    pub scope: PragmaScope,
+    /// The stated reason (may be empty — which is reported as malformed).
+    pub reason: String,
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// Parse problem, if any (`None` = well-formed).
+    pub error: Option<String>,
+}
+
+/// Extracts pragmas from a token stream's line comments.
+pub fn parse_pragmas(tokens: &[Token]) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        let text = t.text.trim_start_matches(['/', '!']).trim();
+        let Some(rest) = text.strip_prefix("mmlib-lint:") else { continue };
+        out.push(parse_one(rest.trim(), t.line));
+    }
+    out
+}
+
+fn parse_one(body: &str, line: usize) -> Pragma {
+    let malformed = |msg: &str| Pragma {
+        rule: String::new(),
+        scope: PragmaScope::Line,
+        reason: String::new(),
+        line,
+        error: Some(msg.to_string()),
+    };
+
+    let (scope, rest) = if let Some(rest) = body.strip_prefix("allow-file") {
+        (PragmaScope::File, rest)
+    } else if let Some(rest) = body.strip_prefix("allow") {
+        (PragmaScope::Line, rest)
+    } else {
+        return malformed("expected `allow(...)` or `allow-file(...)`");
+    };
+    let rest = rest.trim();
+    let Some(inner) = rest.strip_prefix('(').and_then(|r| r.strip_suffix(')')) else {
+        return malformed("expected `(RULE, reason)` after allow");
+    };
+    let Some((rule, reason)) = inner.split_once(',') else {
+        return malformed("missing `, reason` — every allow must state why");
+    };
+    let rule = rule.trim().to_uppercase();
+    let reason = reason.trim().to_string();
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric()) {
+        return malformed("rule id must be alphanumeric (e.g. P1)");
+    }
+    if reason.is_empty() {
+        return malformed("empty reason — every allow must state why");
+    }
+    Pragma { rule, scope, reason, line, error: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Vec<Pragma> {
+        parse_pragmas(&lex(src))
+    }
+
+    #[test]
+    fn line_allow_parses() {
+        let p = parse("x.unwrap(); // mmlib-lint: allow(P1, invariant: set above)");
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].rule, "P1");
+        assert_eq!(p[0].scope, PragmaScope::Line);
+        assert_eq!(p[0].reason, "invariant: set above");
+        assert!(p[0].error.is_none());
+    }
+
+    #[test]
+    fn file_allow_parses() {
+        let p = parse("// mmlib-lint: allow-file(D1, timing module by design)");
+        assert_eq!(p[0].scope, PragmaScope::File);
+        assert_eq!(p[0].rule, "D1");
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        assert!(parse("// mmlib-lint: allow(P1)")[0].error.is_some());
+        assert!(parse("// mmlib-lint: allow(P1, )")[0].error.is_some());
+    }
+
+    #[test]
+    fn unknown_shape_is_malformed() {
+        assert!(parse("// mmlib-lint: suppress(P1, x)")[0].error.is_some());
+    }
+
+    #[test]
+    fn unrelated_comments_are_ignored() {
+        assert!(parse("// a normal comment about mmlib").is_empty());
+    }
+
+    #[test]
+    fn reasons_may_contain_commas() {
+        let p = parse("// mmlib-lint: allow(C1, bounded above, see check)");
+        assert!(p[0].error.is_none());
+        assert_eq!(p[0].reason, "bounded above, see check");
+    }
+}

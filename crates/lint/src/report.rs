@@ -1,0 +1,154 @@
+//! Report rendering: human-readable text and machine-readable JSON.
+//!
+//! The JSON encoder is hand-rolled (the lint is dependency-free by
+//! design) and emits a stable schema:
+//!
+//! ```json
+//! {
+//!   "tool": "mmlib-lint",
+//!   "clean": false,
+//!   "files_scanned": 97,
+//!   "violations": [
+//!     {"rule": "P1", "path": "crates/net/src/client.rs", "line": 192,
+//!      "col": 31, "message": "...", "snippet": "..."}
+//!   ],
+//!   "allowed": 15,
+//!   "allow_counts": {"P1": 13, "C1": 2}
+//! }
+//! ```
+//!
+//! `allowed` counts the violations suppressed by pragmas; `allow_counts`
+//! counts the *pragmas* per rule (the ratchet's unit — one `allow-file`
+//! pragma may suppress several violations).
+
+use std::fmt::Write as _;
+
+use crate::engine::Report;
+use crate::rules::Violation;
+
+/// Renders the human-readable report.
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    for v in &report.violations {
+        if v.line > 0 {
+            let _ = writeln!(out, "{}: {}:{}:{}: {}", v.rule, v.path, v.line, v.col, v.message);
+        } else {
+            let _ = writeln!(out, "{}: {}: {}", v.rule, v.path, v.message);
+        }
+        if !v.snippet.is_empty() {
+            let _ = writeln!(out, "    | {}", v.snippet.trim());
+        }
+    }
+    let allowed = report.allowed.len();
+    let _ = writeln!(
+        out,
+        "mmlib-lint: {} file(s) scanned, {} violation(s), {} allowed by pragma",
+        report.files_scanned,
+        report.violations.len(),
+        allowed,
+    );
+    out
+}
+
+/// Renders the machine-readable JSON report (stable schema, sorted keys).
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{");
+    out.push_str("\"tool\":\"mmlib-lint\",");
+    let _ = write!(out, "\"clean\":{},", report.clean());
+    let _ = write!(out, "\"files_scanned\":{},", report.files_scanned);
+    out.push_str("\"violations\":[");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_violation(&mut out, v);
+    }
+    out.push_str("],");
+    let _ = write!(out, "\"allowed\":{},", report.allowed.len());
+    out.push_str("\"allow_counts\":{");
+    for (i, (rule, count)) in report.allow_counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json_string(rule), count);
+    }
+    out.push_str("}}");
+    out
+}
+
+fn push_violation(out: &mut String, v: &Violation) {
+    out.push('{');
+    let _ = write!(out, "\"rule\":{},", json_string(v.rule));
+    let _ = write!(out, "\"path\":{},", json_string(&v.path));
+    let _ = write!(out, "\"line\":{},", v.line);
+    let _ = write!(out, "\"col\":{},", v.col);
+    let _ = write!(out, "\"message\":{},", json_string(&v.message));
+    let _ = write!(out, "\"snippet\":{}", json_string(v.snippet.trim()));
+    out.push('}');
+}
+
+/// Escapes a string per RFC 8259.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Report;
+    use std::collections::BTreeMap;
+
+    fn sample() -> Report {
+        Report {
+            violations: vec![Violation {
+                rule: "P1",
+                path: "crates/net/src/client.rs".to_string(),
+                line: 7,
+                col: 3,
+                message: "unwrap in library code: \"bad\"".to_string(),
+                snippet: "x.unwrap()".to_string(),
+            }],
+            allowed: vec![],
+            allow_counts: BTreeMap::from([("C1".to_string(), 2)]),
+            files_scanned: 4,
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let json = render_json(&sample());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"rule\":\"P1\""));
+        assert!(json.contains("unwrap in library code: \\\"bad\\\""));
+        assert!(json.contains("\"allow_counts\":{\"C1\":2}"));
+        assert!(json.contains("\"clean\":false"));
+    }
+
+    #[test]
+    fn text_includes_location_and_summary() {
+        let text = render_text(&sample());
+        assert!(text.contains("P1: crates/net/src/client.rs:7:3:"));
+        assert!(text.contains("4 file(s) scanned, 1 violation(s)"));
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        assert_eq!(json_string("a\u{1}b"), "\"a\\u0001b\"");
+    }
+}

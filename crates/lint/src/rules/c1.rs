@@ -1,0 +1,97 @@
+//! C1 — truncating-cast audit on wire paths.
+//!
+//! PR 1 shipped (and fixed) a `transfer_time` overflow caused by arithmetic
+//! on a silently narrowed byte count. This rule flags `as u8/u16/u32/usize`
+//! casts whose source expression mentions a length-ish identifier (`len`,
+//! `size`, `bytes`, `capacity`, `remaining`) inside the `net`/`store`
+//! crates. The fix is a checked `try_from` with a protocol error on
+//! overflow; a cast that is provably bounded carries an
+//! `mmlib-lint: allow(C1, reason)` pragma instead.
+
+use crate::lexer::{Token, TokenKind};
+use crate::rules::{Violation, C1_CRATES};
+use crate::source::SourceFile;
+
+/// Narrowing targets. `usize` is included because wire lengths are `u64`
+/// and 32-bit targets truncate them.
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "usize"];
+
+/// Substrings that mark an identifier as a byte-length/size value.
+const LENGTH_MARKERS: &[&str] = &["len", "size", "byte", "capacity", "remaining"];
+
+/// Tokens that end the backward scan for the cast's source expression.
+fn is_expr_stopper(t: &Token) -> bool {
+    if t.kind == TokenKind::Punct {
+        return matches!(t.text.as_str(), ";" | "," | "=" | "{" | "[" | "<" | ">" | "?" | ":");
+    }
+    t.kind == TokenKind::Ident
+        && matches!(t.text.as_str(), "let" | "return" | "if" | "match" | "while" | "in" | "as")
+}
+
+pub fn check(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !C1_CRATES.contains(&file.crate_name.as_str()) {
+        return;
+    }
+    let code: Vec<_> = file.code_tokens().map(|(_, t)| t).collect();
+    for (i, t) in code.iter().enumerate() {
+        if !t.is_ident("as") || file.in_test_code(t.line) {
+            continue;
+        }
+        let Some(target) = code.get(i + 1) else { continue };
+        if target.kind != TokenKind::Ident || !NARROW_TARGETS.contains(&target.text.as_str()) {
+            continue;
+        }
+        if let Some(culprit) = find_length_source(&code, i) {
+            out.push(Violation::at(
+                "C1",
+                file,
+                t.line,
+                t.col,
+                format!(
+                    "`{culprit} ... as {}` silently truncates a byte length on the \
+                     wire path — use `{}::try_from(...)` and surface an overflow \
+                     error, or annotate with `mmlib-lint: allow(C1, reason)`",
+                    target.text, target.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Walks backwards from the `as` token through the cast's source
+/// expression, returning the first length-ish identifier it contains.
+/// Balanced `(...)` groups are traversed (their contents scanned too);
+/// the scan stops at an expression boundary or after a bounded window.
+fn find_length_source(code: &[&Token], as_idx: usize) -> Option<String> {
+    let mut depth = 0usize;
+    let mut steps = 0usize;
+    let mut j = as_idx;
+    while j > 0 && steps < 24 {
+        j -= 1;
+        steps += 1;
+        let t = code[j];
+        if t.is_punct(')') {
+            depth += 1;
+            continue;
+        }
+        if t.is_punct('(') {
+            if depth == 0 {
+                // Opening paren of an enclosing call: the cast source
+                // begins after it.
+                return None;
+            }
+            depth -= 1;
+            continue;
+        }
+        if depth == 0 && is_expr_stopper(t) {
+            return None;
+        }
+        if t.kind == TokenKind::Ident {
+            let lower = t.text.to_lowercase();
+            if LENGTH_MARKERS.iter().any(|m| lower.contains(m)) {
+                return Some(t.text.clone());
+            }
+        }
+    }
+    None
+}

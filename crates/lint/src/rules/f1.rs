@@ -1,0 +1,39 @@
+//! F1 — `#![forbid(unsafe_code)]` in every non-shim crate root.
+//!
+//! The whole workspace is safe Rust by construction (even the SHA-256 and
+//! f32 byte plumbing go through safe chunked conversion); this rule makes
+//! that permanent by requiring the forbid attribute in each crate's
+//! `src/lib.rs`. Shim crates are exempt (they mirror external APIs).
+
+use crate::rules::Violation;
+use crate::source::SourceFile;
+
+/// Checks one crate-root file (`src/lib.rs`). The engine calls this only
+/// for crate roots.
+pub fn check(file: &SourceFile, out: &mut Vec<Violation>) {
+    let code: Vec<_> = file.code_tokens().map(|(_, t)| t).collect();
+    // Look for `# ! [ forbid ( unsafe_code ) ]` anywhere (it must be an
+    // inner attribute to compile, so position is rustc's problem).
+    let found = code.windows(7).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident("forbid")
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')')
+    });
+    if !found {
+        out.push(Violation {
+            rule: "F1",
+            path: file.path.clone(),
+            line: 0,
+            col: 0,
+            message: format!(
+                "crate `{}` root is missing `#![forbid(unsafe_code)]`",
+                file.crate_name
+            ),
+            snippet: String::new(),
+        });
+    }
+}

@@ -1,0 +1,130 @@
+//! M1 — metric-taxonomy cross-check.
+//!
+//! Every `mmlib_*` metric name registered anywhere in the workspace must
+//! appear in the central taxonomy (`crates/obs/src/taxonomy.rs`), be
+//! snake_case, and be declared exactly once; and every taxonomy entry must
+//! actually be used by library code. This keeps `mmlib stats` expositions
+//! self-documenting: the taxonomy is the complete dictionary of what a
+//! deployment can scrape.
+//!
+//! A "metric name" is any string literal matching
+//! `mmlib_*` with one of the conventional unit suffixes (`_total`,
+//! `_seconds`, `_bytes`) — Prometheus naming the workspace already follows.
+
+use crate::lexer::TokenKind;
+use crate::rules::Violation;
+use crate::source::SourceFile;
+
+pub const TAXONOMY: &str = "crates/obs/src/taxonomy.rs";
+
+/// Suffixes that mark a `mmlib_*` string literal as a metric name.
+const METRIC_SUFFIXES: &[&str] = &["_total", "_seconds", "_bytes"];
+
+pub fn check(files: &[SourceFile], out: &mut Vec<Violation>) {
+    let usages: Vec<(&SourceFile, usize, usize, String)> = files
+        .iter()
+        .filter(|f| f.kind == crate::source::FileKind::Lib && f.path != TAXONOMY)
+        .flat_map(|f| {
+            f.code_tokens()
+                .filter(|(_, t)| {
+                    t.kind == TokenKind::Str
+                        && is_metric_name_shape(&t.text)
+                        && !f.in_test_code(t.line)
+                })
+                .map(move |(_, t)| (f, t.line, t.col, t.text.clone()))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let Some(taxonomy) = files.iter().find(|f| f.path == TAXONOMY) else {
+        // No taxonomy file: every metric literal is undeclared.
+        for (f, line, col, name) in &usages {
+            out.push(Violation::at(
+                "M1",
+                f,
+                *line,
+                *col,
+                format!(
+                    "metric `{name}` is registered but {TAXONOMY} does not exist — \
+                     declare every metric in the central taxonomy"
+                ),
+            ));
+        }
+        return;
+    };
+
+    // The taxonomy's declared names, in order of appearance. Only
+    // metric-shaped literals outside test code count — the taxonomy's own
+    // unit tests mention names without declaring them.
+    let mut declared: Vec<(String, usize)> = Vec::new();
+    for (_, t) in taxonomy.code_tokens() {
+        if t.kind == TokenKind::Str
+            && is_metric_name_shape(&t.text)
+            && !taxonomy.in_test_code(t.line)
+        {
+            declared.push((t.text.clone(), t.line));
+        }
+    }
+
+    for (i, (name, line)) in declared.iter().enumerate() {
+        if !is_snake_case(name) {
+            out.push(Violation::at(
+                "M1",
+                taxonomy,
+                *line,
+                0,
+                format!("taxonomy metric `{name}` is not snake_case"),
+            ));
+        }
+        if declared[..i].iter().any(|(n, _)| n == name) {
+            out.push(Violation::at(
+                "M1",
+                taxonomy,
+                *line,
+                0,
+                format!("taxonomy metric `{name}` is declared more than once"),
+            ));
+        }
+    }
+
+    let declared_names: Vec<&String> = declared.iter().map(|(n, _)| n).collect();
+    for (f, line, col, name) in &usages {
+        if !declared_names.contains(&name) {
+            out.push(Violation::at(
+                "M1",
+                f,
+                *line,
+                *col,
+                format!(
+                    "metric `{name}` is registered here but missing from the \
+                     taxonomy ({TAXONOMY}) — add it with a help string"
+                ),
+            ));
+        }
+    }
+    for (name, line) in &declared {
+        if !usages.iter().any(|(_, _, _, n)| n == name) {
+            out.push(Violation::at(
+                "M1",
+                taxonomy,
+                *line,
+                0,
+                format!(
+                    "taxonomy metric `{name}` is declared but never registered by \
+                     library code — dead taxonomy entries drift from reality"
+                ),
+            ));
+        }
+    }
+}
+
+/// Does a string literal look like a metric name?
+fn is_metric_name_shape(s: &str) -> bool {
+    s.starts_with("mmlib_") && METRIC_SUFFIXES.iter().any(|suf| s.ends_with(suf))
+}
+
+fn is_snake_case(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        && !s.contains("__")
+}

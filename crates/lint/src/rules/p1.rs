@@ -1,0 +1,67 @@
+//! P1 — panic-freedom in library code.
+//!
+//! A panic in `mmlib-net` kills a worker thread mid-connection; a panic in
+//! `mmlib-obs` poisons the registry lock for every later recorder; a panic
+//! anywhere on the save/recover path aborts work that an `Err` would have
+//! let the caller retry. Library code of the panic-free crates must not
+//! call `unwrap`/`expect` or invoke the panicking macros. Sites whose
+//! invariant genuinely cannot be expressed as an error carry a
+//! `// mmlib-lint: allow(P1, reason)` pragma, counted against the ratchet.
+//!
+//! `assert!`/`debug_assert!` stay legal: contract checks at API boundaries
+//! are documented panics, not accidental ones.
+
+use crate::lexer::TokenKind;
+use crate::rules::{Violation, P1_CRATES};
+use crate::source::SourceFile;
+
+/// Method calls that panic: flagged as `.name(` to skip `unwrap_or`,
+/// free functions named `unwrap`, and struct fields.
+const PANICKING_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Macros that panic unconditionally when reached.
+const PANICKING_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
+
+pub fn check(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !P1_CRATES.contains(&file.crate_name.as_str()) {
+        return;
+    }
+    let code: Vec<_> = file.code_tokens().map(|(_, t)| t).collect();
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokenKind::Ident || file.in_test_code(t.line) {
+            continue;
+        }
+        let name = t.text.as_str();
+        let prev_dot = i > 0 && code[i - 1].is_punct('.');
+        let next = code.get(i + 1);
+        if PANICKING_METHODS.contains(&name)
+            && prev_dot
+            && next.is_some_and(|n| n.is_punct('('))
+        {
+            out.push(Violation::at(
+                "P1",
+                file,
+                t.line,
+                t.col,
+                format!(
+                    ".{name}() in `{}` library code can panic — propagate an error \
+                     (`?`, `ok_or_else`) or annotate with `mmlib-lint: allow(P1, reason)`",
+                    file.crate_name
+                ),
+            ));
+        }
+        if PANICKING_MACROS.contains(&name) && next.is_some_and(|n| n.is_punct('!')) {
+            out.push(Violation::at(
+                "P1",
+                file,
+                t.line,
+                t.col,
+                format!(
+                    "{name}! in `{}` library code — return an error instead of \
+                     aborting the caller's thread",
+                    file.crate_name
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! X1 — protocol cross-check.
+//!
+//! Every opcode in `crates/net/src/protocol.rs` must be (a) dispatched by a
+//! server match arm, (b) referenced by client/protocol plumbing outside the
+//! enum's own definition, and (c) mentioned by at least one test under
+//! `crates/net/tests/`. Adding an opcode without wiring all three — or
+//! deleting a dispatch arm behind a wildcard — fails the gate.
+
+use crate::lexer::{Token, TokenKind};
+use crate::rules::Violation;
+use crate::source::SourceFile;
+
+pub const PROTOCOL: &str = "crates/net/src/protocol.rs";
+pub const SERVER: &str = "crates/net/src/server.rs";
+pub const CLIENT: &str = "crates/net/src/client.rs";
+pub const NET_TESTS_DIR: &str = "crates/net/tests/";
+
+pub fn check(files: &[SourceFile], out: &mut Vec<Violation>) {
+    let Some(protocol) = files.iter().find(|f| f.path == PROTOCOL) else {
+        // No protocol file in this (possibly partial, in-memory) workspace:
+        // nothing to cross-check.
+        return;
+    };
+    let variants = opcode_variants(protocol);
+    if variants.is_empty() {
+        out.push(Violation::at(
+            "X1",
+            protocol,
+            0,
+            0,
+            "no `enum Opcode` variants found in protocol.rs — the cross-check \
+             has nothing to verify (was the enum renamed?)"
+                .to_string(),
+        ));
+        return;
+    }
+
+    let server = files.iter().find(|f| f.path == SERVER);
+    let client = files.iter().find(|f| f.path == CLIENT);
+    let tests: Vec<&SourceFile> =
+        files.iter().filter(|f| f.path.starts_with(NET_TESTS_DIR)).collect();
+
+    let dispatched = server.map(dispatch_arms).unwrap_or_default();
+    let mut mentioned_client: Vec<String> = client.map(opcode_mentions).unwrap_or_default();
+    // Plumbing shared by both sides lives in protocol.rs free functions
+    // (chunk streaming); mentions there count, mentions inside the enum's
+    // own impl blocks do not.
+    mentioned_client.extend(opcode_mentions_outside_own_impls(protocol));
+    let mentioned_tests: Vec<String> =
+        tests.iter().flat_map(|f| opcode_mentions(f)).collect();
+
+    for (variant, line) in &variants {
+        if server.is_some() && !dispatched.contains(variant) {
+            out.push(Violation::at(
+                "X1",
+                protocol,
+                *line,
+                0,
+                format!(
+                    "opcode `{variant}` has no dispatch arm (`Opcode::{variant} =>`) \
+                     in server.rs — requests with this opcode fall through"
+                ),
+            ));
+        }
+        if client.is_some() && !mentioned_client.contains(variant) {
+            out.push(Violation::at(
+                "X1",
+                protocol,
+                *line,
+                0,
+                format!(
+                    "opcode `{variant}` is never referenced by client.rs or \
+                     protocol.rs plumbing — there is no way to exercise it"
+                ),
+            ));
+        }
+        if !tests.is_empty() && !mentioned_tests.contains(variant) {
+            out.push(Violation::at(
+                "X1",
+                protocol,
+                *line,
+                0,
+                format!(
+                    "opcode `{variant}` is not mentioned by any test under \
+                     crates/net/tests/ — wire coverage is unverified"
+                ),
+            ));
+        }
+    }
+}
+
+/// Extracts `enum Opcode { Variant = 0x.., ... }` variant names and the
+/// line each is declared on.
+pub fn opcode_variants(protocol: &SourceFile) -> Vec<(String, usize)> {
+    let code: Vec<&Token> = protocol.code_tokens().map(|(_, t)| t).collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].is_ident("enum") && code.get(i + 1).is_some_and(|t| t.is_ident("Opcode")) {
+            // Scan the brace block: variants are idents at depth 1 followed
+            // by `=` (discriminant) or `,` or `}`.
+            let mut depth = 0usize;
+            let mut j = i + 2;
+            while j < code.len() {
+                let t = code[j];
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    if depth == 1 {
+                        return out;
+                    }
+                    depth -= 1;
+                } else if depth == 1 && t.kind == TokenKind::Ident {
+                    let next = code.get(j + 1);
+                    if next.is_some_and(|n| n.is_punct('=') || n.is_punct(',') || n.is_punct('}')) {
+                        out.push((t.text.clone(), t.line));
+                        // Skip the discriminant expression to its comma.
+                        while j < code.len() && !code[j].is_punct(',') && !code[j].is_punct('}') {
+                            j += 1;
+                        }
+                        continue;
+                    }
+                }
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Variants appearing as a server match arm: `Opcode::V =>` or `Opcode::V |`.
+fn dispatch_arms(server: &SourceFile) -> Vec<String> {
+    let code: Vec<&Token> = server.code_tokens().map(|(_, t)| t).collect();
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        if let Some(variant) = opcode_path_at(&code, i) {
+            // The variant ident sits at i+3; an arm continues with `=>` or `|`.
+            let after = code.get(i + 4);
+            let is_arm = match after {
+                Some(t) if t.is_punct('|') => true,
+                Some(t) if t.is_punct('=') => code.get(i + 5).is_some_and(|n| n.is_punct('>')),
+                _ => false,
+            };
+            if is_arm && !out.contains(&variant) {
+                out.push(variant);
+            }
+        }
+    }
+    out
+}
+
+/// All `Opcode::V` path references in a file.
+fn opcode_mentions(file: &SourceFile) -> Vec<String> {
+    let code: Vec<&Token> = file.code_tokens().map(|(_, t)| t).collect();
+    (0..code.len()).filter_map(|i| opcode_path_at(&code, i)).collect()
+}
+
+/// `Opcode::V` references outside `enum Opcode` and `impl ... Opcode`
+/// blocks (so `ALL`, `name()`, and `TryFrom` don't vacuously satisfy the
+/// cross-check) and outside test code.
+fn opcode_mentions_outside_own_impls(file: &SourceFile) -> Vec<String> {
+    let code: Vec<&Token> = file.code_tokens().map(|(_, t)| t).collect();
+    // Mark token ranges of `enum Opcode {...}` and any `impl` whose header
+    // mentions Opcode.
+    let mut skip = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        let header_start = if code[i].is_ident("enum")
+            && code.get(i + 1).is_some_and(|t| t.is_ident("Opcode"))
+        {
+            Some(i)
+        } else if code[i].is_ident("impl") {
+            // Scan header to `{`; does it mention Opcode?
+            let mut j = i + 1;
+            let mut mentions = false;
+            while j < code.len() && !code[j].is_punct('{') {
+                if code[j].is_ident("Opcode") {
+                    mentions = true;
+                }
+                j += 1;
+            }
+            if mentions {
+                Some(i)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        if let Some(start) = header_start {
+            // Mark through the matched brace block.
+            let mut depth = 0usize;
+            let mut j = start;
+            while j < code.len() {
+                skip[j] = true;
+                if code[j].is_punct('{') {
+                    depth += 1;
+                } else if code[j].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    (0..code.len())
+        .filter(|&i| !skip[i] && !file.in_test_code(code[i].line))
+        .filter_map(|i| opcode_path_at(&code, i))
+        .collect()
+}
+
+/// If `code[i..]` spells `Opcode :: V`, returns `V`.
+fn opcode_path_at(code: &[&Token], i: usize) -> Option<String> {
+    if code.get(i)?.is_ident("Opcode")
+        && code.get(i + 1)?.is_punct(':')
+        && code.get(i + 2)?.is_punct(':')
+    {
+        let v = code.get(i + 3)?;
+        if v.kind == TokenKind::Ident && v.text.chars().next().is_some_and(|c| c.is_uppercase()) {
+            return Some(v.text.clone());
+        }
+    }
+    None
+}

@@ -1,0 +1,10 @@
+//! C1 good fixture: checked conversion for lengths, and narrowing casts
+//! of values that are not byte counts.
+
+pub fn header(body_len: u64) -> Result<u32, String> {
+    u32::try_from(body_len).map_err(|_| format!("frame of {body_len} B overflows the header"))
+}
+
+pub fn opcode_byte(op: u32) -> u8 {
+    (op & 0xff) as u8
+}

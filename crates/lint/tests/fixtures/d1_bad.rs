@@ -1,0 +1,11 @@
+//! D1 bad fixture: wall-clock reads and OS entropy in a deterministic
+//! crate's library code. Scanned as `crates/tensor/src/<name>.rs`.
+
+pub fn stamp() -> u64 {
+    let t = std::time::SystemTime::now();
+    t.elapsed().map(|d| d.as_secs()).unwrap_or(0)
+}
+
+pub fn seed() -> u64 {
+    thread_rng()
+}

@@ -1,0 +1,16 @@
+//! D1 good fixture: explicit seeding only; timing confined to test code,
+//! which the rule exempts.
+
+pub fn seed(base: u64) -> u64 {
+    base.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let start = std::time::Instant::now();
+        assert_eq!(super::seed(0), 0);
+        let _ = start.elapsed();
+    }
+}

@@ -1,0 +1,6 @@
+//! F1 bad fixture: a crate root without the unsafe-code forbid.
+//! Scanned as `crates/<name>/src/lib.rs`.
+
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,7 @@
+//! F1 good fixture: the forbid is present.
+
+#![forbid(unsafe_code)]
+
+pub fn answer() -> u32 {
+    42
+}

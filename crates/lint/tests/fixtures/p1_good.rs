@@ -1,0 +1,18 @@
+//! P1 good fixture: errors propagate; non-panicking cousins
+//! (`unwrap_or`) stay legal, and test code is exempt.
+
+pub fn parse_port(s: &str) -> Result<u16, std::num::ParseIntError> {
+    s.parse()
+}
+
+pub fn fallback(v: Option<u16>) -> u16 {
+    v.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::parse_port("80").unwrap(), 80);
+    }
+}

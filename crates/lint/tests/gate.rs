@@ -1,0 +1,137 @@
+//! Gate tests: the lint holds the line on the *real* workspace.
+//!
+//! These load actual source files from the repository, mutate them in
+//! memory, and assert the gate catches the regression — the acceptance
+//! criteria for the lint as a CI gate.
+
+use std::path::PathBuf;
+
+use mmlib_lint::{report, Budget, Workspace};
+
+fn root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+}
+
+fn read(rel: &str) -> String {
+    std::fs::read_to_string(root().join(rel)).unwrap()
+}
+
+/// The committed tree passes its own gate with the committed budget.
+#[test]
+fn real_workspace_is_clean_under_the_committed_budget() {
+    let root = root();
+    let ws = Workspace::load(&root).unwrap();
+    let budget = Budget::load(&root.join("lint-budget.txt")).unwrap();
+    let r = ws.check(&budget);
+    assert!(r.clean(), "workspace lint violations:\n{}", report::render_text(&r));
+    assert!(r.files_scanned > 50, "workspace scan looks truncated: {}", r.files_scanned);
+}
+
+/// Acceptance check: re-introducing a wall-clock read into mmlib-tensor
+/// fails the gate.
+#[test]
+fn reintroducing_wall_clock_in_tensor_fails_d1() {
+    let mut text = read("crates/tensor/src/hash.rs");
+    text.push_str(
+        "\npub fn leaked_stamp() -> std::time::SystemTime { std::time::SystemTime::now() }\n",
+    );
+    let ws = Workspace::from_memory(vec![("crates/tensor/src/hash.rs".to_string(), text)]);
+    let r = ws.check(&Budget::zero());
+    assert!(
+        r.violations.iter().any(|v| v.rule == "D1" && v.message.contains("SystemTime::now")),
+        "{}",
+        report::render_text(&r)
+    );
+}
+
+/// Acceptance check: deleting a server dispatch arm (here: retargeting
+/// `DocRemove`'s arm so the opcode no longer dispatches) fails the gate.
+#[test]
+fn deleting_a_server_dispatch_arm_fails_x1() {
+    let server = read("crates/net/src/server.rs");
+    assert!(server.contains("Opcode::DocRemove =>"), "dispatch arm moved; update this test");
+    let files = vec![
+        ("crates/net/src/protocol.rs".to_string(), read("crates/net/src/protocol.rs")),
+        (
+            "crates/net/src/server.rs".to_string(),
+            server.replace("Opcode::DocRemove =>", "Opcode::DocGet =>"),
+        ),
+        ("crates/net/src/client.rs".to_string(), read("crates/net/src/client.rs")),
+        (
+            "crates/net/tests/opcode_coverage.rs".to_string(),
+            read("crates/net/tests/opcode_coverage.rs"),
+        ),
+    ];
+    let r = Workspace::from_memory(files).check(&Budget::zero());
+    assert!(
+        r.violations
+            .iter()
+            .any(|v| v.rule == "X1" && v.message.contains("`DocRemove` has no dispatch arm")),
+        "{}",
+        report::render_text(&r)
+    );
+}
+
+/// A pragma suppresses its violation but counts against the ratchet; the
+/// zero budget rejects it, a budget of one admits it.
+#[test]
+fn ratchet_admits_exactly_the_budgeted_pragmas() {
+    let file = "pub fn f(v: Option<u8>) -> u8 {\n    \
+                v.unwrap() // mmlib-lint: allow(P1, fixture: v is checked by the caller)\n\
+                }\n";
+    let ws = Workspace::from_memory(vec![("crates/net/src/x.rs".to_string(), file.to_string())]);
+
+    let over = ws.check(&Budget::zero());
+    assert!(
+        over.violations
+            .iter()
+            .any(|v| v.rule == "LINT" && v.message.contains("ratchet exceeded for P1")),
+        "{}",
+        report::render_text(&over)
+    );
+
+    let within = ws.check(&Budget::parse("P1 1\n", "test-budget").unwrap());
+    assert!(within.clean(), "{}", report::render_text(&within));
+    assert_eq!(within.allowed.len(), 1);
+    assert_eq!(within.allow_counts.get("P1"), Some(&1));
+}
+
+/// Stale pragmas (suppressing nothing) and malformed pragmas are
+/// themselves violations — the annotation layer cannot rot silently.
+#[test]
+fn stale_and_malformed_pragmas_are_violations() {
+    let file = "// mmlib-lint: allow(P1, nothing on the next line panics)\n\
+                pub fn ok() {}\n\
+                // mmlib-lint: allow(P1)\n";
+    let ws = Workspace::from_memory(vec![("crates/net/src/x.rs".to_string(), file.to_string())]);
+    let r = ws.check(&Budget::parse("P1 5\n", "test-budget").unwrap());
+    let msgs: Vec<&str> = r.violations.iter().map(|v| v.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("stale pragma")), "{msgs:#?}");
+    assert!(msgs.iter().any(|m| m.contains("malformed mmlib-lint pragma")), "{msgs:#?}");
+}
+
+/// A file-scope pragma suppresses every match in the file but counts as
+/// ONE pragma against the ratchet (the budget's unit is pragmas, not
+/// suppressed findings).
+#[test]
+fn allow_file_suppresses_many_but_counts_once() {
+    let file = "// mmlib-lint: allow-file(D1, fixture: a timing module)\n\
+                pub fn a() -> std::time::Instant { std::time::Instant::now() }\n\
+                pub fn b() -> std::time::Instant { std::time::Instant::now() }\n";
+    let ws = Workspace::from_memory(vec![("crates/train/src/t.rs".to_string(), file.to_string())]);
+    let r = ws.check(&Budget::parse("D1 1\n", "test-budget").unwrap());
+    assert!(r.clean(), "{}", report::render_text(&r));
+    assert_eq!(r.allowed.len(), 2);
+    assert_eq!(r.allow_counts.get("D1"), Some(&1));
+}
+
+#[test]
+fn budget_parser_rejects_garbage_and_reads_comments() {
+    assert!(Budget::parse("P1", "t").is_err());
+    assert!(Budget::parse("P1 x", "t").is_err());
+    assert!(Budget::parse("P1 1 extra", "t").is_err());
+    let b = Budget::parse("# header\nP1 2 # trailing comment\n\nC1 0\n", "t").unwrap();
+    assert_eq!(b.limit("P1"), 2);
+    assert_eq!(b.limit("C1"), 0);
+    assert_eq!(b.limit("D1"), 0, "unlisted rules default to zero");
+}

@@ -1,0 +1,213 @@
+//! Per-rule self-tests: each rule fires on its bad fixture and stays
+//! silent on the good one. File-scoped rules (D1/P1/C1/F1) use on-disk
+//! fixtures under `tests/fixtures/`; the workspace-level rules (X1/M1)
+//! use small in-memory workspaces.
+
+use mmlib_lint::{Budget, Report, Workspace};
+
+fn check_one(path: &str, text: &str) -> Report {
+    Workspace::from_memory(vec![(path.to_string(), text.to_string())]).check(&Budget::zero())
+}
+
+fn rules(report: &Report) -> Vec<&str> {
+    report.violations.iter().map(|v| v.rule).collect()
+}
+
+#[test]
+fn d1_fires_on_wall_clock_and_entropy_in_tensor() {
+    let r = check_one("crates/tensor/src/seed.rs", include_str!("fixtures/d1_bad.rs"));
+    assert_eq!(rules(&r), vec!["D1", "D1"], "{:#?}", r.violations);
+    assert!(r.violations[0].message.contains("SystemTime::now"));
+    assert!(r.violations[1].message.contains("thread_rng"));
+}
+
+#[test]
+fn d1_silent_on_explicit_seeding_and_test_code() {
+    let r = check_one("crates/tensor/src/seed.rs", include_str!("fixtures/d1_good.rs"));
+    assert!(r.clean(), "{:#?}", r.violations);
+}
+
+#[test]
+fn d1_ignores_non_deterministic_crates() {
+    // The same wall-clock read in `obs` (not a D1 crate) is legal.
+    let r = check_one("crates/bench/src/seed.rs", include_str!("fixtures/d1_bad.rs"));
+    assert!(!rules(&r).contains(&"D1"), "{:#?}", r.violations);
+}
+
+#[test]
+fn p1_fires_on_unwrap_and_todo_in_net() {
+    let r = check_one("crates/net/src/handler.rs", include_str!("fixtures/p1_bad.rs"));
+    assert_eq!(rules(&r), vec!["P1", "P1"], "{:#?}", r.violations);
+    assert!(r.violations[0].message.contains(".unwrap()"));
+    assert!(r.violations[1].message.contains("todo!"));
+}
+
+#[test]
+fn p1_silent_on_propagated_errors_and_unwrap_or() {
+    let r = check_one("crates/net/src/handler.rs", include_str!("fixtures/p1_good.rs"));
+    assert!(r.clean(), "{:#?}", r.violations);
+}
+
+#[test]
+fn p1_exempts_integration_test_files_entirely() {
+    let r = check_one("crates/net/tests/handler.rs", include_str!("fixtures/p1_bad.rs"));
+    assert!(r.clean(), "{:#?}", r.violations);
+}
+
+#[test]
+fn c1_fires_on_truncating_length_cast_in_net() {
+    let r = check_one("crates/net/src/framing.rs", include_str!("fixtures/c1_bad.rs"));
+    assert_eq!(rules(&r), vec!["C1"], "{:#?}", r.violations);
+    assert!(r.violations[0].message.contains("try_from"));
+}
+
+#[test]
+fn c1_silent_on_checked_conversion_and_non_length_casts() {
+    let r = check_one("crates/net/src/framing.rs", include_str!("fixtures/c1_good.rs"));
+    assert!(r.clean(), "{:#?}", r.violations);
+}
+
+#[test]
+fn f1_fires_on_crate_root_missing_the_forbid() {
+    let r = check_one("crates/data/src/lib.rs", include_str!("fixtures/f1_bad.rs"));
+    assert_eq!(rules(&r), vec!["F1"], "{:#?}", r.violations);
+}
+
+#[test]
+fn f1_silent_when_the_forbid_is_present() {
+    let r = check_one("crates/data/src/lib.rs", include_str!("fixtures/f1_good.rs"));
+    assert!(r.clean(), "{:#?}", r.violations);
+}
+
+#[test]
+fn f1_only_applies_to_crate_roots() {
+    let r = check_one("crates/data/src/other.rs", include_str!("fixtures/f1_bad.rs"));
+    assert!(r.clean(), "{:#?}", r.violations);
+}
+
+// ---------------------------------------------------------------- X1 ----
+
+const MINI_PROTOCOL: &str = "
+pub enum Opcode {
+    Ping = 0x01,
+    Get = 0x02,
+}
+";
+
+const MINI_SERVER: &str = "
+fn dispatch(op: Opcode) {
+    match op {
+        Opcode::Ping => reply(),
+        Opcode::Get => get(),
+    }
+}
+";
+
+const MINI_CLIENT: &str = "
+pub fn ping() { send(Opcode::Ping); }
+pub fn get() { send(Opcode::Get); }
+";
+
+const MINI_TEST: &str = "
+#[test]
+fn wire() { assert_eq!(count(Opcode::Ping), count(Opcode::Get)); }
+";
+
+fn x1_workspace(server: &str, client: &str, test: &str) -> Report {
+    Workspace::from_memory(vec![
+        ("crates/net/src/protocol.rs".to_string(), MINI_PROTOCOL.to_string()),
+        ("crates/net/src/server.rs".to_string(), server.to_string()),
+        ("crates/net/src/client.rs".to_string(), client.to_string()),
+        ("crates/net/tests/wire.rs".to_string(), test.to_string()),
+    ])
+    .check(&Budget::zero())
+}
+
+#[test]
+fn x1_silent_when_every_opcode_is_fully_wired() {
+    let r = x1_workspace(MINI_SERVER, MINI_CLIENT, MINI_TEST);
+    assert!(r.clean(), "{:#?}", r.violations);
+}
+
+#[test]
+fn x1_fires_when_a_dispatch_arm_disappears() {
+    let server = MINI_SERVER.replace("Opcode::Get => get(),", "_ => reply(),");
+    let r = x1_workspace(&server, MINI_CLIENT, MINI_TEST);
+    assert_eq!(rules(&r), vec!["X1"], "{:#?}", r.violations);
+    assert!(r.violations[0].message.contains("`Get` has no dispatch arm"));
+}
+
+#[test]
+fn x1_fires_when_client_plumbing_is_missing() {
+    let client = MINI_CLIENT.replace("pub fn get() { send(Opcode::Get); }", "");
+    let r = x1_workspace(MINI_SERVER, &client, MINI_TEST);
+    assert_eq!(rules(&r), vec!["X1"], "{:#?}", r.violations);
+    assert!(r.violations[0].message.contains("never referenced by client.rs"));
+}
+
+#[test]
+fn x1_fires_when_test_coverage_is_missing() {
+    let test = MINI_TEST.replace("count(Opcode::Get)", "0");
+    let r = x1_workspace(MINI_SERVER, MINI_CLIENT, &test);
+    assert_eq!(rules(&r), vec!["X1"], "{:#?}", r.violations);
+    assert!(r.violations[0].message.contains("not mentioned by any test"));
+}
+
+// ---------------------------------------------------------------- M1 ----
+
+const MINI_TAXONOMY: &str = r#"
+pub const TAXONOMY: &[(&str, &str)] = &[
+    ("mmlib_demo_total", "a demo counter"),
+    ("mmlib_idle_total", "declared but never registered"),
+];
+"#;
+
+const MINI_USER: &str = r#"
+pub fn register(r: &Registry) {
+    r.counter("mmlib_demo_total");
+}
+"#;
+
+fn m1_workspace(taxonomy: &str, user: &str) -> Report {
+    Workspace::from_memory(vec![
+        ("crates/obs/src/taxonomy.rs".to_string(), taxonomy.to_string()),
+        ("crates/model/src/metrics.rs".to_string(), user.to_string()),
+    ])
+    .check(&Budget::zero())
+}
+
+#[test]
+fn m1_fires_on_undeclared_and_dead_metrics() {
+    let user = MINI_USER.replace(
+        "r.counter(\"mmlib_demo_total\");",
+        "r.counter(\"mmlib_demo_total\");\n    r.counter(\"mmlib_rogue_total\");",
+    );
+    let r = m1_workspace(MINI_TAXONOMY, &user);
+    let msgs: Vec<&str> = r.violations.iter().map(|v| v.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("`mmlib_rogue_total`") && m.contains("missing from")));
+    assert!(msgs.iter().any(|m| m.contains("`mmlib_idle_total`") && m.contains("never registered")));
+}
+
+#[test]
+fn m1_fires_on_duplicate_and_camel_case_declarations() {
+    let taxonomy = MINI_TAXONOMY.replace(
+        "(\"mmlib_idle_total\", \"declared but never registered\"),",
+        "(\"mmlib_demo_total\", \"duplicate\"),\n    (\"mmlib_BadName_total\", \"camel\"),",
+    );
+    let user = MINI_USER.replace(
+        "r.counter(\"mmlib_demo_total\");",
+        "r.counter(\"mmlib_demo_total\");\n    r.counter(\"mmlib_BadName_total\");",
+    );
+    let r = m1_workspace(&taxonomy, &user);
+    let msgs: Vec<&str> = r.violations.iter().map(|v| v.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("declared more than once")), "{msgs:#?}");
+    assert!(msgs.iter().any(|m| m.contains("not snake_case")), "{msgs:#?}");
+}
+
+#[test]
+fn m1_silent_when_taxonomy_and_usage_agree() {
+    let taxonomy = MINI_TAXONOMY
+        .replace("    (\"mmlib_idle_total\", \"declared but never registered\"),\n", "");
+    let r = m1_workspace(&taxonomy, MINI_USER);
+    assert!(r.clean(), "{:#?}", r.violations);
+}

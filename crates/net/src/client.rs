@@ -189,7 +189,9 @@ impl RemoteStore {
         if guard.is_none() {
             *guard = Some(self.open_conn()?);
         }
-        let conn = guard.as_mut().expect("connection just established");
+        let Some(conn) = guard.as_mut() else {
+            return Err(WireError::Protocol("connection cache unexpectedly empty".to_string()));
+        };
 
         write_frame(&mut conn.writer, frame)?;
         let mut sent = frame.payload.len() as u64;

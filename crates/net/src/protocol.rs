@@ -126,9 +126,31 @@ impl Opcode {
         }
     }
 
-    /// Dense index for per-opcode counter arrays.
+    /// Dense index for per-opcode counter arrays, in [`Opcode::ALL`]
+    /// order. The exhaustive match is compiler-checked: adding a variant
+    /// without extending both this and `ALL` fails to build or fails the
+    /// `index_matches_all_order` test.
     pub(crate) fn index(self) -> usize {
-        Opcode::ALL.iter().position(|&op| op == self).expect("opcode listed in ALL")
+        match self {
+            Opcode::Ping => 0,
+            Opcode::DocInsert => 1,
+            Opcode::DocGet => 2,
+            Opcode::DocUpdate => 3,
+            Opcode::DocContains => 4,
+            Opcode::DocRemove => 5,
+            Opcode::DocIds => 6,
+            Opcode::FilePut => 7,
+            Opcode::FileGet => 8,
+            Opcode::FileSize => 9,
+            Opcode::FileContains => 10,
+            Opcode::FileRemove => 11,
+            Opcode::FileIds => 12,
+            Opcode::Stats => 13,
+            Opcode::StatsText => 14,
+            Opcode::Ok => 15,
+            Opcode::Err => 16,
+            Opcode::Chunk => 17,
+        }
     }
 }
 
@@ -206,16 +228,26 @@ impl From<std::io::Error> for WireError {
 }
 
 /// Encodes a frame into a fresh buffer (length prefix included).
-pub fn encode_frame(frame: &Frame) -> Bytes {
+///
+/// Fails with [`WireError::Oversized`] when the body would exceed
+/// [`MAX_FRAME_LEN`] — the decoder rejects such frames, so emitting one
+/// would only waste bandwidth before a guaranteed peer error.
+pub fn encode_frame(frame: &Frame) -> Result<Bytes, WireError> {
     let header = frame.header.to_json_string();
     let body_len = 1 + 4 + header.len() + frame.payload.len();
+    if body_len > MAX_FRAME_LEN {
+        return Err(WireError::Oversized(body_len));
+    }
+    let body_len_u32 = u32::try_from(body_len).map_err(|_| WireError::Oversized(body_len))?;
+    let header_len_u32 =
+        u32::try_from(header.len()).map_err(|_| WireError::Oversized(header.len()))?;
     let mut out = BytesMut::with_capacity(4 + body_len);
-    out.put_u32_le(body_len as u32);
+    out.put_u32_le(body_len_u32);
     out.put_u8(frame.opcode as u8);
-    out.put_u32_le(header.len() as u32);
+    out.put_u32_le(header_len_u32);
     out.put_slice(header.as_bytes());
     out.put_slice(&frame.payload);
-    out.freeze()
+    Ok(out.freeze())
 }
 
 /// Decodes one frame from a buffer, consuming exactly its bytes.
@@ -250,7 +282,7 @@ pub fn decode_frame(buf: &mut Bytes) -> Result<Frame, WireError> {
 
 /// Writes one frame to a stream.
 pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
-    w.write_all(&encode_frame(frame))?;
+    w.write_all(&encode_frame(frame)?)?;
     Ok(())
 }
 
@@ -265,7 +297,9 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
         }
         Err(e) => return Err(WireError::Io(e)),
     }
-    let body_len = u32::from_le_bytes(len_buf) as usize;
+    // A u32 that does not fit usize (16-bit targets only) is oversized by
+    // definition: saturate so the MAX_FRAME_LEN check below rejects it.
+    let body_len = usize::try_from(u32::from_le_bytes(len_buf)).unwrap_or(usize::MAX);
     if body_len > MAX_FRAME_LEN {
         return Err(WireError::Oversized(body_len));
     }
@@ -282,7 +316,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
     })?;
     // Re-assemble a length-prefixed buffer for the shared decoder.
     let mut framed = BytesMut::with_capacity(4 + body_len);
-    framed.put_u32_le(body_len as u32);
+    framed.put_u32_le(u32::try_from(body_len).map_err(|_| WireError::Oversized(body_len))?);
     framed.put_slice(&body);
     decode_frame(&mut framed.freeze())
 }
@@ -324,7 +358,10 @@ pub fn read_chunks(r: &mut impl Read, len: u64) -> Result<Vec<u8>, WireError> {
             "announced blob of {len} bytes exceeds maximum {MAX_BLOB_LEN}"
         )));
     }
-    let mut blob = Vec::with_capacity(len as usize);
+    let cap = usize::try_from(len).map_err(|_| {
+        WireError::Protocol(format!("blob of {len} bytes exceeds addressable memory"))
+    })?;
+    let mut blob = Vec::with_capacity(cap);
     while (blob.len() as u64) < len {
         let frame = read_frame(r)?;
         if frame.opcode != Opcode::Chunk {
@@ -356,7 +393,7 @@ mod tests {
             json!({"len": 3, "meta": {"k": [1, 2]}}),
             Bytes::copy_from_slice(b"abc"),
         );
-        let mut encoded = encode_frame(&frame);
+        let mut encoded = encode_frame(&frame).unwrap();
         let decoded = decode_frame(&mut encoded).unwrap();
         assert_eq!(decoded, frame);
         assert!(!encoded.has_remaining());
@@ -365,7 +402,7 @@ mod tests {
     #[test]
     fn truncated_frames_are_rejected() {
         let frame = Frame::new(Opcode::Ping, json!({"version": 1}));
-        let encoded = encode_frame(&frame);
+        let encoded = encode_frame(&frame).unwrap();
         for cut in 0..encoded.len() {
             let mut partial = encoded.slice(0..cut);
             assert!(
@@ -390,12 +427,32 @@ mod tests {
     #[test]
     fn unknown_opcode_is_rejected() {
         let frame = Frame::new(Opcode::Ping, json!({}));
-        let encoded = encode_frame(&frame);
+        let encoded = encode_frame(&frame).unwrap();
         let mut bytes = encoded.to_vec();
         bytes[4] = 0xEE; // the opcode byte, after the u32 length prefix
         match decode_frame(&mut Bytes::from(bytes)) {
             Err(WireError::BadOpcode(0xEE)) => {}
             other => panic!("expected BadOpcode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, op) in Opcode::ALL.into_iter().enumerate() {
+            assert_eq!(op.index(), i, "index() drifted from ALL order for {}", op.name());
+        }
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_at_encode_time() {
+        let frame = Frame::with_payload(
+            Opcode::FilePut,
+            json!({}),
+            Bytes::from(vec![0u8; MAX_FRAME_LEN + 1]),
+        );
+        match encode_frame(&frame) {
+            Err(WireError::Oversized(_)) => {}
+            other => panic!("expected Oversized, got {:?}", other.map(|b| b.len())),
         }
     }
 

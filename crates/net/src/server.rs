@@ -244,7 +244,7 @@ fn serve(
     metrics: Arc<ServerMetrics>,
     stop: Arc<AtomicBool>,
 ) {
-    crossbeam::scope(|s| {
+    let result = crossbeam::scope(|s| {
         let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
         for _ in 0..config.workers {
             let rx = rx.clone();
@@ -284,8 +284,13 @@ fn serve(
             }
         }
         drop(tx); // workers drain the queue, then their recv fails and they exit
-    })
-    .expect("registry worker panicked");
+    });
+    // A worker panic (already reported on its own thread) surfaces here
+    // after the scope joins. The server is tearing down at this point, so
+    // note it instead of re-panicking into the joining thread.
+    if result.is_err() {
+        eprintln!("mmlib-net: a registry worker panicked; server shut down");
+    }
 }
 
 /// Serves one connection until the peer disconnects or errors.
@@ -543,8 +548,10 @@ fn send_counted(
     match faults.and_then(NetFaults::on_response) {
         None => {}
         Some(Fault::TruncateFrame { after_bytes }) | Some(Fault::TornWrite { after_bytes }) => {
-            let encoded = encode_frame(frame);
-            let cut = (after_bytes as usize).min(encoded.len());
+            let encoded = encode_frame(frame)?;
+            // Saturate: a cut point beyond addressable memory means "the
+            // whole frame", which `min` then clamps to the actual length.
+            let cut = usize::try_from(after_bytes).unwrap_or(usize::MAX).min(encoded.len());
             writer.write_all(&encoded[..cut])?;
             writer.flush()?;
             metrics.bytes_out.add(cut as u64);

@@ -20,7 +20,9 @@ fn faulty_server(dir: &std::path::Path, faults: NetFaults) -> RegistryServer {
 
 /// Exact wire size of a frame the server would build.
 fn wire_len(op: Opcode, header: serde_json::Value, payload: &[u8]) -> u64 {
-    encode_frame(&Frame::with_payload(op, header, Bytes::copy_from_slice(payload))).len() as u64
+    encode_frame(&Frame::with_payload(op, header, Bytes::copy_from_slice(payload)))
+        .unwrap()
+        .len() as u64
 }
 
 #[test]

@@ -39,7 +39,7 @@ proptest! {
             header_from_seed(&fields),
             Bytes::from(payload),
         );
-        let mut encoded = encode_frame(&frame);
+        let mut encoded = encode_frame(&frame).unwrap();
         let decoded = decode_frame(&mut encoded).unwrap();
         prop_assert_eq!(decoded, frame);
         prop_assert!(!encoded.has_remaining());
@@ -56,7 +56,7 @@ proptest! {
             header_from_seed(&fields),
             Bytes::from(payload),
         );
-        let encoded = encode_frame(&frame);
+        let encoded = encode_frame(&frame).unwrap();
         let cut = (cut_seed as usize) % encoded.len();
         let mut partial = encoded.slice(0..cut);
         prop_assert!(decode_frame(&mut partial).is_err());
@@ -85,7 +85,7 @@ proptest! {
             serde_json::json!({"version": 1}),
             Bytes::from(payload),
         );
-        let mut bytes = encode_frame(&frame).to_vec();
+        let mut bytes = encode_frame(&frame).unwrap().to_vec();
         bytes[4] = byte; // opcode position
         // Must decode to the same kind of frame or fail cleanly — no panic.
         let _ = decode_frame(&mut Bytes::from(bytes));

@@ -1,0 +1,68 @@
+//! One loopback exchange per request opcode, asserting the server's
+//! per-opcode request counters. This is the wire-coverage companion to the
+//! X1 lint rule: every `Opcode` variant a client can send is exercised here
+//! exactly once, so adding an opcode without coverage fails the lint and
+//! breaking an opcode's round trip fails this test.
+
+use mmlib_net::{Opcode, RegistryServer, RemoteStore};
+use mmlib_store::{DocId, ModelStorage, StorageBackend, StoreError};
+use serde_json::json;
+
+#[test]
+fn every_request_opcode_round_trips_and_is_counted_once() {
+    let dir = tempfile::tempdir().unwrap();
+    let storage = ModelStorage::open(dir.path()).unwrap();
+    let server = RegistryServer::bind(storage, "127.0.0.1:0").unwrap();
+    let client = RemoteStore::connect(server.addr()).unwrap();
+
+    // Documents: one request per doc opcode.
+    let doc = client.insert_doc("coverage", json!({"v": 1})).unwrap();
+    assert_eq!(client.get_doc(&doc).unwrap().body["v"], 1u64);
+    client.update_doc(&doc, json!({"v": 2})).unwrap();
+    assert!(client.contains_doc(&doc));
+    assert_eq!(client.doc_ids().unwrap(), vec![doc.clone()]);
+    client.remove_doc(&doc).unwrap();
+
+    // Files: one request per file opcode.
+    let file = client.put_file(b"opcode coverage payload").unwrap();
+    assert_eq!(client.get_file(&file).unwrap(), b"opcode coverage payload");
+    assert_eq!(client.file_size(&file).unwrap(), 23);
+    assert!(client.contains_file(&file));
+    assert_eq!(client.file_ids().unwrap(), vec![file.clone()]);
+    client.remove_file(&file).unwrap();
+
+    // Introspection.
+    let stats = client.server_stats().unwrap();
+    assert!(stats["requests"].as_object().is_some());
+    let text = client.server_stats_text().unwrap();
+    assert!(text.contains("mmlib_net_requests_total"));
+
+    let m = server.metrics();
+    // Connecting performed the version handshake.
+    assert_eq!(m.requests(Opcode::Ping), 1);
+    for op in [
+        Opcode::DocInsert,
+        Opcode::DocGet,
+        Opcode::DocUpdate,
+        Opcode::DocContains,
+        Opcode::DocRemove,
+        Opcode::DocIds,
+        Opcode::FilePut,
+        Opcode::FileGet,
+        Opcode::FileSize,
+        Opcode::FileContains,
+        Opcode::FileRemove,
+        Opcode::FileIds,
+        Opcode::Stats,
+        Opcode::StatsText,
+    ] {
+        assert_eq!(m.requests(op), 1, "opcode {} should be counted exactly once", op.name());
+    }
+    // Responses are never counted as requests: even after an error reply
+    // (`Opcode::Err` on the wire), the request table has no entry for it.
+    let missing = DocId::from_string("coverage-missing".into());
+    assert!(matches!(client.get_doc(&missing), Err(StoreError::MissingDocument(_))));
+    assert_eq!(m.requests(Opcode::Err), 0);
+    assert_eq!(m.requests(Opcode::Ok), 0);
+    assert_eq!(m.requests(Opcode::Chunk), 0);
+}

@@ -29,9 +29,12 @@
 //! assert!(r.render_text().contains("# TYPE mmlib_save_phase_seconds histogram"));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod metrics;
 mod phase;
 mod recorder;
+pub mod taxonomy;
 
 pub use metrics::{Counter, Gauge, Histogram, DURATION_BUCKETS, SIZE_BUCKETS};
 pub use phase::{PhaseBreakdown, PhaseClock, SpanGuard};

@@ -14,6 +14,11 @@ use std::sync::{Arc, OnceLock, RwLock};
 
 use crate::metrics::{Counter, Gauge, Histogram, DURATION_BUCKETS};
 
+/// Counter bumped when a metric name is re-registered with a different
+/// kind (see [`Recorder::counter`] and friends): the caller gets a
+/// detached handle instead of a panic, and the conflict shows up here.
+pub(crate) const REGISTRATION_CONFLICTS: &str = "mmlib_obs_registration_conflicts_total";
+
 /// A metric's identity: base name plus an optional single `key="value"`
 /// label pair. `BTreeMap` ordering makes exposition output deterministic.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -172,6 +177,11 @@ impl Recorder {
     /// Returns (creating if needed) the counter `name{label}`. Registration
     /// works even while disabled, so expositions can show zero-valued
     /// metrics before any traffic.
+    ///
+    /// If `name` is already registered as a different kind, the conflict is
+    /// counted under [`REGISTRATION_CONFLICTS`] and the caller receives a
+    /// detached handle (its updates are invisible to expositions) — a
+    /// telemetry bug must not abort an instrumented caller.
     pub fn counter(&self, name: &str, label: Option<(&str, &str)>) -> Arc<Counter> {
         if let Some(Entry::Counter(c)) = self.lookup(name, label) {
             return c;
@@ -182,9 +192,14 @@ impl Recorder {
                 _ => None,
             }
         })
+        .unwrap_or_else(|| {
+            self.note_conflict();
+            Arc::new(Counter::default())
+        })
     }
 
-    /// Returns (creating if needed) the gauge `name{label}`.
+    /// Returns (creating if needed) the gauge `name{label}`. Kind conflicts
+    /// behave as in [`Recorder::counter`].
     pub fn gauge(&self, name: &str, label: Option<(&str, &str)>) -> Arc<Gauge> {
         if let Some(Entry::Gauge(g)) = self.lookup(name, label) {
             return g;
@@ -195,10 +210,15 @@ impl Recorder {
                 _ => None,
             }
         })
+        .unwrap_or_else(|| {
+            self.note_conflict();
+            Arc::new(Gauge::default())
+        })
     }
 
     /// Returns (creating if needed) the histogram `name{label}` with the
-    /// given bucket bounds (bounds apply only at creation).
+    /// given bucket bounds (bounds apply only at creation). Kind conflicts
+    /// behave as in [`Recorder::counter`].
     pub fn histogram(
         &self,
         name: &str,
@@ -214,26 +234,54 @@ impl Recorder {
                 _ => None,
             }
         })
+        .unwrap_or_else(|| {
+            self.note_conflict();
+            Arc::new(Histogram::new(bounds))
+        })
     }
 
     fn lookup(&self, name: &str, label: Option<(&str, &str)>) -> Option<Entry> {
         let key = Key::new(name, label);
-        self.metrics.read().expect("metrics lock poisoned").get(&key).cloned()
+        self.read_map().get(&key).cloned()
     }
 
+    /// Inserts the entry if the key is vacant and casts whatever occupies
+    /// the slot to the requested handle type; `None` means the slot holds a
+    /// different metric kind.
     fn insert_if_absent<T>(
         &self,
         name: &str,
         label: Option<(&str, &str)>,
         make: impl FnOnce() -> Entry,
         cast: impl Fn(&Entry) -> Option<T>,
-    ) -> T {
+    ) -> Option<T> {
         let key = Key::new(name, label);
-        let mut map = self.metrics.write().expect("metrics lock poisoned");
+        let mut map = self.write_map();
         let entry = map.entry(key).or_insert_with(make);
-        cast(entry).unwrap_or_else(|| {
-            panic!("metric {name:?} already registered with a different kind")
-        })
+        cast(entry)
+    }
+
+    /// Records a kind-conflicting registration so the miswiring is visible
+    /// in every exposition.
+    fn note_conflict(&self) {
+        let key = Key::new(REGISTRATION_CONFLICTS, None);
+        let mut map = self.write_map();
+        if let Entry::Counter(c) =
+            map.entry(key).or_insert_with(|| Entry::Counter(Arc::new(Counter::default())))
+        {
+            c.add(1);
+        }
+    }
+
+    /// Metrics are plain atomics, so a panic under the registry lock cannot
+    /// leave them inconsistent — recover the poisoned guard instead of
+    /// cascading the panic into every later instrumented call.
+    fn read_map(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<Key, Entry>> {
+        self.metrics.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_map(&self) -> std::sync::RwLockWriteGuard<'_, BTreeMap<Key, Entry>> {
+        self.metrics.write().unwrap_or_else(|e| e.into_inner())
     }
 
     // ---- reading --------------------------------------------------------
@@ -273,7 +321,7 @@ impl Recorder {
     /// Point-in-time values of every registered metric, in deterministic
     /// (name, label) order.
     pub fn snapshot(&self) -> Vec<MetricSnapshot> {
-        let map = self.metrics.read().expect("metrics lock poisoned");
+        let map = self.read_map();
         map.iter()
             .map(|(key, entry)| MetricSnapshot {
                 name: key.name.clone(),
@@ -305,7 +353,8 @@ impl Recorder {
                     SnapshotValue::Gauge(_) => "gauge",
                     SnapshotValue::Histogram { .. } => "histogram",
                 };
-                writeln!(out, "# TYPE {} {kind}", snap.name).unwrap();
+                // Writing into a String cannot fail; ignore the fmt Result.
+                let _ = writeln!(out, "# TYPE {} {kind}", snap.name);
                 last_name = Some(snap.name.clone());
             }
             let labels = |extra: Option<(&str, String)>| -> String {
@@ -324,30 +373,28 @@ impl Recorder {
             };
             match &snap.value {
                 SnapshotValue::Counter(v) => {
-                    writeln!(out, "{}{} {v}", snap.name, labels(None)).unwrap();
+                    let _ = writeln!(out, "{}{} {v}", snap.name, labels(None));
                 }
                 SnapshotValue::Gauge(v) => {
-                    writeln!(out, "{}{} {}", snap.name, labels(None), fmt_f64(*v)).unwrap();
+                    let _ = writeln!(out, "{}{} {}", snap.name, labels(None), fmt_f64(*v));
                 }
                 SnapshotValue::Histogram { bounds, cumulative, count, sum } => {
                     for (bound, cum) in bounds.iter().zip(cumulative) {
-                        writeln!(
+                        let _ = writeln!(
                             out,
                             "{}_bucket{} {cum}",
                             snap.name,
                             labels(Some(("le", fmt_f64(*bound))))
-                        )
-                        .unwrap();
+                        );
                     }
-                    writeln!(
+                    let _ = writeln!(
                         out,
                         "{}_bucket{} {count}",
                         snap.name,
                         labels(Some(("le", "+Inf".to_string())))
-                    )
-                    .unwrap();
-                    writeln!(out, "{}_sum{} {}", snap.name, labels(None), fmt_f64(*sum)).unwrap();
-                    writeln!(out, "{}_count{} {count}", snap.name, labels(None)).unwrap();
+                    );
+                    let _ = writeln!(out, "{}_sum{} {}", snap.name, labels(None), fmt_f64(*sum));
+                    let _ = writeln!(out, "{}_count{} {count}", snap.name, labels(None));
                 }
             }
         }
@@ -357,7 +404,7 @@ impl Recorder {
     /// Zeroes every registered metric (names and buckets stay registered).
     /// Bench/test plumbing — not meant for production paths.
     pub fn reset(&self) {
-        let map = self.metrics.read().expect("metrics lock poisoned");
+        let map = self.read_map();
         for entry in map.values() {
             match entry {
                 Entry::Counter(c) => c.reset(),
@@ -415,11 +462,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "different kind")]
-    fn kind_collision_panics() {
+    fn kind_collision_detaches_and_counts() {
         let r = Recorder::new();
         r.inc("m", 1);
+        // Same name, different kind: the observation lands on a detached
+        // histogram, the original counter is untouched, and the conflict
+        // counter records the miswiring.
         r.observe("m", 1.0);
+        assert_eq!(r.counter_value("m", None), 1);
+        assert_eq!(r.histogram_count("m", None), 0);
+        assert_eq!(r.counter_value(REGISTRATION_CONFLICTS, None), 1);
+        r.observe("m", 2.0);
+        assert_eq!(r.counter_value(REGISTRATION_CONFLICTS, None), 2);
     }
 
     #[test]

@@ -49,7 +49,9 @@ pub(crate) fn atomic_write(
     match fault {
         None => {}
         Some(Fault::TornWrite { after_bytes }) => {
-            let cut = (after_bytes as usize).min(bytes.len());
+            // Saturate: a cut point beyond addressable memory means "the
+            // whole buffer", which `min` then clamps to the actual length.
+            let cut = usize::try_from(after_bytes).unwrap_or(usize::MAX).min(bytes.len());
             let mut f = std::fs::File::create(&tmp)?;
             f.write_all(&bytes[..cut])?;
             f.sync_all()?;

@@ -22,7 +22,8 @@ impl Digest {
         let mut s = String::with_capacity(64);
         for b in self.0 {
             use std::fmt::Write;
-            write!(s, "{b:02x}").expect("writing to String cannot fail");
+            // Writing into a String cannot fail; ignore the fmt Result.
+            let _ = write!(s, "{b:02x}");
         }
         s
     }

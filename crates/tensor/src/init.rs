@@ -155,6 +155,7 @@ impl Init {
                 let data = (0..n)
                     .map(|_| rng.truncated_normal(0.0, std, -2.0, 2.0))
                     .collect();
+                // mmlib-lint: allow(P1, data has exactly shape.numel() elements by construction)
                 Tensor::from_vec(shape, data).expect("length matches by construction")
             }
             Init::TruncatedNormalPpf { std } => {
@@ -163,6 +164,7 @@ impl Init {
                 let data = (0..n)
                     .map(|_| (std as f64 * truncnorm_ppf_sample(rng, cdf_lo, cdf_hi)) as f32)
                     .collect();
+                // mmlib-lint: allow(P1, data has exactly shape.numel() elements by construction)
                 Tensor::from_vec(shape, data).expect("length matches by construction")
             }
         }

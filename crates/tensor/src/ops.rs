@@ -103,7 +103,9 @@ pub fn dot_parallel(a: &[f32], b: &[f32]) -> f32 {
         }
         acc
     })
-    .expect("reduction worker panicked")
+    // Workers are pure arithmetic and cannot panic; if one somehow does,
+    // recompute serially instead of propagating the abort.
+    .unwrap_or_else(|_| dot_pairwise(a, b))
 }
 
 /// Dot product under the given execution mode.
@@ -154,7 +156,9 @@ pub fn sum(a: &[f32], mode: ExecMode) -> f32 {
                 }
                 acc
             })
-            .expect("reduction worker panicked")
+            // Same recovery as dot_parallel: a panicking worker (pure
+            // arithmetic, cannot happen) degrades to the serial sum.
+            .unwrap_or_else(|_| a.iter().sum())
         }
     }
 }

@@ -6,6 +6,11 @@
 //! split: data materialization (decode + augment + batch assembly) stands in
 //! for the host-to-GPU copy, and forward/backward are the real kernel times
 //! under the chosen [`ExecMode`].
+//!
+//! This is the one module in the deterministic crates allowed to read the
+//! wall clock: it *measures* training, it never feeds timing back into
+//! parameters, hashes, or replayable state.
+// mmlib-lint: allow-file(D1, dedicated timing module; wall-clock reads never influence deterministic state)
 
 use std::time::{Duration, Instant};
 

@@ -27,5 +27,14 @@ if ! ./target/release/repro --fast --scale 0.001 --json BENCH_PR4.json; then
     exit 1
 fi
 
+# Static-analysis gate: determinism hygiene, panic-freedom, cast audit,
+# unsafe-code forbid, protocol and metric cross-checks. Pragma use is
+# bounded by the committed ratchet in lint-budget.txt (decrease-only).
+if ! cargo run --release --quiet -p mmlib-lint -- --workspace; then
+    echo "check.sh: mmlib-lint FAILED (see violations above)" >&2
+    echo "rules and pragma syntax: DESIGN.md 'Static analysis'" >&2
+    exit 1
+fi
+
 cargo clippy --workspace --all-targets -- -D warnings
 echo "check.sh: all gates passed"
