@@ -16,7 +16,11 @@
 //! expensive experiments), `--json [path]` (skip the tables/figures and
 //! instead run the per-approach phase benchmark, writing TTS/TTR/storage
 //! phase breakdowns to `path`, default `BENCH_PR4.json`; exits nonzero if
-//! any instrumented phase reports zero samples).
+//! any instrumented phase reports zero samples), `--lineage-json [path]`
+//! (run the TTR-vs-chain-depth benchmark: a depth-64 delta chain before
+//! and after `lineage compact`, with a fresh depth-8 chain as control,
+//! default `BENCH_PR6.json`; exits nonzero if compacted recovery is not
+//! byte-identical or its TTR exceeds 1.5x the control).
 
 use std::time::{Duration, Instant};
 
@@ -39,6 +43,7 @@ fn main() {
     let mut config = HarnessConfig::default();
     let mut experiments: Vec<String> = Vec::new();
     let mut json_out: Option<String> = None;
+    let mut lineage_json_out: Option<String> = None;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -52,12 +57,21 @@ fn main() {
                     _ => "BENCH_PR4.json".to_string(),
                 });
             }
+            "--lineage-json" => {
+                lineage_json_out = Some(match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next().unwrap().clone(),
+                    _ => "BENCH_PR6.json".to_string(),
+                });
+            }
             other if other.starts_with("--") => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
             }
             exp => experiments.push(exp.to_string()),
         }
+    }
+    if let Some(path) = lineage_json_out {
+        return lineage_json_bench(&config, &path);
     }
     if let Some(path) = json_out {
         return json_bench(&config, &path);
@@ -119,6 +133,20 @@ fn json_bench(config: &HarnessConfig, path: &str) {
     if !problems.is_empty() {
         for p in &problems {
             eprintln!("phase coverage regression: {p}");
+        }
+        std::process::exit(3);
+    }
+}
+
+fn lineage_json_bench(config: &HarnessConfig, path: &str) {
+    let start = Instant::now();
+    let (doc, problems) = mmlib_bench::lineage_depth_benchmark(config, 42);
+    let rendered = serde_json::to_string_pretty(&doc).expect("render lineage benchmark JSON");
+    std::fs::write(path, rendered + "\n").expect("write lineage benchmark JSON");
+    println!("wrote {path} in {:.1?}", start.elapsed());
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("lineage benchmark regression: {p}");
         }
         std::process::exit(3);
     }

@@ -10,6 +10,7 @@
 use mmlib_core::meta::{ApproachKind, ModelRelation};
 use mmlib_dist::flow::{run_flow, FlowConfig, FlowKind, FlowResult};
 use mmlib_model::ArchId;
+use mmlib_store::ModelStorage;
 
 /// Global knobs for a harness invocation.
 #[derive(Debug, Clone, Copy)]
@@ -201,4 +202,145 @@ pub fn dist_flow_kind(fast: bool) -> FlowKind {
     } else {
         FlowKind::Dist20
     }
+}
+
+/// The chain depth the lineage benchmark compacts (the PR 6 acceptance
+/// depth) and the bound it compacts to.
+pub const LINEAGE_BENCH_DEPTH: usize = 64;
+/// Depth bound used by the lineage benchmark's compaction.
+pub const LINEAGE_BENCH_MAX_DEPTH: usize = 8;
+
+/// TTR-vs-chain-depth benchmark (the `repro --lineage-json` payload,
+/// written to `BENCH_PR6.json`): builds a depth-64 parameter-update chain,
+/// measures tip TTR with a recover-phase breakdown, compacts the chain to
+/// a depth bound of 8, and measures again — against a fresh depth-8 chain
+/// as the control.
+///
+/// Returns the JSON document and the list of problems (non-byte-identical
+/// recovery, TTR above 1.5x the control, missing promotions), so callers
+/// can fail the run on regressions.
+pub fn lineage_depth_benchmark(config: &HarnessConfig, seed: u64) -> (serde_json::Value, Vec<String>) {
+    use mmlib_core::{RecoverOptions, SaveService};
+    use mmlib_model::Model;
+    use std::time::{Duration, Instant};
+
+    let depth = LINEAGE_BENCH_DEPTH;
+    let max_depth = LINEAGE_BENCH_MAX_DEPTH;
+    let runs = config.runs.max(if config.fast { 3 } else { 5 });
+    let mut problems = Vec::new();
+
+    let build = |dir: &std::path::Path, depth: usize| -> (SaveService, mmlib_core::meta::SavedModelId) {
+        let svc = SaveService::new(ModelStorage::open(dir).expect("open bench store"));
+        let mut model = Model::new_initialized(ArchId::TinyCnn, seed);
+        model.set_fully_trainable();
+        let mut tip = svc.save_full(&model, None, "initial").expect("save chain root");
+        for step in 0..depth {
+            let mut first = true;
+            model.visit_trainable_mut(&mut |_, w, _| {
+                if first {
+                    w.data_mut()[0] += 1e-3 + step as f32 * 1e-4;
+                    first = false;
+                }
+            });
+            let (id, _) =
+                svc.save_update(&model, &tip, "partially_updated").expect("save chain link");
+            tip = id;
+        }
+        (svc, tip)
+    };
+    // Min-of-N recovery time plus the breakdown of the last run (the
+    // breakdown is deterministic in structure; only durations vary).
+    let time_recover = |svc: &SaveService, id: &mmlib_core::meta::SavedModelId| {
+        let mut best = Duration::MAX;
+        let mut last = None;
+        for _ in 0..runs {
+            let t = Instant::now();
+            let rec = svc.recover(id, RecoverOptions::default()).expect("recover bench tip");
+            best = best.min(t.elapsed());
+            last = Some(rec);
+        }
+        let rec = last.expect("at least one recovery run");
+        (best, rec)
+    };
+    let breakdown_json = |b: &mmlib_core::RecoverBreakdown| {
+        serde_json::json!({
+            "load_ms": b.load.as_secs_f64() * 1e3,
+            "recover_ms": b.recover.as_secs_f64() * 1e3,
+            "check_env_ms": b.check_env.as_secs_f64() * 1e3,
+            "verify_ms": b.verify.as_secs_f64() * 1e3,
+            "recovered_bases": b.recovered_bases,
+        })
+    };
+
+    let dir = tempfile::tempdir().expect("temp dir for lineage bench");
+    let (svc, tip) = build(dir.path(), depth);
+    let (ttr_before, rec_before) = time_recover(&svc, &tip);
+    let bits_before: Vec<Vec<u32>> = rec_before
+        .model
+        .state_dict()
+        .into_iter()
+        .map(|(_, t)| t.data().iter().map(|v| v.to_bits()).collect())
+        .collect();
+
+    let lineage = mmlib_lineage::Lineage::new(&svc);
+    let compact_start = Instant::now();
+    let report = lineage.compact(&tip, max_depth).expect("compact bench chain");
+    let compact_time = compact_start.elapsed();
+    if report.promoted.is_empty() {
+        problems.push(format!("compaction of a depth-{depth} chain promoted nothing"));
+    }
+
+    let (ttr_after, rec_after) = time_recover(&svc, &tip);
+    let bits_after: Vec<Vec<u32>> = rec_after
+        .model
+        .state_dict()
+        .into_iter()
+        .map(|(_, t)| t.data().iter().map(|v| v.to_bits()).collect())
+        .collect();
+    if bits_before != bits_after {
+        problems.push("recovery after compaction is not byte-identical".to_string());
+    }
+
+    // Control: a chain that was depth-8 from the start.
+    let dir_control = tempfile::tempdir().expect("temp dir for control chain");
+    let (svc_control, tip_control) = build(dir_control.path(), max_depth);
+    let (ttr_control, rec_control) = time_recover(&svc_control, &tip_control);
+    if ttr_after > ttr_control.mul_f64(1.5) {
+        problems.push(format!(
+            "compacted depth-{depth} TTR {ttr_after:?} exceeds 1.5x the depth-{max_depth} \
+             control {ttr_control:?}"
+        ));
+    }
+
+    let doc = serde_json::json!({
+        "config": {
+            "depth": depth,
+            "max_depth": max_depth,
+            "runs": runs,
+            "seed": seed,
+            "arch": "tinycnn",
+            "fast": config.fast,
+        },
+        "before": {
+            "ttr_ms": ttr_before.as_secs_f64() * 1e3,
+            "phases": breakdown_json(&rec_before.breakdown),
+        },
+        "compaction": {
+            "promoted": report.promoted.len(),
+            "chain_len": report.chain.len(),
+            "bytes_written": report.bytes_written,
+            "seconds": compact_time.as_secs_f64(),
+        },
+        "after": {
+            "ttr_ms": ttr_after.as_secs_f64() * 1e3,
+            "phases": breakdown_json(&rec_after.breakdown),
+        },
+        "control_depth8": {
+            "ttr_ms": ttr_control.as_secs_f64() * 1e3,
+            "phases": breakdown_json(&rec_control.breakdown),
+        },
+        "byte_identical": bits_before == bits_after,
+        "speedup": ttr_before.as_secs_f64() / ttr_after.as_secs_f64().max(1e-9),
+    });
+    (doc, problems)
 }

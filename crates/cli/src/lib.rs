@@ -53,6 +53,14 @@ orphans/truncations; --repair quarantines damaged entries\n  \
   stats                    store statistics; with --remote, the server's\n                           \
 live metrics registry in Prometheus text format\n                           \
 (per-opcode requests/latency/bytes, save/recover phases)\n  \
+  lineage show <id>        one model's lineage record (parent, diff, tags)\n  \
+  lineage ancestry <id>    the lineage chain from a model to its root\n  \
+  lineage diff <a> <b>     layer-level diff between two saved versions\n  \
+  lineage compact <id> [--max-depth <n>]\n                           \
+re-base the model's delta chain: promote every n-th\n                           \
+node to a full snapshot (default n = 8) so recovery\n                           \
+time stays flat; recovery stays byte-identical\n  \
+  lineage tag <id> <tag>   attach a tag to a model's lineage record\n  \
   serve --addr <ip:port> [--for <secs>]\n                           \
 serve the store as a TCP model registry (requires --store)\n\
 \n\
@@ -91,6 +99,17 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
     }
 
+    // `lineage show/ancestry --remote` use the dedicated registry opcodes
+    // (one request instead of a full document walk); the other lineage
+    // subcommands fall through to the generic remote-backed storage path.
+    if command == "lineage" {
+        if let Some(addr) = &remote_addr {
+            if let Some(out) = lineage_remote(addr, tail)? {
+                return Ok(out);
+            }
+        }
+    }
+
     let storage = match (store_dir, remote_addr) {
         (Some(dir), None) => ModelStorage::open(Path::new(&dir)).map_err(fail)?,
         (None, Some(addr)) => mmlib_net::RemoteStore::connect(addr.as_str())
@@ -110,6 +129,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "probe" => probe(&svc, tail),
         "fsck" => fsck(&svc, tail),
         "stats" => stats(&svc),
+        "lineage" => lineage_cmd(&svc, tail),
         other => Err(CliError::Usage(format!("unknown command {other:?}\n{USAGE}"))),
     }
 }
@@ -350,6 +370,136 @@ fn fsck(svc: &SaveService, tail: &[&str]) -> Result<String, CliError> {
     }
     writeln!(out, "fsck: {report}").unwrap();
     Ok(out)
+}
+
+/// `mmlib lineage <show|ancestry|diff|compact|tag> ...` over any storage
+/// (local directory or remote-backed).
+fn lineage_cmd(svc: &SaveService, tail: &[&str]) -> Result<String, CliError> {
+    let lineage = mmlib_lineage::Lineage::new(svc);
+    let id_of = |s: &str| SavedModelId(DocId::from_string(s.to_string()));
+    match tail {
+        ["show", id] => {
+            let node = lineage.show(&id_of(id)).map_err(fail)?;
+            Ok(render_lineage_node(&node))
+        }
+        ["ancestry", id] => {
+            let mut out = String::new();
+            for (depth, node) in lineage.ancestry(&id_of(id)).map_err(fail)?.iter().enumerate() {
+                writeln!(
+                    out,
+                    "{}{} ({} {:?}){}",
+                    "  ".repeat(depth),
+                    node.id,
+                    node.record.approach.abbrev(),
+                    node.record.relation,
+                    match &node.record.rebased_from {
+                        Some(old) => format!(" [rebased from {old}]"),
+                        None => String::new(),
+                    }
+                )
+                .unwrap();
+            }
+            Ok(out)
+        }
+        ["diff", a, b] => {
+            let diff = lineage.diff(&id_of(a), &id_of(b)).map_err(fail)?;
+            let mut out = String::new();
+            writeln!(
+                out,
+                "{} vs {}: {} of {} layer(s) changed",
+                diff.a,
+                diff.b,
+                diff.changed_layers.len(),
+                diff.total_layers
+            )
+            .unwrap();
+            for layer in &diff.changed_layers {
+                writeln!(out, "  ~ {layer}").unwrap();
+            }
+            match &diff.common_ancestor {
+                Some(anc) => writeln!(out, "common ancestor: {anc}").unwrap(),
+                None => writeln!(out, "no common ancestor").unwrap(),
+            }
+            Ok(out)
+        }
+        ["compact", id, rest @ ..] => {
+            let max_depth = match rest {
+                [] => 8,
+                ["--max-depth", n] => n.parse().map_err(|_| {
+                    CliError::Usage(format!("--max-depth needs a positive number, got {n:?}"))
+                })?,
+                _ => return Err(CliError::Usage(USAGE.into())),
+            };
+            let report = lineage.compact(&id_of(id), max_depth).map_err(fail)?;
+            let mut out = String::new();
+            writeln!(
+                out,
+                "compacted chain of {} node(s) to max depth {}: {} promotion(s), {} bytes written",
+                report.chain.len(),
+                report.max_depth,
+                report.promoted.len(),
+                report.bytes_written
+            )
+            .unwrap();
+            for id in &report.promoted {
+                writeln!(out, "  promoted {id} to snapshot").unwrap();
+            }
+            Ok(out)
+        }
+        ["tag", id, tag] => {
+            let node = lineage.tag(&id_of(id), tag).map_err(fail)?;
+            Ok(format!("{}: tags [{}]\n", node.id, node.record.tags.join(", ")))
+        }
+        _ => Err(CliError::Usage(USAGE.into())),
+    }
+}
+
+fn render_lineage_node(node: &mmlib_lineage::LineageNode) -> String {
+    let mut out = String::new();
+    writeln!(out, "model:    {}", node.id).unwrap();
+    writeln!(out, "approach: {}", node.record.approach.abbrev()).unwrap();
+    writeln!(out, "relation: {:?}", node.record.relation).unwrap();
+    writeln!(out, "parent:   {}", node.record.parent.as_deref().unwrap_or("-")).unwrap();
+    if let Some(old) = &node.record.rebased_from {
+        writeln!(out, "rebased:  from {old}").unwrap();
+    }
+    if let Some(n) = node.record.changed_layers {
+        writeln!(out, "changed:  {n} layer(s) vs parent").unwrap();
+    }
+    writeln!(out, "root:     {}", node.record.root_hash).unwrap();
+    if !node.record.tags.is_empty() {
+        writeln!(out, "tags:     [{}]", node.record.tags.join(", ")).unwrap();
+    }
+    out
+}
+
+/// `lineage show/ancestry` against a remote registry, via the dedicated
+/// wire opcodes. Returns `None` for subcommands that have no dedicated
+/// opcode (they run through the generic remote storage path instead).
+fn lineage_remote(addr: &str, tail: &[&str]) -> Result<Option<String>, CliError> {
+    let record_line = |record: &serde_json::Value| {
+        let field = |k: &str| {
+            record.get(k).and_then(serde_json::Value::as_str).unwrap_or("-").to_string()
+        };
+        format!("{} ({} {}) parent {}", field("model"), field("approach"), field("relation"), field("parent"))
+    };
+    match tail {
+        ["show", id] => {
+            let client = mmlib_net::RemoteStore::connect(addr).map_err(fail)?;
+            let record = client.lineage_get(id).map_err(fail)?;
+            serde_json::to_string_pretty(&record).map(Some).map_err(fail)
+        }
+        ["ancestry", id] => {
+            let client = mmlib_net::RemoteStore::connect(addr).map_err(fail)?;
+            let ancestry = client.lineage_ancestry(id).map_err(fail)?;
+            let mut out = String::new();
+            for (depth, record) in ancestry.iter().enumerate() {
+                writeln!(out, "{}{}", "  ".repeat(depth), record_line(record)).unwrap();
+            }
+            Ok(Some(out))
+        }
+        _ => Ok(None),
+    }
 }
 
 fn stats(svc: &SaveService) -> Result<String, CliError> {

@@ -123,6 +123,82 @@ fn usage_errors_are_reported() {
     assert!(matches!(run(&args(dir.path(), &[])), Err(CliError::Usage(_))));
     assert!(matches!(run(&args(dir.path(), &["frobnicate"])), Err(CliError::Usage(_))));
     assert!(matches!(run(&args(dir.path(), &["show"])), Err(CliError::Usage(_))));
+    assert!(matches!(run(&args(dir.path(), &["lineage"])), Err(CliError::Usage(_))));
+    assert!(matches!(run(&args(dir.path(), &["lineage", "warp", "x"])), Err(CliError::Usage(_))));
+}
+
+#[test]
+fn lineage_show_ancestry_diff_and_tag() {
+    let dir = tempfile::tempdir().unwrap();
+    let (initial, update) = seed_store(dir.path());
+
+    let out = run(&args(dir.path(), &["lineage", "show", &update])).unwrap();
+    assert!(out.contains(&format!("parent:   {initial}")), "{out}");
+    assert!(out.contains("approach: PUA"), "{out}");
+
+    let out = run(&args(dir.path(), &["lineage", "ancestry", &update])).unwrap();
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 2);
+    assert!(lines[0].contains(&update) && lines[1].contains(&initial));
+
+    let out = run(&args(dir.path(), &["lineage", "diff", &initial, &update])).unwrap();
+    assert!(out.contains("layer(s) changed"), "{out}");
+    assert!(out.contains(&format!("common ancestor: {initial}")), "{out}");
+
+    let out = run(&args(dir.path(), &["lineage", "tag", &update, "best"])).unwrap();
+    assert!(out.contains("tags [best]"), "{out}");
+    let out = run(&args(dir.path(), &["lineage", "show", &update])).unwrap();
+    assert!(out.contains("tags:     [best]"), "{out}");
+}
+
+#[test]
+fn lineage_compact_promotes_and_recovery_still_verifies() {
+    let dir = tempfile::tempdir().unwrap();
+    let (_, update) = seed_store(dir.path());
+    // The seeded chain is depth 1; a bound of 1 promotes the tip itself.
+    let out =
+        run(&args(dir.path(), &["lineage", "compact", &update, "--max-depth", "1"])).unwrap();
+    assert!(out.contains("1 promotion(s)"), "{out}");
+    assert!(out.contains(&format!("promoted {update} to snapshot")), "{out}");
+
+    let out = run(&args(dir.path(), &["verify", &update])).unwrap();
+    assert!(out.contains("verified OK") && out.contains("chain depth 0"), "{out}");
+    let out = run(&args(dir.path(), &["lineage", "ancestry", &update])).unwrap();
+    assert!(out.contains("[rebased from"), "{out}");
+    let out = run(&args(dir.path(), &["fsck"])).unwrap();
+    assert!(out.contains("clean"), "{out}");
+}
+
+#[test]
+fn lineage_remote_uses_the_dedicated_opcodes() {
+    let dir = tempfile::tempdir().unwrap();
+    let (initial, update) = seed_store(dir.path());
+    let server = mmlib_net::RegistryServer::bind(
+        ModelStorage::open(dir.path()).unwrap(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let remote = |rest: &[&str]| {
+        let mut v = vec!["--remote".to_string(), server.addr().to_string()];
+        v.extend(rest.iter().map(|s| s.to_string()));
+        v
+    };
+
+    let out = run(&remote(&["lineage", "show", &update])).unwrap();
+    assert!(out.contains(&initial), "{out}");
+    let out = run(&remote(&["lineage", "ancestry", &update])).unwrap();
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 2, "{out}");
+    assert!(lines[0].contains(&update) && lines[1].contains(&initial));
+
+    // The dedicated opcodes served these, not a document walk.
+    assert_eq!(server.metrics().requests(mmlib_net::Opcode::LineageGet), 1);
+    assert_eq!(server.metrics().requests(mmlib_net::Opcode::LineageAncestry), 1);
+
+    // A lineage subcommand without a dedicated opcode still works remotely
+    // through the generic storage backend.
+    let out = run(&remote(&["lineage", "diff", &initial, &update])).unwrap();
+    assert!(out.contains("layer(s) changed"), "{out}");
 }
 
 #[test]

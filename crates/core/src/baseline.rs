@@ -85,6 +85,54 @@ impl SaveService {
         })
     }
 
+    /// Rewrites an already-saved model in place as a full snapshot.
+    ///
+    /// `model` must be the recovered parameters of `id` (callers recover it
+    /// once; delta-chain compaction in `mmlib-lineage` recovers a whole
+    /// chain in one forward pass). The parameters are verified against the
+    /// stored Merkle root first, then the full state dict is written as a
+    /// new weights file and the model-info document is updated: approach
+    /// becomes [`ApproachKind::Baseline`](crate::meta::ApproachKind), the
+    /// recovery base is cleared, and a parameter update's old delta file is
+    /// removed. Content identity — the id, root hash, and layer-hash
+    /// document — is untouched, so recovery stays byte-identical while its
+    /// chain depth drops to zero. Returns the file id the old weights file
+    /// had, when one was replaced.
+    ///
+    /// Crash ordering: new file → document update → old-file removal, so an
+    /// interruption leaves either the old committed state or the new one,
+    /// plus at most an unreferenced file for `fsck --repair` to quarantine.
+    pub fn promote_to_snapshot(
+        &self,
+        id: &SavedModelId,
+        model: &Model,
+    ) -> Result<Option<String>, CoreError> {
+        let mut info = self.load_model_info(id)?;
+        crate::verify::verify_against_root(model, &info.root_hash, id)?;
+        if info.approach == crate::meta::ApproachKind::Baseline {
+            return Ok(None); // already a snapshot — idempotent
+        }
+
+        let entries = model.state_entries();
+        let bytes =
+            state_to_bytes(entries.iter().map(|(p, t, _, _)| (p.as_str(), *t)).collect::<Vec<_>>());
+        let weights_file = self.storage().put_file(&bytes)?;
+
+        let old_weights = info.weights_file.take();
+        info.approach = crate::meta::ApproachKind::Baseline;
+        info.base_model = None;
+        info.weights_file = Some(weights_file.as_str().to_string());
+        info.update_encoding = None;
+        self.storage()
+            .docs()
+            .update(id.doc_id(), crate::error::to_json_value("ModelInfoDoc", &info)?)?;
+
+        if let Some(old) = &old_weights {
+            self.storage().files().remove(&mmlib_store::FileId::from_string(old.clone()))?;
+        }
+        Ok(old_weights)
+    }
+
     /// Recovers a baseline snapshot (no recursion).
     pub(crate) fn recover_full(
         &self,

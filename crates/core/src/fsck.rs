@@ -120,6 +120,25 @@ pub enum FsckIssue {
         /// The inconsistent model.
         model: SavedModelId,
     },
+    /// A lineage record describing a model that does not exist (the model
+    /// was removed without its record, or the record survived a crash the
+    /// model did not).
+    OrphanLineage {
+        /// The lineage document.
+        id: DocId,
+        /// The model id the record claims to describe.
+        model: String,
+    },
+    /// A lineage record whose `parent` reference is not a saved model —
+    /// the ancestry edge dangles.
+    DanglingLineageParent {
+        /// The lineage document.
+        id: DocId,
+        /// The model the record describes.
+        model: String,
+        /// The unresolvable parent reference.
+        parent: String,
+    },
     /// A document no saved model reaches.
     OrphanDoc {
         /// The unreferenced document.
@@ -160,6 +179,12 @@ impl std::fmt::Display for FsckIssue {
             }
             FsckIssue::RootHashMismatch { model } => {
                 write!(f, "model {model}: merkle root does not match recorded root_hash")
+            }
+            FsckIssue::OrphanLineage { id, model } => {
+                write!(f, "lineage record {id} describes missing model {model}")
+            }
+            FsckIssue::DanglingLineageParent { id, model, parent } => {
+                write!(f, "lineage record {id} of model {model}: parent {parent} does not exist")
             }
             FsckIssue::OrphanDoc { id, kind } => {
                 write!(f, "orphan document {id} (kind {kind:?})")
@@ -278,6 +303,7 @@ pub fn fsck(storage: &ModelStorage, opts: &FsckOptions) -> Result<FsckReport, Co
         c.check_model(id, info)?;
     }
     c.report.models_checked = models.len();
+    c.lineage_pass(&models)?;
     c.orphan_pass()?;
     Ok(c.report)
 }
@@ -570,6 +596,50 @@ impl Checker<'_> {
         Ok(())
     }
 
+    /// Walks the lineage edges: every `lineage` document must describe an
+    /// existing model, and its `parent` reference (the live ancestry edge)
+    /// must resolve to a saved model. Violations are quarantined in repair
+    /// mode — a lineage record is derived metadata; removing it never
+    /// affects recoverability. `rebased_from` is historical provenance of
+    /// compaction and is deliberately *not* treated as an edge: compaction
+    /// exists precisely so the old base can be collected.
+    fn lineage_pass(
+        &mut self,
+        models: &[(SavedModelId, ModelInfoDoc)],
+    ) -> Result<(), CoreError> {
+        let model_ids: BTreeSet<&str> =
+            models.iter().map(|(id, _)| id.doc_id().as_str()).collect();
+        let lineage: Vec<(String, serde_json::Value)> = self
+            .docs
+            .iter()
+            .filter(|(_, doc)| doc.kind == kinds::LINEAGE)
+            .map(|(id, doc)| (id.clone(), doc.body.clone()))
+            .collect();
+        for (id, body) in lineage {
+            // Marked reachable either way: the issues below are more
+            // specific than a generic orphan report.
+            self.reachable_docs.insert(id.clone());
+            let doc_id = DocId::from_string(id);
+            let model = body["model"].as_str().unwrap_or("").to_string();
+            if !model_ids.contains(model.as_str()) {
+                self.quarantine_doc(&doc_id)?;
+                self.report.issues.push(FsckIssue::OrphanLineage { id: doc_id, model });
+                continue;
+            }
+            if let Some(parent) = body["parent"].as_str() {
+                if !model_ids.contains(parent) {
+                    self.quarantine_doc(&doc_id)?;
+                    self.report.issues.push(FsckIssue::DanglingLineageParent {
+                        id: doc_id,
+                        model,
+                        parent: parent.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Reports (and in repair mode quarantines) every document and blob no
     /// saved model reaches.
     fn orphan_pass(&mut self) -> Result<(), CoreError> {
@@ -737,6 +807,78 @@ mod tests {
         let after =
             fsck(svc.storage(), &FsckOptions::default()).unwrap();
         assert!(after.issues.iter().all(|i| matches!(i, FsckIssue::MissingDoc { .. })));
+    }
+
+    /// The lineage document describing `id`, found by scan.
+    fn lineage_doc_of(svc: &SaveService, id: &SavedModelId) -> DocId {
+        svc.storage()
+            .docs()
+            .ids()
+            .unwrap()
+            .into_iter()
+            .find(|d| {
+                let doc = svc.storage().get_doc(d).unwrap();
+                doc.kind == kinds::LINEAGE && doc.body["model"] == id.doc_id().as_str()
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn orphaned_lineage_record_is_reported_and_quarantined() {
+        let dir = tempfile::tempdir().unwrap();
+        let svc = service(dir.path());
+        let model = Model::new_initialized(ArchId::TinyCnn, 7);
+        let id = svc.save_full(&model, None, "initial").unwrap();
+
+        // Remove the model doc but leave its lineage record behind.
+        let lineage = lineage_doc_of(&svc, &id);
+        svc.storage().docs().remove(id.doc_id()).unwrap();
+
+        let report = fsck(svc.storage(), &FsckOptions::default()).unwrap();
+        assert!(
+            report
+                .issues
+                .iter()
+                .any(|i| matches!(i, FsckIssue::OrphanLineage { id, .. } if *id == lineage)),
+            "orphaned lineage not reported: {:?}",
+            report.issues
+        );
+        let repaired =
+            fsck(svc.storage(), &FsckOptions { repair: true, ..Default::default() }).unwrap();
+        assert!(!repaired.quarantined.is_empty());
+        let after = fsck(svc.storage(), &FsckOptions::default()).unwrap();
+        assert!(
+            !after.issues.iter().any(|i| matches!(i, FsckIssue::OrphanLineage { .. })),
+            "quarantine must clear the orphaned record: {:?}",
+            after.issues
+        );
+    }
+
+    #[test]
+    fn dangling_lineage_parent_is_reported_and_quarantined() {
+        let dir = tempfile::tempdir().unwrap();
+        let svc = service(dir.path());
+        let model = Model::new_initialized(ArchId::TinyCnn, 7);
+        let id = svc.save_full(&model, None, "initial").unwrap();
+
+        // Rewrite the lineage record to claim a parent that was never saved.
+        let lineage = lineage_doc_of(&svc, &id);
+        let mut body = svc.storage().get_doc(&lineage).unwrap().body;
+        body["parent"] = serde_json::json!("model-that-never-was");
+        svc.storage().docs().update(&lineage, body).unwrap();
+
+        let report = fsck(svc.storage(), &FsckOptions::default()).unwrap();
+        assert!(
+            report.issues.iter().any(|i| matches!(
+                i,
+                FsckIssue::DanglingLineageParent { parent, .. } if parent == "model-that-never-was"
+            )),
+            "dangling parent not reported: {:?}",
+            report.issues
+        );
+        fsck(svc.storage(), &FsckOptions { repair: true, ..Default::default() }).unwrap();
+        let after = fsck(svc.storage(), &FsckOptions::default()).unwrap();
+        assert!(after.is_clean(), "store dirty after repair: {:?}", after.issues);
     }
 
     #[test]

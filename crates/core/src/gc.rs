@@ -63,6 +63,33 @@ impl DependencyGraph {
         }
         out
     }
+
+    /// Every model reachable from `id` over `base_model` references,
+    /// including `id` itself — the *lineage* closure, as opposed to the
+    /// *recovery* chain of [`DependencyGraph::chain_of`].
+    ///
+    /// The two differ for snapshots saved with a base: the baseline
+    /// approach records its base as lineage metadata that recovery never
+    /// loads, but tools that walk ancestry (`mmlib lineage`, fsck's
+    /// semantic pass) still resolve the reference, so GC must keep it.
+    pub fn base_closure_of(&self, id: &SavedModelId) -> Vec<SavedModelId> {
+        let mut out = Vec::new();
+        let mut seen = BTreeSet::new();
+        let mut cur = Some(id.clone());
+        while let Some(c) = cur {
+            if !seen.insert(c.clone()) {
+                break; // corrupt cyclic reference; keep what we saw
+            }
+            let next = self
+                .models
+                .get(&c)
+                .and_then(|info| info.base_model.as_ref())
+                .map(|b| SavedModelId(DocId::from_string(b.clone())));
+            out.push(c);
+            cur = next;
+        }
+        out
+    }
 }
 
 /// Scans the store and builds the dependency graph.
@@ -125,13 +152,31 @@ pub fn delete_model(svc: &SaveService, id: &SavedModelId) -> Result<GcReport, Co
         id: id.clone(),
         reason: "not a saved model".into(),
     })?;
-    remove_model(svc, id, info)
+    let lineage = lineage_index(svc)?;
+    remove_model(svc, id, info, lineage.get(id.doc_id().as_str()).map_or(&[], |v| v))
+}
+
+/// Maps each model id to the lineage documents describing it (normally one,
+/// written by `SaveService::save`; zero for stores predating lineage).
+fn lineage_index(svc: &SaveService) -> Result<BTreeMap<String, Vec<DocId>>, CoreError> {
+    let mut index: BTreeMap<String, Vec<DocId>> = BTreeMap::new();
+    for doc_id in svc.storage().docs().ids()? {
+        let doc = svc.storage().get_doc(&doc_id)?;
+        if doc.kind != kinds::LINEAGE {
+            continue;
+        }
+        if let Some(model) = doc.body["model"].as_str() {
+            index.entry(model.to_string()).or_default().push(doc_id);
+        }
+    }
+    Ok(index)
 }
 
 fn remove_model(
     svc: &SaveService,
     id: &SavedModelId,
     info: &ModelInfoDoc,
+    lineage_docs: &[DocId],
 ) -> Result<GcReport, CoreError> {
     let mut report = GcReport::default();
     let (docs, files) = artifacts_of(info);
@@ -145,6 +190,13 @@ fn remove_model(
     for d in docs {
         if svc.storage().docs().contains(&d) {
             svc.storage().docs().remove(&d)?;
+            report.removed_docs += 1;
+        }
+    }
+    // The model's lineage record(s) go with it.
+    for d in lineage_docs {
+        if svc.storage().docs().contains(d) {
+            svc.storage().docs().remove(d)?;
             report.removed_docs += 1;
         }
     }
@@ -197,20 +249,26 @@ pub fn collect_garbage(
                 reason: "live root is not a saved model".into(),
             });
         }
-        for link in graph.chain_of(root) {
+        // Mark the full base closure, not just the recovery chain: a
+        // snapshot's base is recovery-irrelevant but still referenced as
+        // lineage, and collecting it would leave live models with dangling
+        // ancestry (fsck reports exactly that as a missing base-model doc).
+        for link in graph.base_closure_of(root) {
             marked.insert(link);
         }
     }
     // Sweep models in reverse-dependency order (leaves first) so the
     // "dependents" safety check never trips on another garbage model.
     let mut report = GcReport::default();
+    let lineage = lineage_index(svc)?;
     let mut garbage: Vec<&SavedModelId> =
         graph.models.keys().filter(|id| !marked.contains(id)).collect();
-    // Leaves first: sort by descending chain length.
-    garbage.sort_by_key(|id| std::cmp::Reverse(graph.chain_of(id).len()));
+    // Leaves first: sort by descending closure length.
+    garbage.sort_by_key(|id| std::cmp::Reverse(graph.base_closure_of(id).len()));
     for id in garbage {
         let info = &graph.models[id];
-        let sub = remove_model(svc, id, info)?;
+        let sub =
+            remove_model(svc, id, info, lineage.get(id.doc_id().as_str()).map_or(&[], |v| v))?;
         report.removed_models.extend(sub.removed_models);
         report.removed_docs += sub.removed_docs;
         report.removed_files += sub.removed_files;
@@ -239,6 +297,18 @@ pub fn collect_garbage(
                     .unwrap_or(false)
             });
             if !referenced {
+                svc.storage().docs().remove(&doc_id)?;
+                report.removed_docs += 1;
+            }
+        }
+        // Lineage records whose model no longer exists (crash remnants of
+        // interrupted saves, or records of models removed above whose doc
+        // id never made it into the index) are garbage too.
+        if doc.kind == kinds::LINEAGE {
+            let model_alive = doc.body["model"]
+                .as_str()
+                .is_some_and(|m| marked.contains(&SavedModelId(DocId::from_string(m.into()))));
+            if !model_alive && svc.storage().docs().contains(&doc_id) {
                 svc.storage().docs().remove(&doc_id)?;
                 report.removed_docs += 1;
             }

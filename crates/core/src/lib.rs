@@ -67,7 +67,7 @@ pub use env::EnvironmentInfo;
 pub use error::CoreError;
 pub use fsck::{FsckIssue, FsckOptions, FsckReport};
 pub use merkle::MerkleTree;
-pub use meta::{ApproachKind, ModelRelation, SavedModelId};
+pub use meta::{ApproachKind, LineageRecordDoc, ModelRelation, SavedModelId};
 pub use probe::{ProbeRecord, ProbeReport};
 pub use provenance::TrainProvenance;
 pub use recovery::{RecoverBreakdown, RecoverOptions, RecoveredModel, SaveService};

@@ -134,6 +134,39 @@ pub struct ModelInfoDoc {
     pub dataset: Option<DatasetRef>,
 }
 
+/// The body of a `lineage` document — one per saved model, written by
+/// [`SaveService::save`](crate::SaveService::save) in the same save. It
+/// records the *derivation* edge (which model this version was trained
+/// from) independently of the *recovery* edge in the model-info document:
+/// compaction re-bases recovery onto a snapshot without losing where a
+/// version historically came from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LineageRecordDoc {
+    /// The model-info document id this record describes.
+    pub model: String,
+    /// Parent model-info id for recovery purposes; `None` for roots and for
+    /// versions re-based onto their own snapshot by compaction.
+    pub parent: Option<String>,
+    /// The approach that saved this version.
+    pub approach: ApproachKind,
+    /// Relation to the parent.
+    pub relation: ModelRelation,
+    /// Merkle root of this version (hex) — joins the lineage node to the
+    /// model's content identity.
+    pub root_hash: String,
+    /// Number of layers that differed from the parent at save time
+    /// (param-update saves only).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub changed_layers: Option<usize>,
+    /// Free-form labels attached via `mmlib lineage tag`.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub tags: Vec<String>,
+    /// The original parent id, kept for provenance after compaction cut the
+    /// recovery edge (`parent` was cleared or redirected).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub rebased_from: Option<String>,
+}
+
 /// Document kinds used by mmlib.
 pub mod kinds {
     /// Model-info documents.
@@ -144,6 +177,8 @@ pub mod kinds {
     pub const LAYER_HASHES: &str = "layer_hashes";
     /// Wrapper objects (train service, dataloader, optimizer).
     pub const WRAPPER: &str = "wrapper";
+    /// Lineage records (one per saved model, see [`super::LineageRecordDoc`]).
+    pub const LINEAGE: &str = "lineage";
 }
 
 #[cfg(test)]
@@ -178,6 +213,34 @@ mod tests {
         assert_eq!(json["relation"], "partially_updated");
         let back: ModelInfoDoc = serde_json::from_value(json).unwrap();
         assert_eq!(doc, back);
+    }
+
+    #[test]
+    fn lineage_record_doc_serde_round_trip() {
+        let doc = LineageRecordDoc {
+            model: "m-2".into(),
+            parent: Some("m-1".into()),
+            approach: ApproachKind::ParamUpdate,
+            relation: ModelRelation::PartiallyUpdated,
+            root_hash: "ab".repeat(32),
+            changed_layers: Some(3),
+            tags: vec!["v2".into()],
+            rebased_from: None,
+        };
+        let json = serde_json::to_value(&doc).unwrap();
+        assert_eq!(json["parent"], "m-1");
+        assert!(json.get("rebased_from").is_none(), "None fields stay absent");
+        let back: LineageRecordDoc = serde_json::from_value(json).unwrap();
+        assert_eq!(doc, back);
+
+        // Optional fields default when absent (old stores have no tags).
+        let minimal: LineageRecordDoc = serde_json::from_value(serde_json::json!({
+            "model": "m-1", "parent": null, "approach": "baseline",
+            "relation": "initial", "root_hash": "00",
+        }))
+        .unwrap();
+        assert!(minimal.tags.is_empty());
+        assert!(minimal.changed_layers.is_none());
     }
 
     #[test]

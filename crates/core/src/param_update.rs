@@ -215,8 +215,19 @@ impl SaveService {
             reason: "parameter-update document lacks a base model".into(),
         })?;
         let base_id = SavedModelId(mmlib_store::DocId::from_string(base_id.clone()));
-        let mut model = self.recover_inner(&base_id, opts, depth + 1, breakdown)?;
+        let model = self.recover_inner(&base_id, opts, depth + 1, breakdown)?;
+        self.apply_update_onto(info, id, model, breakdown)
+    }
 
+    /// Applies a parameter-update document onto its already-recovered base
+    /// (the non-recursive half of [`SaveService::recover_update`]).
+    pub(crate) fn apply_update_onto(
+        &self,
+        info: &ModelInfoDoc,
+        id: &SavedModelId,
+        mut model: Model,
+        breakdown: &mut RecoverBreakdown,
+    ) -> Result<Model, CoreError> {
         let weights_id = info.weights_file.as_ref().ok_or_else(|| CoreError::BadModelDocument {
             id: id.clone(),
             reason: "parameter-update document lacks an update file".into(),

@@ -164,8 +164,20 @@ impl SaveService {
             reason: "provenance document lacks a base model".into(),
         })?;
         let base_id = SavedModelId(mmlib_store::DocId::from_string(base_id.clone()));
-        let mut model = self.recover_inner(&base_id, opts, depth + 1, breakdown)?;
+        let model = self.recover_inner(&base_id, opts, depth + 1, breakdown)?;
+        self.replay_onto(info, id, model, breakdown)
+    }
 
+    /// Replays a provenance document's training onto its already-recovered
+    /// base (the non-recursive half of
+    /// [`SaveService::recover_provenance`]).
+    pub(crate) fn replay_onto(
+        &self,
+        info: &ModelInfoDoc,
+        id: &SavedModelId,
+        mut model: Model,
+        breakdown: &mut RecoverBreakdown,
+    ) -> Result<Model, CoreError> {
         // Load provenance pieces.
         let dataset_ref = info.dataset.as_ref().ok_or_else(|| CoreError::BadModelDocument {
             id: id.clone(),

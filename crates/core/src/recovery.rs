@@ -129,6 +129,14 @@ impl SaveService {
         self.obs.as_deref().unwrap_or_else(|| mmlib_obs::recorder())
     }
 
+    /// The recorder this service reports to (the global one unless
+    /// overridden with [`SaveService::with_recorder`]). Layers built on top
+    /// of the service — `mmlib-lineage` — report through the same recorder
+    /// so one exposition covers the whole stack.
+    pub fn recorder(&self) -> &Recorder {
+        self.obs()
+    }
+
     /// The underlying storage (metrics: `bytes_written`).
     pub fn storage(&self) -> &ModelStorage {
         &self.storage
@@ -165,7 +173,7 @@ impl SaveService {
     }
 
     /// Loads and decodes a model-info document.
-    pub(crate) fn load_model_info(&self, id: &SavedModelId) -> Result<ModelInfoDoc, CoreError> {
+    pub fn load_model_info(&self, id: &SavedModelId) -> Result<ModelInfoDoc, CoreError> {
         let doc = self.storage.get_doc(id.doc_id())?;
         if doc.kind != kinds::MODEL_INFO {
             return Err(CoreError::BadModelDocument {
@@ -261,5 +269,45 @@ impl SaveService {
             ApproachKind::ParamUpdate => self.recover_update(&info, id, opts, depth, breakdown),
             ApproachKind::Provenance => self.recover_provenance(&info, id, opts, depth, breakdown),
         }
+    }
+
+    /// Recovers exactly one saved model given its recovery base already in
+    /// memory, without walking the base chain: snapshots ignore `base`,
+    /// parameter updates and provenance saves apply themselves onto it.
+    ///
+    /// This is the single-step building block behind the batch family
+    /// recovery in `mmlib-lineage`, which memoizes shared ancestors so each
+    /// chain node is fetched and rebuilt exactly once. The caller is
+    /// responsible for passing the model the document's `base_model` refers
+    /// to; the result is **not** verified — verify against the stored root
+    /// with [`SaveService::verify_recovered`] when bit-exactness matters.
+    pub fn recover_onto(
+        &self,
+        id: &SavedModelId,
+        base: Option<Model>,
+        breakdown: &mut RecoverBreakdown,
+    ) -> Result<Model, CoreError> {
+        let start = Instant::now();
+        let info = self.load_model_info(id)?;
+        breakdown.load += start.elapsed();
+        let need_base = |base: Option<Model>| {
+            base.ok_or_else(|| CoreError::BadModelDocument {
+                id: id.clone(),
+                reason: "recover_onto needs the recovered base model for a derived save".into(),
+            })
+        };
+        match info.approach {
+            ApproachKind::Baseline => self.recover_full(&info, id, breakdown),
+            ApproachKind::ParamUpdate => {
+                self.apply_update_onto(&info, id, need_base(base)?, breakdown)
+            }
+            ApproachKind::Provenance => self.replay_onto(&info, id, need_base(base)?, breakdown),
+        }
+    }
+
+    /// Verifies a recovered model against the stored Merkle root of `id`.
+    pub fn verify_recovered(&self, model: &Model, id: &SavedModelId) -> Result<(), CoreError> {
+        let info = self.load_model_info(id)?;
+        crate::verify::verify_against_root(model, &info.root_hash, id)
     }
 }

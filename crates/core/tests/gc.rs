@@ -136,6 +136,50 @@ fn gc_with_no_live_roots_sweeps_everything() {
 }
 
 #[test]
+fn gc_keeps_a_snapshots_lineage_base_alive() {
+    let dir = tempfile::tempdir().unwrap();
+    let s = svc(dir.path());
+    let mut model = Model::new_initialized(ArchId::TinyCnn, 2);
+    model.set_fully_trainable();
+    let base = s.save_full(&model, None, "initial").unwrap();
+    train_step(&mut model, 30);
+    // A snapshot saved *against* a base: recovery is self-contained, but
+    // the base reference is live lineage that ancestry queries and fsck's
+    // semantic pass still resolve.
+    let derived = s.save_full(&model, Some(&base), "partially_updated").unwrap();
+
+    let report = collect_garbage(&s, std::slice::from_ref(&derived)).unwrap();
+    // Regression: marking only the recovery chain collected `base` here,
+    // leaving `derived` with a dangling base reference.
+    assert!(report.removed_models.is_empty(), "base is referenced lineage: {report:?}");
+    assert!(s.recover(&base, RecoverOptions::default()).is_ok());
+    let check =
+        mmlib_core::fsck::fsck(s.storage(), &mmlib_core::fsck::FsckOptions::default()).unwrap();
+    assert!(check.is_clean(), "store dirty after gc: {:?}", check.issues);
+}
+
+#[test]
+fn gc_sweeps_lineage_records_with_their_models() {
+    let dir = tempfile::tempdir().unwrap();
+    let (s, ids, _) = build_store(dir.path());
+    // Every saved model carries one lineage record.
+    let lineage_docs = |s: &SaveService| {
+        s.storage()
+            .docs()
+            .ids()
+            .unwrap()
+            .into_iter()
+            .filter(|d| s.storage().get_doc(d).unwrap().kind == "lineage")
+            .count()
+    };
+    assert_eq!(lineage_docs(&s), 4);
+    delete_model(&s, &ids[3]).unwrap();
+    assert_eq!(lineage_docs(&s), 3, "deletion removes the model's lineage record");
+    collect_garbage(&s, &[ids[2].clone()]).unwrap();
+    assert_eq!(lineage_docs(&s), 3, "kept chain keeps its records");
+}
+
+#[test]
 fn gc_rejects_unknown_live_roots() {
     let dir = tempfile::tempdir().unwrap();
     let (s, _, _) = build_store(dir.path());

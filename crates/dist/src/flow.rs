@@ -441,6 +441,23 @@ fn run_flow_inner(
     result
 }
 
+/// Recovers every model a finished flow saved as one lineage *family*.
+///
+/// All of a flow's chains hang off the U1 snapshot (phase 1) or the U2
+/// model (phase 2), so per-model U4 recovery rebuilds those shared
+/// ancestors once per chain. Batch family recovery over the same save set
+/// materializes each distinct ancestor exactly once — the win the lineage
+/// DAG buys the distributed flows, where a server restores a whole
+/// fleet's models in one pass.
+pub fn recover_flow_family(
+    service: &SaveService,
+    result: &FlowResult,
+    verify: bool,
+) -> Result<mmlib_lineage::FamilyRecovery, mmlib_core::CoreError> {
+    let ids: Vec<SavedModelId> = result.saves.iter().map(|s| s.id.clone()).collect();
+    mmlib_lineage::Lineage::new(service).recover_family(&ids, verify)
+}
+
 /// Builds fresh node states all starting from `start_model`/`base`.
 fn make_node_states(
     config: &FlowConfig,

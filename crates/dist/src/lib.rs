@@ -25,7 +25,7 @@ pub mod flow;
 pub mod metrics;
 
 pub use flow::{
-    run_flow_with_faulty_tcp, FlowConfig, FlowKind, FlowResult, RecoverRecord, SaveRecord,
-    TrainParams, Transport,
+    recover_flow_family, run_flow_with_faulty_tcp, FlowConfig, FlowKind, FlowResult,
+    RecoverRecord, SaveRecord, TrainParams, Transport,
 };
 pub use metrics::{median_duration, MedianSeries};

@@ -127,6 +127,40 @@ fn fully_updated_flow_updates_every_layer() {
 }
 
 #[test]
+fn family_recovery_restores_a_whole_flow_without_repeating_ancestors() {
+    use mmlib_core::{RecoverOptions, SaveService};
+    use mmlib_dist::flow::recover_flow_family;
+    use mmlib_store::ModelStorage;
+
+    let dir = tempfile::tempdir().unwrap();
+    let config = fast_config(ApproachKind::ParamUpdate, ModelRelation::PartiallyUpdated);
+    let result = run_flow(&config, dir.path());
+    assert_eq!(result.saves.len(), 10);
+
+    let service = SaveService::new(ModelStorage::open(dir.path()).unwrap());
+    let family = recover_flow_family(&service, &result, true).unwrap();
+
+    // Every save comes back, and since every ancestor in the flow is itself
+    // a saved model, the family materializes exactly the 10 saved models —
+    // versus the 25 chain links per-model U4 recovery resolves one by one
+    // (0+1+2+3+4 in phase 1, 1+2+3+4+5 in phase 2).
+    assert_eq!(family.models.len(), 10);
+    assert_eq!(family.unique_nodes, 10);
+    let naive: u32 = result.recovers.iter().map(|r| r.recovered_bases).sum();
+    assert!(
+        (family.unique_nodes as u32) < naive,
+        "family recovery ({}) must beat per-model chain walks ({naive})",
+        family.unique_nodes
+    );
+
+    // Byte-identical to what per-model recovery returns.
+    for (id, model) in &family.models {
+        let solo = service.recover(id, RecoverOptions::default()).unwrap();
+        assert!(solo.model.models_equal(model), "family recovery of {id} differs");
+    }
+}
+
+#[test]
 fn dist5_flow_has_table3_model_count() {
     let dir = tempfile::tempdir().unwrap();
     let mut config = fast_config(ApproachKind::ParamUpdate, ModelRelation::PartiallyUpdated);

@@ -1,0 +1,147 @@
+//! Delta-chain compaction: depth-bounded re-basing of recovery chains.
+//!
+//! A parameter-update (or provenance) chain of depth *n* costs *n*
+//! sequential rebuilds to recover its tip — the linear TTR growth of the
+//! paper's recursive recovery. Compaction walks the chain once from its
+//! root, keeping the running model in memory, and promotes every node
+//! whose depth-since-last-snapshot reaches `max_depth` to a full snapshot
+//! (ModelHub's bounded version-graph storage, applied in place):
+//!
+//! * recovery stays **byte-identical** — a promotion writes the exact
+//!   parameters recovery would have produced, verified against the stored
+//!   Merkle root before anything is rewritten;
+//! * recovery depth after compaction is `< max_depth` for every node of
+//!   the chain, so TTR stays flat no matter how deep the chain grew;
+//! * promoted nodes drop their recovery base (`parent` becomes `None`,
+//!   the old edge is preserved as `rebased_from`), which is what lets
+//!   `gc` collect a retired chain prefix.
+
+use std::collections::BTreeSet;
+
+use mmlib_core::meta::{kinds, ApproachKind, SavedModelId};
+use mmlib_core::{CoreError, RecoverBreakdown, SaveService};
+use mmlib_store::DocId;
+
+use crate::{Lineage, COMPACTIONS, PROMOTED};
+
+/// What one compaction run did.
+#[derive(Debug, Clone)]
+pub struct CompactReport {
+    /// The recovery chain that was walked, root first.
+    pub chain: Vec<SavedModelId>,
+    /// Nodes promoted to snapshots, in chain order.
+    pub promoted: Vec<SavedModelId>,
+    /// The depth bound the run enforced.
+    pub max_depth: usize,
+    /// Bytes written by the promotions (snapshot state dicts).
+    pub bytes_written: u64,
+}
+
+impl Lineage<'_> {
+    /// Compacts the recovery chain of `tip` so that no node in it is more
+    /// than `max_depth - 1` rebuilds away from a snapshot.
+    ///
+    /// The chain is recovered in a single forward pass (each node exactly
+    /// once); nodes at the depth bound are promoted in place via
+    /// `SaveService::promote_to_snapshot`. Idempotent: a chain already
+    /// within the bound reports zero promotions.
+    pub fn compact(
+        &self,
+        tip: &SavedModelId,
+        max_depth: usize,
+    ) -> Result<CompactReport, CoreError> {
+        if max_depth == 0 {
+            return Err(CoreError::BadModelDocument {
+                id: tip.clone(),
+                reason: "compaction depth bound must be at least 1".into(),
+            });
+        }
+        let svc = self.svc();
+        let bytes_before = svc.storage().bytes_written();
+        let chain = recovery_chain(svc, tip)?;
+
+        let mut breakdown = RecoverBreakdown::default();
+        let mut current = None;
+        let mut promoted = Vec::new();
+        let mut depth = 0usize;
+        for id in &chain {
+            let info = svc.load_model_info(id)?;
+            let model = svc.recover_onto(id, current.take(), &mut breakdown)?;
+            depth = if info.approach == ApproachKind::Baseline { 0 } else { depth + 1 };
+            if depth >= max_depth {
+                svc.promote_to_snapshot(id, &model)?;
+                self.rebase_record(id, &info.base_model)?;
+                promoted.push(id.clone());
+                depth = 0;
+            }
+            current = Some(model);
+        }
+
+        self.obs().inc(COMPACTIONS, 1);
+        self.obs().inc(PROMOTED, promoted.len() as u64);
+        Ok(CompactReport {
+            chain,
+            promoted,
+            max_depth,
+            bytes_written: svc.storage().bytes_written().saturating_sub(bytes_before),
+        })
+    }
+
+    /// Rewrites a promoted node's lineage record: the live parent edge is
+    /// cut and preserved as `rebased_from`. Legacy nodes without a record
+    /// get one inserted, so compaction upgrades old stores as it goes.
+    fn rebase_record(
+        &self,
+        id: &SavedModelId,
+        old_parent: &Option<String>,
+    ) -> Result<(), CoreError> {
+        let graph = self.graph()?;
+        let node = graph.require(id)?;
+        let mut record = node.record.clone();
+        record.rebased_from = record.parent.take().or_else(|| old_parent.clone());
+        let body = serde_json::to_value(&record).map_err(|e| CoreError::BadModelDocument {
+            id: id.clone(),
+            reason: format!("unencodable lineage record: {e}"),
+        })?;
+        match &node.doc {
+            Some(doc_id) => self.svc().storage().docs().update(doc_id, body)?,
+            None => {
+                self.svc().storage().insert_doc(kinds::LINEAGE, body)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The recovery chain of `tip`, root first: `base_model` edges followed
+/// until a snapshot (whose base is lineage metadata, not a recovery
+/// dependency). Fails on cycles instead of looping.
+pub(crate) fn recovery_chain(
+    svc: &SaveService,
+    tip: &SavedModelId,
+) -> Result<Vec<SavedModelId>, CoreError> {
+    let mut chain = Vec::new();
+    let mut seen = BTreeSet::new();
+    let mut cur = tip.clone();
+    loop {
+        if !seen.insert(cur.to_string()) {
+            return Err(CoreError::BadModelDocument {
+                id: tip.clone(),
+                reason: format!("cyclic base chain at {cur}"),
+            });
+        }
+        let info = svc.load_model_info(&cur)?;
+        let base = if info.approach == ApproachKind::Baseline {
+            None
+        } else {
+            info.base_model.clone()
+        };
+        chain.push(cur);
+        match base {
+            Some(b) => cur = SavedModelId(DocId::from_string(b)),
+            None => break,
+        }
+    }
+    chain.reverse();
+    Ok(chain)
+}

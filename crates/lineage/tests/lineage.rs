@@ -1,0 +1,331 @@
+//! Integration tests of the lineage DAG, delta-chain compaction, and
+//! batch family recovery.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use mmlib_core::meta::SavedModelId;
+use mmlib_core::{RecoverOptions, SaveService};
+use mmlib_lineage::Lineage;
+use mmlib_model::{ArchId, Model};
+use mmlib_store::{DocId, Document, FileId, ModelStorage, StorageBackend, StoreError};
+
+fn svc(dir: &std::path::Path) -> SaveService {
+    SaveService::new(ModelStorage::open(dir).unwrap())
+}
+
+/// Deterministically perturbs one parameter tensor, so the next save is a
+/// genuine (small) delta against the previous version.
+fn bump(model: &mut Model, step: usize) {
+    let mut done = false;
+    model.visit_trainable_mut(&mut |_, w, _| {
+        if !done {
+            w.data_mut()[0] += 1e-3 + step as f32 * 1e-4;
+            done = true;
+        }
+    });
+}
+
+/// The model's full parameter state as exact bits, for byte-identity
+/// assertions stronger than float equality.
+fn state_bits(model: &Model) -> Vec<(String, Vec<u32>)> {
+    model
+        .state_dict()
+        .into_iter()
+        .map(|(name, t)| (name, t.data().iter().map(|v| v.to_bits()).collect()))
+        .collect()
+}
+
+/// Builds a PUA chain `root -> u[0] -> ... -> u[depth-1]` and returns every
+/// id, root first.
+fn build_chain(s: &SaveService, seed: u64, depth: usize) -> (Vec<SavedModelId>, Model) {
+    let mut model = Model::new_initialized(ArchId::TinyCnn, seed);
+    model.set_fully_trainable();
+    let mut ids = vec![s.save_full(&model, None, "initial").unwrap()];
+    for step in 0..depth {
+        bump(&mut model, step);
+        let (id, _) = s.save_update(&model, ids.last().unwrap(), "partially_updated").unwrap();
+        ids.push(id);
+    }
+    (ids, model)
+}
+
+#[test]
+fn graph_queries_tags_and_diff() {
+    let dir = tempfile::tempdir().unwrap();
+    let s = svc(dir.path());
+    let (ids, model) = build_chain(&s, 7, 2);
+    // Side branch off the middle node.
+    let mut side_model = model.duplicate();
+    bump(&mut side_model, 99);
+    let (side, _) = s.save_update(&side_model, &ids[1], "partially_updated").unwrap();
+
+    let lineage = Lineage::new(&s);
+    let graph = lineage.graph().unwrap();
+    assert_eq!(graph.len(), 4);
+    assert_eq!(graph.roots().len(), 1);
+    assert_eq!(graph.roots()[0].id, ids[0]);
+
+    // show: the saved parent edge and diff provenance are on the node.
+    let node = lineage.show(&ids[1]).unwrap();
+    assert_eq!(node.record.parent.as_deref(), Some(ids[0].doc_id().as_str()));
+    assert!(node.record.changed_layers.is_some_and(|n| n >= 1));
+    assert!(node.doc.is_some(), "saves must persist a lineage record");
+
+    // ancestry: tip -> middle -> root, inclusive.
+    let up: Vec<String> =
+        lineage.ancestry(&ids[2]).unwrap().iter().map(|n| n.id.to_string()).collect();
+    assert_eq!(up, vec![ids[2].to_string(), ids[1].to_string(), ids[0].to_string()]);
+
+    // descendants: everything below the root, and the branch below ids[1].
+    assert_eq!(lineage.descendants(&ids[0]).unwrap().len(), 3);
+    let below_mid: Vec<String> =
+        lineage.descendants(&ids[1]).unwrap().iter().map(|n| n.id.to_string()).collect();
+    assert!(below_mid.contains(&ids[2].to_string()) && below_mid.contains(&side.to_string()));
+
+    // diff: sibling versions differ in at least the bumped layer and share
+    // their branch point as common ancestor.
+    let diff = lineage.diff(&ids[2], &side).unwrap();
+    assert!(!diff.changed_layers.is_empty());
+    assert!(diff.total_layers >= diff.changed_layers.len());
+    assert_eq!(diff.common_ancestor, Some(ids[1].clone()));
+    let same = lineage.diff(&ids[2], &ids[2]).unwrap();
+    assert!(same.changed_layers.is_empty());
+
+    // tag: persisted, idempotent, visible to a fresh service.
+    lineage.tag(&ids[2], "release").unwrap();
+    lineage.tag(&ids[2], "release").unwrap();
+    let lineage = Lineage::new(&s);
+    assert_eq!(lineage.show(&ids[2]).unwrap().record.tags, vec!["release".to_string()]);
+
+    // Unknown models are typed errors, not panics.
+    let ghost = SavedModelId(DocId::from_string("model-that-never-was".into()));
+    assert!(lineage.show(&ghost).is_err());
+    assert!(lineage.ancestry(&ghost).is_err());
+
+    // Queries hit the labeled counter.
+    let shows = s.recorder().counter_value("mmlib_lineage_queries_total", Some(("kind", "show")));
+    assert!(shows >= 2);
+}
+
+/// The acceptance gate: a depth-64 PUA chain recovers byte-identically
+/// after `compact(max_depth = 8)`, with TTR within 1.5x of a fresh
+/// depth-8 chain.
+#[test]
+fn depth64_compaction_is_byte_identical_and_keeps_ttr_flat() {
+    let dir = tempfile::tempdir().unwrap();
+    let s = svc(dir.path());
+    let (ids, trained) = build_chain(&s, 11, 64);
+    let tip = ids.last().unwrap().clone();
+
+    let before = s.recover(&tip, RecoverOptions::default()).unwrap();
+    assert!(before.model.models_equal(&trained));
+    assert_eq!(before.breakdown.recovered_bases, 64);
+    let want_bits = state_bits(&before.model);
+
+    let lineage = Lineage::new(&s);
+    let report = lineage.compact(&tip, 8).unwrap();
+    assert_eq!(report.chain, ids);
+    // Depth 64 with a bound of 8: every 8th chain node is promoted,
+    // including the tip itself.
+    assert_eq!(report.promoted.len(), 8);
+    assert_eq!(report.promoted.last(), Some(&tip));
+
+    // Byte-identical recovery, now without any base chain.
+    let after = s.recover(&tip, RecoverOptions::default()).unwrap();
+    assert_eq!(state_bits(&after.model), want_bits);
+    assert_eq!(after.breakdown.recovered_bases, 0);
+    // Every chain node still recovers, and none is more than 7 rebuilds
+    // from a snapshot.
+    for id in &ids {
+        let r = s.recover(&id.clone(), RecoverOptions::default()).unwrap();
+        assert!(r.breakdown.recovered_bases < 8, "{id} too deep after compaction");
+    }
+    // Compaction is idempotent: a second run promotes nothing.
+    assert!(lineage.compact(&tip, 8).unwrap().promoted.is_empty());
+    // The store stays consistent.
+    let fsck = mmlib_core::fsck::fsck(s.storage(), &mmlib_core::FsckOptions::default()).unwrap();
+    assert!(fsck.is_clean(), "fsck after compaction: {fsck:?}");
+
+    // TTR: compacted depth-64 tip vs a fresh depth-8 chain, min of 5.
+    let dir8 = tempfile::tempdir().unwrap();
+    let s8 = svc(dir8.path());
+    let (ids8, _) = build_chain(&s8, 11, 8);
+    let tip8 = ids8.last().unwrap().clone();
+    let time = |svc: &SaveService, id: &SavedModelId| -> Duration {
+        (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                svc.recover(id, RecoverOptions::default()).unwrap();
+                t.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    let compacted = time(&s, &tip);
+    let control = time(&s8, &tip8);
+    assert!(
+        compacted <= control.mul_f64(1.5),
+        "compacted depth-64 TTR {compacted:?} not within 1.5x of depth-8 {control:?}"
+    );
+
+    // The recorder is process-global, so sibling tests also bump these;
+    // assert at least this test's contribution.
+    assert!(s.recorder().counter_value("mmlib_lineage_compactions_total", None) >= 2);
+    assert!(s.recorder().counter_value("mmlib_lineage_promoted_total", None) >= 8);
+}
+
+#[test]
+fn compaction_rebases_records_and_unblocks_gc() {
+    let dir = tempfile::tempdir().unwrap();
+    let s = svc(dir.path());
+    let (ids, _) = build_chain(&s, 3, 16);
+    let tip = ids.last().unwrap().clone();
+
+    let lineage = Lineage::new(&s);
+    lineage.compact(&tip, 4).unwrap();
+
+    // The promoted tip keeps its history as `rebased_from` but has no live
+    // parent, so it is now an ancestry root.
+    let node = lineage.show(&tip).unwrap();
+    assert!(node.record.parent.is_none());
+    assert_eq!(node.record.rebased_from.as_deref(), Some(ids[ids.len() - 2].doc_id().as_str()));
+    assert_eq!(lineage.ancestry(&tip).unwrap().len(), 1);
+
+    // With the tip re-based onto itself, gc can now collect the whole
+    // retired prefix.
+    let report = mmlib_core::gc::collect_garbage(&s, std::slice::from_ref(&tip)).unwrap();
+    assert_eq!(report.removed_models.len(), ids.len() - 1);
+    let back = s.recover(&tip, RecoverOptions::default()).unwrap();
+    assert_eq!(back.breakdown.recovered_bases, 0);
+    let fsck = mmlib_core::fsck::fsck(s.storage(), &mmlib_core::FsckOptions::default()).unwrap();
+    assert!(fsck.is_clean(), "fsck after gc: {fsck:?}");
+}
+
+/// A pass-through backend that counts `get_file` calls per file id.
+struct CountingBackend {
+    inner: Arc<dyn StorageBackend>,
+    file_gets: Mutex<BTreeMap<String, u32>>,
+}
+
+impl CountingBackend {
+    fn gets(&self) -> BTreeMap<String, u32> {
+        self.file_gets.lock().unwrap().clone()
+    }
+}
+
+impl StorageBackend for CountingBackend {
+    fn insert_doc(&self, kind: &str, body: serde_json::Value) -> Result<DocId, StoreError> {
+        self.inner.insert_doc(kind, body)
+    }
+    fn get_doc(&self, id: &DocId) -> Result<Document, StoreError> {
+        self.inner.get_doc(id)
+    }
+    fn update_doc(&self, id: &DocId, body: serde_json::Value) -> Result<(), StoreError> {
+        self.inner.update_doc(id, body)
+    }
+    fn contains_doc(&self, id: &DocId) -> bool {
+        self.inner.contains_doc(id)
+    }
+    fn remove_doc(&self, id: &DocId) -> Result<(), StoreError> {
+        self.inner.remove_doc(id)
+    }
+    fn doc_ids(&self) -> Result<Vec<DocId>, StoreError> {
+        self.inner.doc_ids()
+    }
+    fn put_file(&self, bytes: &[u8]) -> Result<FileId, StoreError> {
+        self.inner.put_file(bytes)
+    }
+    fn get_file(&self, id: &FileId) -> Result<Vec<u8>, StoreError> {
+        *self.file_gets.lock().unwrap().entry(id.as_str().to_string()).or_insert(0) += 1;
+        self.inner.get_file(id)
+    }
+    fn file_size(&self, id: &FileId) -> Result<u64, StoreError> {
+        self.inner.file_size(id)
+    }
+    fn contains_file(&self, id: &FileId) -> bool {
+        self.inner.contains_file(id)
+    }
+    fn remove_file(&self, id: &FileId) -> Result<(), StoreError> {
+        self.inner.remove_file(id)
+    }
+    fn file_ids(&self) -> Result<Vec<FileId>, StoreError> {
+        self.inner.file_ids()
+    }
+    fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written()
+    }
+    fn bytes_read(&self) -> u64 {
+        self.inner.bytes_read()
+    }
+}
+
+/// The acceptance gate for batch recovery: recovering a family of siblings
+/// reads each shared ancestor blob exactly once.
+#[test]
+fn family_recovery_fetches_each_shared_blob_exactly_once() {
+    let dir = tempfile::tempdir().unwrap();
+    let local = ModelStorage::open(dir.path()).unwrap();
+    let counting = Arc::new(CountingBackend {
+        inner: local.backend(),
+        file_gets: Mutex::new(BTreeMap::new()),
+    });
+    let s = SaveService::new(ModelStorage::from_backend(
+        Arc::clone(&counting) as Arc<dyn StorageBackend>,
+        dir.path(),
+    ));
+
+    // One root, one shared mid node, three sibling tips off the mid node.
+    let mut model = Model::new_initialized(ArchId::TinyCnn, 5);
+    model.set_fully_trainable();
+    let root = s.save_full(&model, None, "initial").unwrap();
+    bump(&mut model, 0);
+    let (mid, _) = s.save_update(&model, &root, "partially_updated").unwrap();
+    let mut tips = Vec::new();
+    for i in 0..3 {
+        let mut m = model.duplicate();
+        bump(&mut m, 10 + i);
+        let (tip, _) = s.save_update(&m, &mid, "partially_updated").unwrap();
+        tips.push((tip, m));
+    }
+
+    counting.file_gets.lock().unwrap().clear();
+    let lineage = Lineage::new(&s);
+    let targets: Vec<SavedModelId> = tips.iter().map(|(id, _)| id.clone()).collect();
+    let family = lineage.recover_family(&targets, true).unwrap();
+
+    // Right models, right order, byte-identical.
+    assert_eq!(family.models.len(), 3);
+    assert_eq!(family.unique_nodes, 5);
+    for ((want_id, want_model), (got_id, got_model)) in tips.iter().zip(&family.models) {
+        assert_eq!(want_id, got_id);
+        assert_eq!(state_bits(want_model), state_bits(got_model));
+    }
+
+    // The exactly-once contract: every blob that was read was read once —
+    // the root snapshot and the shared mid delta are not re-fetched per
+    // sibling.
+    let gets = counting.gets();
+    assert!(!gets.is_empty());
+    for (file, count) in &gets {
+        assert_eq!(*count, 1, "file {file} fetched {count} times during family recovery");
+    }
+
+    // Control: recovering the three tips independently re-reads shared
+    // ancestors (3x the root and mid blobs), which is what the batch path
+    // eliminates.
+    counting.file_gets.lock().unwrap().clear();
+    for (tip, _) in &tips {
+        s.recover(tip, RecoverOptions::default()).unwrap();
+    }
+    assert!(
+        counting.gets().values().any(|&c| c >= 3),
+        "independent recovery should re-fetch shared ancestors"
+    );
+
+    assert_eq!(s.recorder().counter_value("mmlib_lineage_family_recovers_total", None), 1);
+    assert_eq!(s.recorder().counter_value("mmlib_lineage_family_models_total", None), 3);
+    assert_eq!(s.recorder().histogram_count("mmlib_lineage_family_recover_seconds", None), 1);
+}

@@ -3,7 +3,7 @@
 //! | id | name                  | scope                                   |
 //! |----|-----------------------|-----------------------------------------|
 //! | D1 | determinism hygiene   | `tensor`, `train`, `model` library code |
-//! | P1 | panic-freedom         | `core`, `net`, `store`, `tensor`, `dist`, `obs` library code |
+//! | P1 | panic-freedom         | `core`, `net`, `store`, `tensor`, `dist`, `obs`, `lineage` library code |
 //! | C1 | truncating-cast audit | `net`, `store` library code             |
 //! | F1 | unsafe-code forbid    | every non-shim crate root               |
 //! | X1 | protocol cross-check  | `net` (protocol/server/client/tests)    |
@@ -27,7 +27,7 @@ pub const D1_CRATES: &[&str] = &["tensor", "train", "model"];
 /// Crates whose library code must not panic: a panic in these kills worker
 /// threads mid-connection (net), poisons locks (obs), or aborts a recovery
 /// that error handling would have survived (core/store/tensor/dist).
-pub const P1_CRATES: &[&str] = &["core", "net", "store", "tensor", "dist", "obs"];
+pub const P1_CRATES: &[&str] = &["core", "net", "store", "tensor", "dist", "obs", "lineage"];
 
 /// Crates carrying wire formats, where a silently truncating cast on a byte
 /// length is the PR 1 `transfer_time`-overflow bug class.

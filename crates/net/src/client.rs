@@ -132,6 +132,32 @@ impl RemoteStore {
         }
     }
 
+    /// Fetches one model's lineage record from the registry (the
+    /// `LineageGet` opcode). The returned value is the record body:
+    /// `{"model", "parent", "approach", ...}`.
+    pub fn lineage_get(&self, id: &str) -> Result<Value, StoreError> {
+        let reply = self.request(Frame::new(Opcode::LineageGet, json!({"id": id})))?;
+        let header = expect_ok(reply)?;
+        header
+            .get("record")
+            .cloned()
+            .ok_or_else(|| StoreError::Remote("lineage_get reply missing `record`".to_string()))
+    }
+
+    /// Fetches a model's ancestry, tip first, over live lineage parent
+    /// edges (the `LineageAncestry` opcode). Each element is one lineage
+    /// record body.
+    pub fn lineage_ancestry(&self, id: &str) -> Result<Vec<Value>, StoreError> {
+        let reply = self.request(Frame::new(Opcode::LineageAncestry, json!({"id": id})))?;
+        let header = expect_ok(reply)?;
+        match header.get("ancestry").and_then(Value::as_array) {
+            Some(list) => Ok(list.clone()),
+            None => {
+                Err(StoreError::Remote("lineage_ancestry reply missing `ancestry`".to_string()))
+            }
+        }
+    }
+
     fn open_conn(&self) -> Result<Conn, WireError> {
         let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)?;
         stream.set_read_timeout(self.config.read_timeout)?;

@@ -71,6 +71,13 @@ pub enum Opcode {
     /// Server metrics in Prometheus text exposition format. Header: `{}`;
     /// the response carries the rendered text in its header (`{"text": s}`).
     StatsText = 0x31,
+    /// Fetch one model's lineage record. Header: `{"id": s}`; the response
+    /// header carries `{"id": s, "record": v}` with the stored (or
+    /// synthesized) lineage record body.
+    LineageGet = 0x32,
+    /// Fetch a model's ancestry, tip first. Header: `{"id": s}`; the
+    /// response header carries `{"id": s, "ancestry": [v, ...]}`.
+    LineageAncestry = 0x33,
     /// Success response. Header: operation-specific result.
     Ok = 0x40,
     /// Failure response. Header: `{"code": s, "message": s}`.
@@ -81,7 +88,7 @@ pub enum Opcode {
 
 impl Opcode {
     /// Every opcode, for metrics tables.
-    pub const ALL: [Opcode; 18] = [
+    pub const ALL: [Opcode; 20] = [
         Opcode::Ping,
         Opcode::DocInsert,
         Opcode::DocGet,
@@ -97,6 +104,8 @@ impl Opcode {
         Opcode::FileIds,
         Opcode::Stats,
         Opcode::StatsText,
+        Opcode::LineageGet,
+        Opcode::LineageAncestry,
         Opcode::Ok,
         Opcode::Err,
         Opcode::Chunk,
@@ -120,6 +129,8 @@ impl Opcode {
             Opcode::FileIds => "file_ids",
             Opcode::Stats => "stats",
             Opcode::StatsText => "stats_text",
+            Opcode::LineageGet => "lineage_get",
+            Opcode::LineageAncestry => "lineage_ancestry",
             Opcode::Ok => "ok",
             Opcode::Err => "err",
             Opcode::Chunk => "chunk",
@@ -147,9 +158,11 @@ impl Opcode {
             Opcode::FileIds => 12,
             Opcode::Stats => 13,
             Opcode::StatsText => 14,
-            Opcode::Ok => 15,
-            Opcode::Err => 16,
-            Opcode::Chunk => 17,
+            Opcode::LineageGet => 15,
+            Opcode::LineageAncestry => 16,
+            Opcode::Ok => 17,
+            Opcode::Err => 18,
+            Opcode::Chunk => 19,
         }
     }
 }

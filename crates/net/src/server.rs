@@ -493,11 +493,90 @@ fn respond(
             let reply = ok_frame(json!({"text": metrics.render_text()}));
             send_counted(writer, metrics, faults, &reply)
         }
+        Opcode::LineageGet => {
+            let id = header_str(&frame.header, "id")?;
+            let reply = match lineage_record(storage, id) {
+                Ok(Some(record)) => ok_frame(json!({"id": id, "record": record})),
+                Ok(None) => store_err_frame(&StoreError::MissingDocument(DocId::from_string(
+                    id.to_string(),
+                ))),
+                Err(e) => store_err_frame(&e),
+            };
+            send_counted(writer, metrics, faults, &reply)
+        }
+        Opcode::LineageAncestry => {
+            let id = header_str(&frame.header, "id")?;
+            let reply = match lineage_ancestry(storage, id) {
+                Ok(Some(ancestry)) => ok_frame(json!({"id": id, "ancestry": ancestry})),
+                Ok(None) => store_err_frame(&StoreError::MissingDocument(DocId::from_string(
+                    id.to_string(),
+                ))),
+                Err(e) => store_err_frame(&e),
+            };
+            send_counted(writer, metrics, faults, &reply)
+        }
         Opcode::Ok | Opcode::Err | Opcode::Chunk => Err(WireError::Protocol(format!(
             "{} is not a request opcode",
             frame.opcode.name()
         ))),
     }
+}
+
+/// One model's lineage record, as stored by `mmlib-core` saves (doc kind
+/// `lineage`), or synthesized from its `model_info` base reference for
+/// models saved before lineage records existed. `Ok(None)` when the model
+/// is unknown.
+///
+/// The server reads the documents structurally (`mmlib-net` does not link
+/// the model library), so the registry can answer lineage queries for any
+/// store it fronts.
+fn lineage_record(storage: &ModelStorage, model: &str) -> Result<Option<Value>, StoreError> {
+    let mut info: Option<Value> = None;
+    for doc_id in storage.docs().ids()? {
+        let doc = storage.get_doc(&doc_id)?;
+        match doc.kind.as_str() {
+            "lineage" if doc.body.get("model").and_then(Value::as_str) == Some(model) => {
+                return Ok(Some(doc.body));
+            }
+            "model_info" if doc_id.as_str() == model => info = Some(doc.body),
+            _ => {}
+        }
+    }
+    Ok(info.map(|body| {
+        json!({
+            "model": model,
+            "parent": body.get("base_model").cloned().unwrap_or(Value::Null),
+            "approach": body.get("approach").cloned().unwrap_or(Value::Null),
+            "relation": body.get("relation").cloned().unwrap_or(Value::Null),
+            "root_hash": body.get("root_hash").cloned().unwrap_or(Value::Null),
+        })
+    }))
+}
+
+/// A model's ancestry over live lineage `parent` edges, tip first. The
+/// walk is cycle-guarded and stops at a missing parent (fsck territory)
+/// instead of failing the whole query.
+fn lineage_ancestry(storage: &ModelStorage, model: &str) -> Result<Option<Vec<Value>>, StoreError> {
+    let mut out = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    let mut cur = model.to_string();
+    loop {
+        if !seen.insert(cur.clone()) {
+            break; // cyclic parent chain: return what we have
+        }
+        let record = match lineage_record(storage, &cur)? {
+            Some(record) => record,
+            None if out.is_empty() => return Ok(None), // unknown root query
+            None => break,                             // dangling parent edge
+        };
+        let parent = record.get("parent").and_then(Value::as_str).map(str::to_string);
+        out.push(record);
+        match parent {
+            Some(p) => cur = p,
+            None => break,
+        }
+    }
+    Ok(Some(out))
 }
 
 fn ok_frame(result: Value) -> Frame {

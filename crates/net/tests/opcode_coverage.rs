@@ -23,6 +23,40 @@ fn every_request_opcode_round_trips_and_is_counted_once() {
     assert_eq!(client.doc_ids().unwrap(), vec![doc.clone()]);
     client.remove_doc(&doc).unwrap();
 
+    // Lineage: a two-node chain served straight from lineage documents.
+    let child = client
+        .insert_doc(
+            "lineage",
+            json!({
+                "model": "m-child",
+                "parent": "m-root",
+                "approach": "param_update",
+                "relation": "partially_updated",
+                "root_hash": "beef",
+            }),
+        )
+        .unwrap();
+    let root = client
+        .insert_doc(
+            "lineage",
+            json!({
+                "model": "m-root",
+                "parent": null,
+                "approach": "baseline",
+                "relation": "initial",
+                "root_hash": "f00d",
+            }),
+        )
+        .unwrap();
+    let record = client.lineage_get("m-child").unwrap();
+    assert_eq!(record["parent"].as_str(), Some("m-root"));
+    let ancestry = client.lineage_ancestry("m-child").unwrap();
+    assert_eq!(ancestry.len(), 2);
+    assert_eq!(ancestry[0]["model"].as_str(), Some("m-child"));
+    assert_eq!(ancestry[1]["model"].as_str(), Some("m-root"));
+    client.remove_doc(&child).unwrap();
+    client.remove_doc(&root).unwrap();
+
     // Files: one request per file opcode.
     let file = client.put_file(b"opcode coverage payload").unwrap();
     assert_eq!(client.get_file(&file).unwrap(), b"opcode coverage payload");
@@ -40,23 +74,27 @@ fn every_request_opcode_round_trips_and_is_counted_once() {
     let m = server.metrics();
     // Connecting performed the version handshake.
     assert_eq!(m.requests(Opcode::Ping), 1);
-    for op in [
-        Opcode::DocInsert,
-        Opcode::DocGet,
-        Opcode::DocUpdate,
-        Opcode::DocContains,
-        Opcode::DocRemove,
-        Opcode::DocIds,
-        Opcode::FilePut,
-        Opcode::FileGet,
-        Opcode::FileSize,
-        Opcode::FileContains,
-        Opcode::FileRemove,
-        Opcode::FileIds,
-        Opcode::Stats,
-        Opcode::StatsText,
+    // The lineage setup/teardown above adds two extra inserts and removes;
+    // every other request opcode is exercised exactly once.
+    for (op, expect) in [
+        (Opcode::DocInsert, 3),
+        (Opcode::DocGet, 1),
+        (Opcode::DocUpdate, 1),
+        (Opcode::DocContains, 1),
+        (Opcode::DocRemove, 3),
+        (Opcode::DocIds, 1),
+        (Opcode::FilePut, 1),
+        (Opcode::FileGet, 1),
+        (Opcode::FileSize, 1),
+        (Opcode::FileContains, 1),
+        (Opcode::FileRemove, 1),
+        (Opcode::FileIds, 1),
+        (Opcode::Stats, 1),
+        (Opcode::StatsText, 1),
+        (Opcode::LineageGet, 1),
+        (Opcode::LineageAncestry, 1),
     ] {
-        assert_eq!(m.requests(op), 1, "opcode {} should be counted exactly once", op.name());
+        assert_eq!(m.requests(op), expect, "opcode {} miscounted", op.name());
     }
     // Responses are never counted as requests: even after an error reply
     // (`Opcode::Err` on the wire), the request table has no entry for it.

@@ -37,6 +37,36 @@ pub struct MetricDef {
 /// Every metric the workspace registers, sorted by name.
 pub const TAXONOMY: &[MetricDef] = &[
     MetricDef {
+        name: "mmlib_lineage_compactions_total",
+        kind: MetricKind::Counter,
+        help: "Delta-chain compaction runs completed.",
+    },
+    MetricDef {
+        name: "mmlib_lineage_family_models_total",
+        kind: MetricKind::Counter,
+        help: "Models returned by batch family recoveries.",
+    },
+    MetricDef {
+        name: "mmlib_lineage_family_recover_seconds",
+        kind: MetricKind::Histogram,
+        help: "Wall time of whole batch family recoveries.",
+    },
+    MetricDef {
+        name: "mmlib_lineage_family_recovers_total",
+        kind: MetricKind::Counter,
+        help: "Batch family recovery calls.",
+    },
+    MetricDef {
+        name: "mmlib_lineage_promoted_total",
+        kind: MetricKind::Counter,
+        help: "Chain nodes promoted to full snapshots by compaction.",
+    },
+    MetricDef {
+        name: "mmlib_lineage_queries_total",
+        kind: MetricKind::Counter,
+        help: "Lineage queries served, labeled by query kind.",
+    },
+    MetricDef {
         name: "mmlib_net_bytes_in_total",
         kind: MetricKind::Counter,
         help: "Bytes received by the registry server (frame payloads and chunks).",

@@ -27,6 +27,15 @@ if ! ./target/release/repro --fast --scale 0.001 --json BENCH_PR4.json; then
     exit 1
 fi
 
+# Lineage gate: a depth-64 delta chain is compacted to a depth bound of 8;
+# the benchmark writes before/after/control TTR breakdowns to BENCH_PR6.json
+# and exits nonzero if recovery is no longer byte-identical or the compacted
+# chain's TTR exceeds 1.5x a fresh depth-8 chain.
+if ! ./target/release/repro --fast --lineage-json BENCH_PR6.json; then
+    echo "check.sh: lineage depth benchmark FAILED (identity or TTR regression)" >&2
+    exit 1
+fi
+
 # Static-analysis gate: determinism hygiene, panic-freedom, cast audit,
 # unsafe-code forbid, protocol and metric cross-checks. Pragma use is
 # bounded by the committed ratchet in lint-budget.txt (decrease-only).

@@ -45,6 +45,8 @@ pub use mmlib_core as core;
 pub use mmlib_data as data;
 /// Evaluation flows and the distributed server/node simulation.
 pub use mmlib_dist as dist;
+/// Model lineage DAG, delta-chain compaction, and batch family recovery.
+pub use mmlib_lineage as lineage;
 /// Layers, blocks, and the five evaluation architectures (paper Table 2).
 pub use mmlib_model as model;
 /// Wire protocol, TCP registry server, and remote store client.

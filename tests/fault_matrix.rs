@@ -150,6 +150,29 @@ fn run_cell(approach: ApproachKind, seed: u64) -> (u64, usize) {
             "{approach} {plan}: model {id} recovered with different bytes (silent corruption)"
         );
     }
+
+    // Lineage after crash + repair: the DAG must stay total over the
+    // committed models. A crash between a model's commit and its lineage
+    // record leaves a node synthesized from the model-info doc — never a
+    // missing node, an orphaned record, or a dangling parent (those are
+    // exactly what the fsck lineage pass quarantined above).
+    let lineage = mmlib::lineage::Lineage::new(&svc);
+    let graph = lineage
+        .graph()
+        .unwrap_or_else(|e| panic!("{approach} {plan}: lineage graph unloadable: {e}"));
+    for (id, _) in &committed {
+        assert!(
+            graph.node(id).is_some(),
+            "{approach} {plan}: committed model {id} has no lineage node"
+        );
+        let ancestry = lineage
+            .ancestry(id)
+            .unwrap_or_else(|e| panic!("{approach} {plan}: ancestry of {id} broken: {e}"));
+        assert!(
+            ancestry.iter().all(|n| graph.node(&n.id).is_some()),
+            "{approach} {plan}: ancestry of {id} references a missing model"
+        );
+    }
     (fired, committed.len())
 }
 
