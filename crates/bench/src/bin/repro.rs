@@ -16,7 +16,12 @@
 //! expensive experiments), `--json [path]` (skip the tables/figures and
 //! instead run the per-approach phase benchmark, writing TTS/TTR/storage
 //! phase breakdowns to `path`, default `BENCH_PR4.json`; exits nonzero if
-//! any instrumented phase reports zero samples), `--lineage-json [path]`
+//! any instrumented phase reports zero samples), `--baseline <path>`
+//! (with `--json`: additionally gate the fresh document against a frozen
+//! baseline — PUA `hash` must be ≥2x faster, a BA save must issue at most
+//! 12/1.5 = 8 durability sync ops (the machine-invariant form of the ≥1.5x
+//! write win), and every baseline phase must still report samples),
+//! `--lineage-json [path]`
 //! (run the TTR-vs-chain-depth benchmark: a depth-64 delta chain before
 //! and after `lineage compact`, with a fresh depth-8 chain as control,
 //! default `BENCH_PR6.json`; exits nonzero if compacted recovery is not
@@ -43,6 +48,7 @@ fn main() {
     let mut config = HarnessConfig::default();
     let mut experiments: Vec<String> = Vec::new();
     let mut json_out: Option<String> = None;
+    let mut baseline: Option<String> = None;
     let mut lineage_json_out: Option<String> = None;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -56,6 +62,12 @@ fn main() {
                     Some(v) if !v.starts_with("--") => iter.next().unwrap().clone(),
                     _ => "BENCH_PR4.json".to_string(),
                 });
+            }
+            "--baseline" => {
+                baseline = Some(iter.next().unwrap_or_else(|| {
+                    eprintln!("--baseline needs a path argument");
+                    std::process::exit(2);
+                }).clone());
             }
             "--lineage-json" => {
                 lineage_json_out = Some(match iter.peek() {
@@ -74,7 +86,11 @@ fn main() {
         return lineage_json_bench(&config, &path);
     }
     if let Some(path) = json_out {
-        return json_bench(&config, &path);
+        return json_bench(&config, &path, baseline.as_deref());
+    }
+    if baseline.is_some() {
+        eprintln!("--baseline only applies together with --json");
+        std::process::exit(2);
     }
     if experiments.is_empty() {
         experiments.push("all".into());
@@ -123,13 +139,26 @@ fn main() {
 
 /// `repro --json`: the per-approach phase benchmark. One standard flow per
 /// approach at the pinned seed, written as JSON; a phase that recorded zero
-/// samples fails the run (it means an instrumentation path went dark).
-fn json_bench(config: &HarnessConfig, path: &str) {
+/// samples fails the run (it means an instrumentation path went dark). With
+/// `--baseline`, the fresh document is additionally gated against the frozen
+/// baseline's phase timings via [`mmlib_bench::phase_gate`].
+fn json_bench(config: &HarnessConfig, path: &str, baseline: Option<&str>) {
     let start = Instant::now();
-    let (doc, problems) = mmlib_bench::phase_benchmark(config, 42);
+    let (doc, mut problems) = mmlib_bench::phase_benchmark(config, 42);
     let rendered = serde_json::to_string_pretty(&doc).expect("render benchmark JSON");
     std::fs::write(path, rendered + "\n").expect("write benchmark JSON");
     println!("wrote {path} in {:.1?}", start.elapsed());
+    if let Some(baseline_path) = baseline {
+        let raw = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let frozen: serde_json::Value = serde_json::from_str(&raw)
+            .unwrap_or_else(|e| panic!("parse baseline {baseline_path}: {e}"));
+        let gate = mmlib_bench::phase_gate(&doc, &frozen);
+        if gate.is_empty() {
+            println!("phase gate vs {baseline_path}: pass");
+        }
+        problems.extend(gate);
+    }
     if !problems.is_empty() {
         for p in &problems {
             eprintln!("phase coverage regression: {p}");

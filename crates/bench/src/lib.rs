@@ -131,12 +131,23 @@ fn phase_stats<'a>(
 /// Returns the document and the list of problems — instrumented phases that
 /// reported zero samples — so callers can fail the run on regressions.
 pub fn phase_benchmark(config: &HarnessConfig, seed: u64) -> (serde_json::Value, Vec<String>) {
+    phase_benchmark_with_arch(config, seed, ArchId::MobileNetV2)
+}
+
+/// [`phase_benchmark`] over an explicit architecture. The committed bench
+/// documents always use MobileNetV2; tests use `TinyCnn` so structural
+/// checks (phase coverage, JSON shape) stay in the millisecond range.
+pub fn phase_benchmark_with_arch(
+    config: &HarnessConfig,
+    seed: u64,
+    arch: ArchId,
+) -> (serde_json::Value, Vec<String>) {
     let mut approaches = serde_json::Map::new();
     let mut problems = Vec::new();
     for approach in ApproachKind::all() {
         let flow = standard_flow_config(
             approach,
-            ArchId::MobileNetV2,
+            arch,
             ModelRelation::PartiallyUpdated,
             mmlib_data::DatasetId::CocoFood512,
             config.scale,
@@ -152,6 +163,9 @@ pub fn phase_benchmark(config: &HarnessConfig, seed: u64) -> (serde_json::Value,
         );
         let storage = mmlib_dist::metrics::median_u64(
             result.saves.iter().map(|s| s.storage_bytes).collect(),
+        );
+        let sync_ops = mmlib_dist::metrics::median_u64(
+            result.saves.iter().map(|s| s.sync_ops).collect(),
         );
         let save_phases = phase_stats(result.saves.iter().map(|s| &s.phases));
         let recover_phases = phase_stats(result.recovers.iter().map(|r| &r.phases));
@@ -175,6 +189,7 @@ pub fn phase_benchmark(config: &HarnessConfig, seed: u64) -> (serde_json::Value,
                 "tts_ms_median": tts.as_secs_f64() * 1e3,
                 "ttr_ms_median": ttr.as_secs_f64() * 1e3,
                 "storage_bytes_median": storage,
+                "save_sync_ops_median": sync_ops,
                 "save_phases": save_phases,
                 "recover_phases": recover_phases,
             }),
@@ -186,13 +201,99 @@ pub fn phase_benchmark(config: &HarnessConfig, seed: u64) -> (serde_json::Value,
             "runs": config.runs,
             "fast": config.fast,
             "seed": seed,
-            "arch": "mobilenetv2",
+            "arch": arch.name(),
             "flow": "STANDARD",
             "relation": "PartiallyUpdated",
         },
         "approaches": serde_json::Value::Object(approaches),
     });
     (doc, problems)
+}
+
+/// Minimum speedup of the PUA `hash` save phase over the frozen baseline
+/// document (the incremental-Merkle cache re-hashes only changed layers).
+/// Hashing is CPU-bound, so its wall clock is stable enough to gate.
+pub const GATE_PUA_HASH_SPEEDUP: f64 = 2.0;
+
+/// Minimum reduction factor of BA durability sync operations per save.
+pub const GATE_BA_WRITE_SPEEDUP: f64 = 1.5;
+
+/// Sync operations one baseline save issued under the per-artifact write
+/// protocol BENCH_PR4.json was generated with: six artifacts (environment
+/// doc, code file, weights file, layer-hash doc, model-info doc, lineage
+/// record), each paying one payload fdatasync plus one directory fsync.
+/// This is a protocol constant, not a measurement.
+pub const BA_PER_ARTIFACT_SYNC_OPS: f64 = 12.0;
+
+/// Compares a freshly generated phase-benchmark document against a frozen
+/// baseline and returns the list of regressions. Empty result means the
+/// gate passes. Three checks:
+///
+/// * PUA `hash` save-phase wall clock must hold
+///   [`GATE_PUA_HASH_SPEEDUP`] over the frozen baseline (CPU-bound, so
+///   run-to-run stable).
+/// * BA durability syncs per save must be at least
+///   [`GATE_BA_WRITE_SPEEDUP`] below [`BA_PER_ARTIFACT_SYNC_OPS`]. The
+///   write win is gated on sync *count*, not wall clock: device throughput
+///   on shared storage varies severalfold run to run, which would make a
+///   wall-clock I/O ratio gate flaky in both directions, while the number
+///   of fdatasync/fsync calls per save is exactly the structure the
+///   batch commit coalesces and is identical on every machine.
+/// * Every phase instrumented in the baseline must still report samples.
+pub fn phase_gate(current: &serde_json::Value, baseline: &serde_json::Value) -> Vec<String> {
+    let mut problems = Vec::new();
+    let seconds = |doc: &serde_json::Value, approach: &str, phase: &str| {
+        doc["approaches"][approach]["save_phases"][phase]["seconds"].as_f64()
+    };
+    match (seconds(baseline, "PUA", "hash"), seconds(current, "PUA", "hash")) {
+        (Some(old), Some(new)) if new > 0.0 => {
+            let speedup = old / new;
+            if speedup < GATE_PUA_HASH_SPEEDUP {
+                problems.push(format!(
+                    "PUA save phase \"hash\": {old:.4}s -> {new:.4}s is {speedup:.2}x, below the {GATE_PUA_HASH_SPEEDUP:.1}x gate"
+                ));
+            }
+        }
+        (old, new) => problems.push(format!(
+            "PUA save phase \"hash\": cannot compute speedup (baseline {old:?}, current {new:?})"
+        )),
+    }
+    let sync_bound = BA_PER_ARTIFACT_SYNC_OPS / GATE_BA_WRITE_SPEEDUP;
+    match current["approaches"]["BA"]["save_sync_ops_median"].as_u64() {
+        Some(ops) if ops > 0 => {
+            if ops as f64 > sync_bound {
+                problems.push(format!(
+                    "BA save issues {ops} sync ops, above the {sync_bound:.1} bound \
+                     ({BA_PER_ARTIFACT_SYNC_OPS:.0} per-artifact syncs / {GATE_BA_WRITE_SPEEDUP:.1}x)"
+                ));
+            }
+        }
+        other => problems.push(format!(
+            "BA save_sync_ops_median missing or zero in the current document ({other:?})"
+        )),
+    }
+    // Structural drift guard: every instrumented phase of the baseline must
+    // still report samples — a phase silently dropping to zero would let
+    // the ratio gates pass vacuously on the next re-baseline.
+    if let Some(approaches) = baseline["approaches"].as_object() {
+        for (approach, entry) in approaches {
+            for kind in ["save_phases", "recover_phases"] {
+                let Some(phases) = entry[kind].as_object() else { continue };
+                for phase in phases.keys() {
+                    if current["approaches"][approach.as_str()][kind][phase.as_str()]["samples"]
+                        .as_u64()
+                        .unwrap_or(0)
+                        == 0
+                    {
+                        problems.push(format!(
+                            "{approach}: baseline {kind} entry {phase:?} has zero samples in the current document"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    problems
 }
 
 /// Formats a flow kind name for DIST experiments respecting fast mode.
@@ -343,4 +444,60 @@ pub fn lineage_depth_benchmark(config: &HarnessConfig, seed: u64) -> (serde_json
         "speedup": ttr_before.as_secs_f64() / ttr_after.as_secs_f64().max(1e-9),
     });
     (doc, problems)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::phase_gate;
+
+    fn baseline(pua_hash: f64) -> serde_json::Value {
+        serde_json::json!({
+            "approaches": {
+                "PUA": {"save_phases": {"hash": {"seconds": pua_hash, "samples": 10}}},
+            }
+        })
+    }
+
+    fn current(pua_hash: f64, ba_sync_ops: u64) -> serde_json::Value {
+        serde_json::json!({
+            "approaches": {
+                "PUA": {"save_phases": {"hash": {"seconds": pua_hash, "samples": 10}}},
+                "BA": {"save_sync_ops_median": ba_sync_ops, "save_phases": {}},
+            }
+        })
+    }
+
+    #[test]
+    fn gate_passes_at_the_target_ratios() {
+        // 2.0x hash speedup; 8 sync ops = 12 per-artifact syncs / 1.5.
+        let problems = phase_gate(&current(0.68 / 2.0, 8), &baseline(0.68));
+        assert_eq!(problems, Vec::<String>::new());
+    }
+
+    #[test]
+    fn gate_fails_below_either_target() {
+        let slow_hash = phase_gate(&current(0.68 / 1.9, 8), &baseline(0.68));
+        assert_eq!(slow_hash.len(), 1, "{slow_hash:?}");
+        assert!(slow_hash[0].contains("PUA"), "{slow_hash:?}");
+        let too_many_syncs = phase_gate(&current(0.68 / 2.0, 9), &baseline(0.68));
+        assert_eq!(too_many_syncs.len(), 1, "{too_many_syncs:?}");
+        assert!(too_many_syncs[0].contains("sync ops"), "{too_many_syncs:?}");
+    }
+
+    #[test]
+    fn gate_fails_on_missing_fields_and_zero_sample_phases() {
+        // Current document lost the PUA hash phase and the BA sync count:
+        // both ratio terms are uncomputable AND the structural guard flags
+        // the zero-sample phase.
+        let current = serde_json::json!({
+            "approaches": {
+                "PUA": {"save_phases": {}},
+                "BA": {"save_phases": {}},
+            }
+        });
+        let problems = phase_gate(&current, &baseline(0.68));
+        assert!(problems.iter().any(|p| p.contains("cannot compute")), "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("save_sync_ops_median")), "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("zero samples")), "{problems:?}");
+    }
 }

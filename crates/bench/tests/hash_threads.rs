@@ -1,0 +1,72 @@
+//! `MMLIB_HASH_THREADS` regression: the hashing worker count is a pure
+//! wall-time knob. Two runs at different thread counts must produce
+//! identical digests and structurally identical BENCH documents — if the
+//! worker count ever leaked into a digest or a document field, pinning the
+//! variable in CI would mask a real nondeterminism bug.
+//!
+//! This file holds a single `#[test]` on purpose: it mutates the process
+//! environment, which would race against parallel tests in the same binary.
+
+use mmlib_bench::{phase_benchmark_with_arch, HarnessConfig};
+use mmlib_model::{ArchId, Model};
+use mmlib_tensor::hash_par::{self, HASH_THREADS_ENV};
+
+/// Replaces every timing value (`seconds`, `tts_ms_median`, `ttr_ms_median`)
+/// with null, keeping all structure and every deterministic value (phase
+/// names, sample counts, save/recover counts, storage bytes) intact.
+fn scrub_timings(v: &serde_json::Value) -> serde_json::Value {
+    match v {
+        serde_json::Value::Object(map) => serde_json::Value::Object(
+            map.iter()
+                .map(|(k, val)| {
+                    let scrubbed = if matches!(
+                        k.as_str(),
+                        "seconds" | "tts_ms_median" | "ttr_ms_median"
+                    ) {
+                        serde_json::Value::Null
+                    } else {
+                        scrub_timings(val)
+                    };
+                    (k.clone(), scrubbed)
+                })
+                .collect(),
+        ),
+        serde_json::Value::Array(items) => {
+            serde_json::Value::Array(items.iter().map(scrub_timings).collect())
+        }
+        other => other.clone(),
+    }
+}
+
+#[test]
+fn thread_count_never_changes_digests_or_bench_shape() {
+    // Digest identity through the env-resolved worker count: the full
+    // MobileNetV2 state map (the exact job list the save hot path hashes),
+    // serial vs heavily oversubscribed.
+    let model = Model::new_initialized(ArchId::MobileNetV2, 7);
+    let state = model.state_entries();
+    let tensors: Vec<_> = state.iter().map(|(_, t, _, _)| *t).collect();
+    std::env::set_var(HASH_THREADS_ENV, "1");
+    let serial = hash_par::hash_tensors(&tensors);
+    std::env::set_var(HASH_THREADS_ENV, "13");
+    let parallel = hash_par::hash_tensors(&tensors);
+    assert_eq!(serial, parallel, "digests must not depend on MMLIB_HASH_THREADS");
+
+    // Full BENCH document shape: the phase benchmark at two thread counts
+    // must agree on everything except wall time — same phases, same sample
+    // counts, same save/recover counts, same storage bytes.
+    let config = HarnessConfig { scale: 1.0 / 8192.0, dist_scale: 1.0 / 8192.0, runs: 1, fast: true };
+    std::env::set_var(HASH_THREADS_ENV, "1");
+    let (doc_one, problems_one) = phase_benchmark_with_arch(&config, 42, ArchId::TinyCnn);
+    std::env::set_var(HASH_THREADS_ENV, "4");
+    let (doc_four, problems_four) = phase_benchmark_with_arch(&config, 42, ArchId::TinyCnn);
+    std::env::remove_var(HASH_THREADS_ENV);
+
+    assert_eq!(problems_one, Vec::<String>::new());
+    assert_eq!(problems_four, Vec::<String>::new());
+    assert_eq!(
+        scrub_timings(&doc_one),
+        scrub_timings(&doc_four),
+        "BENCH document shape must not depend on MMLIB_HASH_THREADS"
+    );
+}

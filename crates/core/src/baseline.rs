@@ -13,7 +13,6 @@ use mmlib_obs::PhaseClock;
 use mmlib_tensor::ser::{state_from_bytes, state_to_bytes};
 
 use crate::error::CoreError;
-use crate::merkle::MerkleTree;
 use crate::meta::{ModelInfoDoc, ModelRelation, SavedModelId};
 use crate::recovery::{RecoverBreakdown, SaveService};
 use crate::report::SaveRequest;
@@ -48,41 +47,50 @@ impl SaveService {
         clock: &mut PhaseClock<'_>,
     ) -> Result<SavedModelId, CoreError> {
         let relation = parse_relation(relation, base)?;
-        let env_doc = clock.time("write", || self.save_environment())?;
-
-        // Architecture code file.
-        let code_file =
-            clock.time("write", || self.storage().put_file(model.arch.source_code().as_bytes()))?;
 
         // Full state dict file.
         let entries = model.state_entries();
         let bytes = clock.time("serialize", || {
             state_to_bytes(entries.iter().map(|(p, t, _, _)| (p.as_str(), *t)).collect::<Vec<_>>())
+                .to_vec()
         });
-        let weights_file = clock.time("write", || self.storage().put_file(&bytes))?;
 
         // Layer hashes: the baseline's optional recovery checksums —
         // mmlib always stores them, as the paper's PUA interop requires a
         // base's hashes to be loadable without recovering it.
-        let tree = clock.time("hash", || MerkleTree::from_model(model));
-        let hash_doc = clock.time("write", || self.save_layer_hashes(&tree))?;
+        let tree = clock.time("hash", || self.save_tree(model));
 
-        clock.time("write", || {
-            self.save_model_info(&ModelInfoDoc {
-                approach: crate::meta::ApproachKind::Baseline,
-                arch: model.arch.name().to_string(),
-                relation,
-                base_model: base.map(|b| b.doc_id().as_str().to_string()),
-                environment_doc: env_doc.as_str().to_string(),
-                code_file: Some(code_file.as_str().to_string()),
-                weights_file: Some(weights_file.as_str().to_string()),
-                update_encoding: None,
-                layer_hash_doc: hash_doc.as_str().to_string(),
-                root_hash: tree.root().to_hex(),
-                train_doc: None,
-                dataset: None,
-            })
-        })
+        // The whole save is one batch commit: artifacts first, then the
+        // model-info document referencing them by intra-batch `$batch:N`
+        // placeholders, then the lineage record referencing model-info.
+        // Item order is visibility order, so the old write-after-write
+        // crash semantics hold while the save pays one durability tail
+        // (one staged fdatasync per item + one directory fsync per store)
+        // instead of a tmp+fsync+rename+dir-fsync round per artifact.
+        let info = ModelInfoDoc {
+            approach: crate::meta::ApproachKind::Baseline,
+            arch: model.arch.name().to_string(),
+            relation,
+            base_model: base.map(|b| b.doc_id().as_str().to_string()),
+            environment_doc: mmlib_store::batch_ref(0),
+            code_file: Some(mmlib_store::batch_ref(1)),
+            weights_file: Some(mmlib_store::batch_ref(2)),
+            update_encoding: None,
+            layer_hash_doc: mmlib_store::batch_ref(3),
+            root_hash: tree.root().to_hex(),
+            train_doc: None,
+            dataset: None,
+        };
+        let batch = vec![
+            self.environment_item()?,
+            mmlib_store::BatchItem::File { bytes: model.arch.source_code().into_bytes() },
+            mmlib_store::BatchItem::File { bytes },
+            self.layer_hashes_item(&tree)?,
+            self.model_info_item(&info)?,
+            self.lineage_item(&info, mmlib_store::batch_ref(4), None)?,
+        ];
+        let ids = clock.time("write", || self.storage().commit_batch(batch))?;
+        Ok(SavedModelId(crate::recovery::batch_doc_id(ids.into_iter().nth(4))?))
     }
 
     /// Rewrites an already-saved model in place as a full snapshot.

@@ -52,6 +52,7 @@ pub mod gc;
 pub mod env;
 pub mod error;
 pub mod fsck;
+pub mod hash_cache;
 pub mod merkle;
 pub mod meta;
 pub mod param_update;

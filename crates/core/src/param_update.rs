@@ -16,7 +16,7 @@ use mmlib_obs::PhaseClock;
 use mmlib_tensor::ser::{state_from_bytes, state_to_bytes};
 
 use crate::error::CoreError;
-use crate::merkle::{MerkleDiff, MerkleTree};
+use crate::merkle::MerkleDiff;
 use crate::meta::{ApproachKind, ModelInfoDoc, SavedModelId};
 use crate::recovery::{RecoverBreakdown, RecoverOptions, SaveService};
 use crate::report::{missing_field, SaveRequest};
@@ -64,7 +64,7 @@ impl SaveService {
             });
         }
         let base_tree = clock.time("diff", || self.load_layer_hashes(&base_info, base))?;
-        let tree = clock.time("hash", || MerkleTree::from_model(model));
+        let tree = clock.time("hash", || self.save_tree(model));
         let diff = clock.time("diff", || base_tree.diff(&tree));
 
         // Serialize only the changed layers' state entries (parameters and
@@ -83,26 +83,34 @@ impl SaveService {
                 .collect();
             state_to_bytes(update)
         });
-        let weights_file = clock.time("write", || self.storage().put_file(&bytes))?;
 
-        let env_doc = clock.time("write", || self.save_environment())?;
-        let hash_doc = clock.time("write", || self.save_layer_hashes(&tree))?;
-        let id = clock.time("write", || {
-            self.save_model_info(&ModelInfoDoc {
-                approach: ApproachKind::ParamUpdate,
-                arch: model.arch.name().to_string(),
-                relation,
-                base_model: Some(base.doc_id().as_str().to_string()),
-                environment_doc: env_doc.as_str().to_string(),
-                code_file: None, // derived models share the base's code
-                weights_file: Some(weights_file.as_str().to_string()),
-                update_encoding: None,
-                layer_hash_doc: hash_doc.as_str().to_string(),
-                root_hash: tree.root().to_hex(),
-                train_doc: None,
-                dataset: None,
-            })
-        })?;
+        // One batch commits the whole save: artifacts, then model-info
+        // referencing them via `$batch:N`, then the lineage record — item
+        // order is visibility order, so crash windows match the old
+        // sequential writes at a fraction of the sync cost.
+        let info = ModelInfoDoc {
+            approach: ApproachKind::ParamUpdate,
+            arch: model.arch.name().to_string(),
+            relation,
+            base_model: Some(base.doc_id().as_str().to_string()),
+            environment_doc: mmlib_store::batch_ref(1),
+            code_file: None, // derived models share the base's code
+            weights_file: Some(mmlib_store::batch_ref(0)),
+            update_encoding: None,
+            layer_hash_doc: mmlib_store::batch_ref(2),
+            root_hash: tree.root().to_hex(),
+            train_doc: None,
+            dataset: None,
+        };
+        let batch = vec![
+            mmlib_store::BatchItem::File { bytes: bytes.to_vec() },
+            self.environment_item()?,
+            self.layer_hashes_item(&tree)?,
+            self.model_info_item(&info)?,
+            self.lineage_item(&info, mmlib_store::batch_ref(3), Some(diff.changed.len()))?,
+        ];
+        let ids = clock.time("write", || self.storage().commit_batch(batch))?;
+        let id = SavedModelId(crate::recovery::batch_doc_id(ids.into_iter().nth(3))?);
         Ok((id, diff))
     }
 
@@ -158,7 +166,7 @@ impl SaveService {
         })?;
 
         let base_tree = clock.time("diff", || self.load_layer_hashes(&base_info, base))?;
-        let tree = clock.time("hash", || MerkleTree::from_model(model));
+        let tree = clock.time("hash", || self.save_tree(model));
         let diff = clock.time("diff", || base_tree.diff(&tree));
         let changed: std::collections::BTreeSet<&str> =
             diff.changed.iter().map(|s| s.as_str()).collect();
@@ -178,26 +186,31 @@ impl SaveService {
             base_entries.iter().map(|(p, t, _, _)| (p.as_str(), *t)).collect();
         let base_fn = |name: &str| base_map.get(name).copied();
         let encoded = clock.time("compress", || mmlib_compress::encode_update(&update, &base_fn));
-        let weights_file = clock.time("write", || self.storage().put_file(&encoded.bytes))?;
 
-        let env_doc = clock.time("write", || self.save_environment())?;
-        let hash_doc = clock.time("write", || self.save_layer_hashes(&tree))?;
-        let id = clock.time("write", || {
-            self.save_model_info(&ModelInfoDoc {
-                approach: ApproachKind::ParamUpdate,
-                arch: model.arch.name().to_string(),
-                relation,
-                base_model: Some(base.doc_id().as_str().to_string()),
-                environment_doc: env_doc.as_str().to_string(),
-                code_file: None,
-                weights_file: Some(weights_file.as_str().to_string()),
-                update_encoding: Some("delta_v1".to_string()),
-                layer_hash_doc: hash_doc.as_str().to_string(),
-                root_hash: tree.root().to_hex(),
-                train_doc: None,
-                dataset: None,
-            })
-        })?;
+        // Same single-batch layout as the uncompressed path above.
+        let info = ModelInfoDoc {
+            approach: ApproachKind::ParamUpdate,
+            arch: model.arch.name().to_string(),
+            relation,
+            base_model: Some(base.doc_id().as_str().to_string()),
+            environment_doc: mmlib_store::batch_ref(1),
+            code_file: None,
+            weights_file: Some(mmlib_store::batch_ref(0)),
+            update_encoding: Some("delta_v1".to_string()),
+            layer_hash_doc: mmlib_store::batch_ref(2),
+            root_hash: tree.root().to_hex(),
+            train_doc: None,
+            dataset: None,
+        };
+        let batch = vec![
+            mmlib_store::BatchItem::File { bytes: encoded.bytes.clone() },
+            self.environment_item()?,
+            self.layer_hashes_item(&tree)?,
+            self.model_info_item(&info)?,
+            self.lineage_item(&info, mmlib_store::batch_ref(3), Some(diff.changed.len()))?,
+        ];
+        let ids = clock.time("write", || self.storage().commit_batch(batch))?;
+        let id = SavedModelId(crate::recovery::batch_doc_id(ids.into_iter().nth(3))?);
         Ok((id, diff, encoded))
     }
 

@@ -19,7 +19,6 @@ use mmlib_obs::PhaseClock;
 use mmlib_train::{ImageNetTrainService, OptimizerConfig, TrainConfig, TrainService};
 
 use crate::error::CoreError;
-use crate::merkle::MerkleTree;
 use crate::meta::{ApproachKind, DatasetRef, ModelInfoDoc, ModelRelation, SavedModelId};
 use crate::recovery::{RecoverBreakdown, RecoverOptions, SaveService};
 use crate::report::SaveRequest;
@@ -124,30 +123,34 @@ impl SaveService {
             )
         })?;
 
-        // (2) Environment.
-        let env_doc = clock.time("write", || self.save_environment())?;
-
-        // Verification data: the resulting model's layer hashes.
-        let tree = clock.time("hash", || MerkleTree::from_model(model_after_training));
-        let hash_doc = clock.time("write", || self.save_layer_hashes(&tree))?;
-
-        // (4) Base reference, tied together in the model-info document.
-        clock.time("write", || {
-            self.save_model_info(&ModelInfoDoc {
-                approach: ApproachKind::Provenance,
-                arch: model_after_training.arch.name().to_string(),
-                relation: prov.relation,
-                base_model: Some(base.doc_id().as_str().to_string()),
-                environment_doc: env_doc.as_str().to_string(),
-                code_file: None,
-                weights_file: None,
-                update_encoding: None,
-                layer_hash_doc: hash_doc.as_str().to_string(),
-                root_hash: tree.root().to_hex(),
-                train_doc: Some(train_doc.as_str().to_string()),
-                dataset: Some(dataset_ref),
-            })
-        })
+        // (2) Environment and verification data (the resulting model's
+        // layer hashes), plus (4) the model-info document tying in the base
+        // reference and the wrapper tree, plus the lineage record — all one
+        // batch commit, with model-info referencing the in-batch items via
+        // `$batch:N` and the external wrapper/train docs by their real ids.
+        let tree = clock.time("hash", || self.save_tree(model_after_training));
+        let info = ModelInfoDoc {
+            approach: ApproachKind::Provenance,
+            arch: model_after_training.arch.name().to_string(),
+            relation: prov.relation,
+            base_model: Some(base.doc_id().as_str().to_string()),
+            environment_doc: mmlib_store::batch_ref(0),
+            code_file: None,
+            weights_file: None,
+            update_encoding: None,
+            layer_hash_doc: mmlib_store::batch_ref(1),
+            root_hash: tree.root().to_hex(),
+            train_doc: Some(train_doc.as_str().to_string()),
+            dataset: Some(dataset_ref),
+        };
+        let batch = vec![
+            self.environment_item()?,
+            self.layer_hashes_item(&tree)?,
+            self.model_info_item(&info)?,
+            self.lineage_item(&info, mmlib_store::batch_ref(2), None)?,
+        ];
+        let ids = clock.time("write", || self.storage().commit_batch(batch))?;
+        Ok(SavedModelId(crate::recovery::batch_doc_id(ids.into_iter().nth(2))?))
     }
 
     /// Recovers a provenance model: recover the base, replay the training.

@@ -11,12 +11,23 @@ use std::time::{Duration, Instant};
 
 use mmlib_model::{ArchId, Model};
 use mmlib_obs::Recorder;
-use mmlib_store::{DocId, FileId, ModelStorage};
+use mmlib_store::{BatchId, DocId, FileId, ModelStorage, StoreError};
 
 use crate::env::EnvironmentInfo;
 use crate::error::{to_json_value, CoreError};
+use crate::hash_cache::HashCache;
 use crate::merkle::MerkleTree;
 use crate::meta::{kinds, ApproachKind, ModelInfoDoc, SavedModelId};
+
+/// Unpacks a [`BatchId`] expected to identify a document.
+pub(crate) fn batch_doc_id(id: Option<BatchId>) -> Result<DocId, CoreError> {
+    match id {
+        Some(BatchId::Doc(d)) => Ok(d),
+        other => Err(CoreError::Store(StoreError::Malformed(format!(
+            "batch returned {other:?} where a document id was expected"
+        )))),
+    }
+}
 
 /// Options controlling a recovery.
 #[derive(Debug, Clone, Copy)]
@@ -106,6 +117,7 @@ pub struct SaveService {
     storage: ModelStorage,
     environment: EnvironmentInfo,
     obs: Option<Arc<Recorder>>,
+    hash_cache: HashCache,
 }
 
 impl SaveService {
@@ -114,7 +126,12 @@ impl SaveService {
     /// [`mmlib_obs::recorder`] unless overridden with
     /// [`SaveService::with_recorder`].
     pub fn new(storage: ModelStorage) -> SaveService {
-        SaveService { storage, environment: EnvironmentInfo::capture(), obs: None }
+        SaveService {
+            storage,
+            environment: EnvironmentInfo::capture(),
+            obs: None,
+            hash_cache: HashCache::new(),
+        }
     }
 
     /// Routes this service's metrics to `recorder` instead of the global
@@ -142,6 +159,18 @@ impl SaveService {
         &self.storage
     }
 
+    /// The save-path hash cache (fingerprint-gated incremental Merkle).
+    pub fn hash_cache(&self) -> &HashCache {
+        &self.hash_cache
+    }
+
+    /// Merkle tree of `model`'s current parameters via the service's hash
+    /// cache — byte-identical to [`MerkleTree::from_model`], incremental
+    /// when the previous save of this service had the same entry structure.
+    pub(crate) fn save_tree(&self, model: &Model) -> MerkleTree {
+        self.hash_cache.tree_for_model(model, self.obs())
+    }
+
     /// The environment captured at service construction.
     pub fn environment(&self) -> &EnvironmentInfo {
         &self.environment
@@ -149,27 +178,68 @@ impl SaveService {
 
     // ---- shared save plumbing -------------------------------------------
 
-    /// Persists the environment document.
-    pub(crate) fn save_environment(&self) -> Result<DocId, CoreError> {
-        Ok(self.storage.insert_doc(
-            kinds::ENVIRONMENT,
-            to_json_value("EnvironmentInfo", &self.environment)?,
-        )?)
+    /// The environment document as a batch item (see
+    /// [`mmlib_store::BatchItem`]).
+    pub(crate) fn environment_item(&self) -> Result<mmlib_store::BatchItem, CoreError> {
+        Ok(mmlib_store::BatchItem::Doc {
+            kind: kinds::ENVIRONMENT.to_string(),
+            body: to_json_value("EnvironmentInfo", &self.environment)?,
+        })
     }
 
-    /// Persists a layer-hash (Merkle) document.
-    pub(crate) fn save_layer_hashes(&self, tree: &MerkleTree) -> Result<DocId, CoreError> {
-        Ok(self
-            .storage
-            .insert_doc(kinds::LAYER_HASHES, to_json_value("MerkleTree", tree)?)?)
+    /// A layer-hash (Merkle) document as a batch item.
+    pub(crate) fn layer_hashes_item(
+        &self,
+        tree: &MerkleTree,
+    ) -> Result<mmlib_store::BatchItem, CoreError> {
+        Ok(mmlib_store::BatchItem::Doc {
+            kind: kinds::LAYER_HASHES.to_string(),
+            body: to_json_value("MerkleTree", tree)?,
+        })
     }
 
-    /// Persists a model-info document and wraps its id.
-    pub(crate) fn save_model_info(&self, info: &ModelInfoDoc) -> Result<SavedModelId, CoreError> {
-        let id = self
-            .storage
-            .insert_doc(kinds::MODEL_INFO, to_json_value("ModelInfoDoc", info)?)?;
-        Ok(SavedModelId(id))
+    /// The model-info document as a batch item. `info`'s referent fields
+    /// hold [`mmlib_store::batch_ref`] placeholders for ids generated by the
+    /// same batch; keeping model-info in the batch (ordered after its
+    /// referents) preserves the sequential path's crash ordering while the
+    /// whole save pays a single durability tail.
+    pub(crate) fn model_info_item(
+        &self,
+        info: &ModelInfoDoc,
+    ) -> Result<mmlib_store::BatchItem, CoreError> {
+        Ok(mmlib_store::BatchItem::Doc {
+            kind: kinds::MODEL_INFO.to_string(),
+            body: to_json_value("ModelInfoDoc", info)?,
+        })
+    }
+
+    /// The lineage record as a batch item: the derivation edge the lineage
+    /// DAG (`mmlib-lineage`) is built from, one per save. `model_ref` is the
+    /// intra-batch reference to the model-info item, so ordering the record
+    /// last keeps the old semantics — a lineage record always describes a
+    /// model that exists, and a crash in between leaves a model without a
+    /// record, which every lineage reader treats as a root-less legacy
+    /// node.
+    pub(crate) fn lineage_item(
+        &self,
+        info: &ModelInfoDoc,
+        model_ref: String,
+        changed_layers: Option<usize>,
+    ) -> Result<mmlib_store::BatchItem, CoreError> {
+        let record = crate::meta::LineageRecordDoc {
+            model: model_ref,
+            parent: info.base_model.clone(),
+            approach: info.approach,
+            relation: info.relation,
+            root_hash: info.root_hash.clone(),
+            changed_layers,
+            tags: Vec::new(),
+            rebased_from: None,
+        };
+        Ok(mmlib_store::BatchItem::Doc {
+            kind: kinds::LINEAGE.to_string(),
+            body: to_json_value("LineageRecordDoc", &record)?,
+        })
     }
 
     /// Loads and decodes a model-info document.

@@ -13,9 +13,9 @@ use std::time::{Duration, Instant};
 use mmlib_model::Model;
 use mmlib_obs::{PhaseBreakdown, PhaseClock, Recorder, DURATION_BUCKETS};
 
-use crate::error::{to_json_value, CoreError};
+use crate::error::CoreError;
 use crate::merkle::MerkleDiff;
-use crate::meta::{kinds, ApproachKind, LineageRecordDoc, SavedModelId};
+use crate::meta::{ApproachKind, SavedModelId};
 use crate::policy::ChainPolicy;
 use crate::provenance::TrainProvenance;
 use crate::recovery::{RecoverBreakdown, RecoverOptions, SaveService};
@@ -320,28 +320,10 @@ impl SaveService {
             }
         };
 
-        // Lineage record: one per save, the derivation edge the lineage DAG
-        // (`mmlib-lineage`) is built from. Written after the model-info
-        // document commits, so a lineage record always describes a model
-        // that exists; a crash in between leaves a model without a record,
-        // which every lineage reader treats as a root-less legacy node.
-        clock.time("write", || {
-            let info = self.load_model_info(&id)?;
-            let record = LineageRecordDoc {
-                model: id.to_string(),
-                parent: info.base_model.clone(),
-                approach,
-                relation: info.relation,
-                root_hash: info.root_hash.clone(),
-                changed_layers: diff.as_ref().map(|d| d.changed.len()),
-                tags: Vec::new(),
-                rebased_from: None,
-            };
-            self.storage()
-                .insert_doc(kinds::LINEAGE, to_json_value("LineageRecordDoc", &record)?)
-                .map_err(CoreError::from)
-        })?;
-
+        // The lineage record — one per save, the derivation edge the
+        // lineage DAG (`mmlib-lineage`) is built from — is committed by the
+        // per-approach save batch itself (ordered after model-info), so no
+        // separate write happens here.
         let tts = start.elapsed();
         let storage_bytes = self.storage().bytes_written().saturating_sub(bytes_before);
         obs.observe_duration(SAVE_SECONDS, ("approach", approach.abbrev()), tts);

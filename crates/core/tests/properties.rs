@@ -136,6 +136,72 @@ proptest! {
         prop_assert_eq!(ta.root() == tb.root(), merkle.changed.is_empty());
     }
 
+    /// Splicing an arbitrary changed-leaf subset into a cached tree via
+    /// `update_leaves` must equal a from-scratch rebuild — root *and* every
+    /// per-layer digest — extending `merkle_diff_equals_naive_diff` from
+    /// detection to incremental maintenance.
+    #[test]
+    fn incremental_update_equals_full_rebuild(n in 1usize..200, changed_bits in any::<u64>()) {
+        let base: Vec<(String, _)> = (0..n)
+            .map(|i| (format!("layer{i}"), sha256(format!("v{i}").as_bytes())))
+            .collect();
+        let mut updates = Vec::new();
+        let mut other = base.clone();
+        for (i, leaf) in other.iter_mut().enumerate() {
+            if changed_bits >> (i % 64) & 1 == 1 {
+                leaf.1 = sha256(format!("changed{i}").as_bytes());
+                updates.push(leaf.clone());
+            }
+        }
+        let cached = MerkleTree::from_leaves(base);
+        let rebuilt = MerkleTree::from_leaves(other);
+        let spliced = cached.update_leaves(&updates).expect("all paths are leaves");
+        prop_assert_eq!(spliced.root(), rebuilt.root());
+        prop_assert_eq!(spliced.leaf_count(), rebuilt.leaf_count());
+        for (path, digest) in rebuilt.leaves() {
+            prop_assert_eq!(spliced.leaf(path), Some(digest));
+        }
+        // And the spliced tree diffs like the rebuilt one.
+        prop_assert_eq!(cached.diff(&spliced).changed, cached.diff(&rebuilt).changed);
+        // Unknown paths are rejected, never silently dropped.
+        let bogus = vec![("not_a_layer".to_string(), sha256(b"x"))];
+        prop_assert!(cached.update_leaves(&bogus).is_none());
+    }
+
+    /// The save-path hash cache must produce trees byte-identical to
+    /// `MerkleTree::from_model` for *any* subset of parameter mutations
+    /// between saves — the fingerprint gate may only skip work, never
+    /// change a digest.
+    #[test]
+    fn hash_cache_matches_from_model_for_any_mutation_subset(
+        init_seed in any::<u64>(),
+        mutate_bits in any::<u64>(),
+        rounds in 1usize..4,
+    ) {
+        let cache = mmlib_core::hash_cache::HashCache::new();
+        let obs = mmlib_obs::recorder();
+        let mut model = Model::new_initialized(ArchId::TinyCnn, init_seed);
+        model.set_fully_trainable();
+        for round in 0..rounds {
+            // Mutate an arbitrary subset of parameters (round-rotated so
+            // successive rounds touch different layers).
+            let mut i = 0usize;
+            model.visit_trainable_mut(&mut |_, param, _| {
+                if mutate_bits >> ((i + round) % 64) & 1 == 1 && param.numel() > 0 {
+                    let d = param.data_mut();
+                    d[0] = f32::from_bits(d[0].to_bits() ^ 1);
+                }
+                i += 1;
+            });
+            let expected = MerkleTree::from_model(&model);
+            let got = cache.tree_for_model(&model, obs);
+            prop_assert_eq!(got.root(), expected.root(), "round {}", round);
+            for (path, digest) in expected.leaves() {
+                prop_assert_eq!(got.leaf(path), Some(digest));
+            }
+        }
+    }
+
     #[test]
     fn provenance_replay_is_deterministic(step in arb_step(), init_seed in any::<u64>()) {
         let dir = tempfile::tempdir().unwrap();

@@ -201,6 +201,11 @@ pub struct SaveRecord {
     /// Per-phase breakdown of the save (hash / diff / serialize / compress /
     /// pack / write), straight from the [`mmlib_core::SaveReport`].
     pub phases: PhaseBreakdown,
+    /// Durability sync operations (payload fdatasync / directory fsync)
+    /// this save issued. Unlike wall-clock write time, this is independent
+    /// of device throughput, so the bench gate reads it to hold the
+    /// batch-commit coalescing win.
+    pub sync_ops: u64,
     /// Simulated network transfer time for shipping this model's data over
     /// the cluster link (reported separately; never slept).
     pub network_time: Duration,
@@ -362,8 +367,10 @@ fn run_flow_inner(
     // BA uses").
     let mut initial = Model::new_initialized(config.arch, config.seed);
     initial.set_fully_trainable();
+    let syncs_before = server.storage().sync_ops();
     // mmlib-lint: allow(P1, a failed save invalidates the whole experiment; the harness aborts)
     let u1 = server.save(SaveRequest::full(&initial).relation("initial")).expect("U1 save");
+    let sync_ops = server.storage().sync_ops() - syncs_before;
     // Distribute the initial model to every node over the cluster link.
     let network_time = (0..config.kind.nodes())
         .map(|_| network.record_transfer(u1.storage_bytes))
@@ -376,6 +383,7 @@ fn run_flow_inner(
         storage_bytes: u1.storage_bytes,
         tts: u1.tts,
         phases: u1.phases,
+        sync_ops,
         network_time,
     });
 
@@ -599,8 +607,10 @@ fn train_and_save(
             SaveRequest::provenance(model, base, &prov)
         }
     };
+    let syncs_before = service.storage().sync_ops();
     // mmlib-lint: allow(P1, a failed save invalidates the whole experiment; the harness aborts)
     let report = service.save(request).expect("flow save");
+    let sync_ops = service.storage().sync_ops() - syncs_before;
     // The node informs the server / ships the update over the cluster link.
     let network_time = network.record_transfer(report.storage_bytes);
 
@@ -611,6 +621,7 @@ fn train_and_save(
         storage_bytes: report.storage_bytes,
         tts: report.tts,
         phases: report.phases,
+        sync_ops,
         network_time,
     }
 }

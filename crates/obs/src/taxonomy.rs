@@ -148,6 +148,11 @@ pub const TAXONOMY: &[MetricDef] = &[
         help: "Model store operations, labeled by op (insert, get, remove, ...).",
     },
     MetricDef {
+        name: "mmlib_store_sync_ops_total",
+        kind: MetricKind::Counter,
+        help: "Durability sync operations (payload fdatasync / directory fsync) issued by the store.",
+    },
+    MetricDef {
         name: "mmlib_tensor_hash_bytes_total",
         kind: MetricKind::Counter,
         help: "Tensor bytes hashed while building content addresses.",
@@ -156,6 +161,16 @@ pub const TAXONOMY: &[MetricDef] = &[
         name: "mmlib_tensor_hash_ops_total",
         kind: MetricKind::Counter,
         help: "Tensor hash operations performed.",
+    },
+    MetricDef {
+        name: "mmlib_tensor_hash_parallel_fallback_total",
+        kind: MetricKind::Counter,
+        help: "Parallel digest maps recomputed serially after a worker panic.",
+    },
+    MetricDef {
+        name: "mmlib_tensor_hash_parallel_ops_total",
+        kind: MetricKind::Counter,
+        help: "Tensor digests computed on the parallel hashing path.",
     },
 ];
 

@@ -5,7 +5,10 @@
 //! new file fully visible — never a prefix. The protocol:
 //!
 //! 1. write the payload to `<name>.<n>.tmp` in the destination directory,
-//! 2. `fsync` the temporary file (the data is durable before it is named),
+//! 2. `fdatasync` the temporary file (the data — and the file size, which
+//!    `fdatasync` must flush for the data to be retrievable — is durable
+//!    before it is named; the tmp's other metadata is irrelevant, so the
+//!    full-`fsync` journal flush per payload is skipped),
 //! 3. `rename` it over the destination (atomic on POSIX),
 //! 4. best-effort `fsync` of the parent directory (the rename is durable).
 //!
@@ -33,6 +36,19 @@ fn tmp_sibling(path: &Path) -> PathBuf {
 /// True if `file_name` is one of our temporary names (an interrupted write).
 pub(crate) fn is_tmp_name(file_name: &str) -> bool {
     file_name.ends_with(".tmp")
+}
+
+/// Payload write granularity. One giant `write_all` of a multi-megabyte
+/// blob can stall on dirty-page throttling; feeding the page cache in
+/// bounded chunks keeps the write pipelined. Durability is unchanged — the
+/// fsync points stay the same.
+const WRITE_CHUNK: usize = 256 * 1024;
+
+fn write_payload(f: &mut std::fs::File, bytes: &[u8]) -> std::io::Result<()> {
+    for chunk in bytes.chunks(WRITE_CHUNK) {
+        f.write_all(chunk)?;
+    }
+    Ok(())
 }
 
 /// Writes `bytes` to `path` atomically; consults `injector` (one operation
@@ -63,9 +79,9 @@ pub(crate) fn atomic_write(
     }
 
     let mut f = std::fs::File::create(&tmp)?;
-    f.write_all(bytes)?;
-    // fsync point 1: payload durable under its temporary name.
-    f.sync_all()?;
+    write_payload(&mut f, bytes)?;
+    // sync point 1: payload (data + size) durable under its temporary name.
+    f.sync_data()?;
     drop(f);
     if let Err(e) = std::fs::rename(&tmp, path) {
         let _ = std::fs::remove_file(&tmp);
@@ -79,6 +95,92 @@ pub(crate) fn atomic_write(
         }
     }
     Ok(())
+}
+
+/// A payload made durable under its temporary name but not yet renamed to
+/// its destination — the first half of [`atomic_write`], split out so a
+/// batch can pay the rename + directory-fsync tail once for many writes.
+#[derive(Debug)]
+pub(crate) struct StagedWrite {
+    tmp: PathBuf,
+    dest: PathBuf,
+}
+
+/// Stages `bytes` for `path`: writes and fsyncs the temporary sibling
+/// without renaming it. Consults `injector` exactly like [`atomic_write`]
+/// (one operation per call): a [`Fault::TornWrite`] persists a prefix of
+/// the tmp file and fails, any other scheduled fault fails before writing.
+/// On failure the tmp file (if any) is left behind, as a crash would leave
+/// it — `fsck` sweeps temporaries.
+pub(crate) fn stage_write(
+    path: &Path,
+    bytes: &[u8],
+    injector: Option<&FaultInjector>,
+) -> std::io::Result<StagedWrite> {
+    let fault = injector.and_then(|i| i.next());
+    let tmp = tmp_sibling(path);
+    match fault {
+        None => {}
+        Some(Fault::TornWrite { after_bytes }) => {
+            let cut = usize::try_from(after_bytes).unwrap_or(usize::MAX).min(bytes.len());
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&bytes[..cut])?;
+            f.sync_all()?;
+            return Err(injected_io_error(&Fault::TornWrite { after_bytes }));
+        }
+        Some(other) => return Err(injected_io_error(&other)),
+    }
+    let mut f = std::fs::File::create(&tmp)?;
+    write_payload(&mut f, bytes)?;
+    f.sync_data()?;
+    Ok(StagedWrite { tmp, dest: path.to_path_buf() })
+}
+
+/// Commits staged writes: renames each tmp over its destination *in item
+/// order*, then fsyncs each distinct parent directory once. Item order is
+/// therefore the visibility order — a crash mid-commit exposes a prefix of
+/// the batch, so callers must order referents before referencing documents
+/// (the same discipline the sequential save path already follows).
+///
+/// Consults `injector` for one operation covering the whole commit:
+/// a [`Fault::TornWrite`] renames only the first `after_bytes` items and
+/// fails before the directory fsync (the simulated crash between batch
+/// rename and dir fsync when the cut is past the end); any other scheduled
+/// fault fails before any rename. Un-renamed tmp files stay on disk for
+/// `fsck`, exactly as after a real crash.
+///
+/// Returns the number of directory fsyncs the commit issued (one per
+/// distinct destination directory), for the caller's sync-op accounting.
+pub(crate) fn commit_staged(
+    staged: &[StagedWrite],
+    injector: Option<&FaultInjector>,
+) -> std::io::Result<usize> {
+    let fault = injector.and_then(|i| i.next());
+    let rename_upto = match fault {
+        None => staged.len(),
+        Some(Fault::TornWrite { after_bytes }) => {
+            usize::try_from(after_bytes).unwrap_or(usize::MAX).min(staged.len())
+        }
+        Some(other) => return Err(injected_io_error(&other)),
+    };
+    for s in &staged[..rename_upto] {
+        std::fs::rename(&s.tmp, &s.dest)?;
+    }
+    if let Some(f) = fault {
+        // The "crash": some (possibly all) renames landed, the directory
+        // fsync never ran, and the caller sees a failed operation.
+        return Err(injected_io_error(&f));
+    }
+    let mut parents: Vec<&Path> = staged.iter().filter_map(|s| s.dest.parent()).collect();
+    parents.sort_unstable();
+    parents.dedup();
+    let dir_syncs = parents.len();
+    for parent in parents {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(dir_syncs)
 }
 
 /// A writer nonce unique across processes (pid + clock) *and* across
@@ -145,6 +247,71 @@ mod tests {
         assert!(atomic_write(&path, b"data", Some(&inj)).is_err());
         assert!(!path.exists());
         assert_eq!(std::fs::read_dir(dir.path()).unwrap().count(), 0);
+    }
+
+    fn stage_three(dir: &Path) -> Vec<StagedWrite> {
+        (0..3)
+            .map(|i| {
+                stage_write(&dir.join(format!("f{i}.json")), format!("v{i}").as_bytes(), None)
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    fn tmp_count(dir: &Path) -> usize {
+        std::fs::read_dir(dir)
+            .unwrap()
+            .filter(|e| is_tmp_name(e.as_ref().unwrap().file_name().to_str().unwrap()))
+            .count()
+    }
+
+    #[test]
+    fn staged_commit_makes_everything_visible_with_no_tmp_leftovers() {
+        let dir = tempfile::tempdir().unwrap();
+        let staged = stage_three(dir.path());
+        // Staged but uncommitted: nothing visible yet.
+        assert!(!dir.path().join("f0.json").exists());
+        assert_eq!(tmp_count(dir.path()), 3);
+        commit_staged(&staged, None).unwrap();
+        for i in 0..3 {
+            let bytes = std::fs::read(dir.path().join(format!("f{i}.json"))).unwrap();
+            assert_eq!(bytes, format!("v{i}").as_bytes());
+        }
+        assert_eq!(tmp_count(dir.path()), 0);
+    }
+
+    #[test]
+    fn torn_commit_exposes_only_a_prefix_in_item_order() {
+        let dir = tempfile::tempdir().unwrap();
+        let staged = stage_three(dir.path());
+        let inj = FaultInjector::new(FaultPlan::new(0).with(0, Fault::TornWrite { after_bytes: 1 }));
+        assert!(commit_staged(&staged, Some(&inj)).is_err());
+        assert!(dir.path().join("f0.json").exists(), "first item renamed");
+        assert!(!dir.path().join("f1.json").exists(), "later items never renamed");
+        assert!(!dir.path().join("f2.json").exists());
+        assert_eq!(tmp_count(dir.path()), 2, "un-renamed tmps stay for fsck");
+    }
+
+    #[test]
+    fn faulted_commit_before_rename_leaves_old_state() {
+        let dir = tempfile::tempdir().unwrap();
+        let staged = stage_three(dir.path());
+        let inj = FaultInjector::new(FaultPlan::new(0).with(0, Fault::IoError));
+        assert!(commit_staged(&staged, Some(&inj)).is_err());
+        for i in 0..3 {
+            assert!(!dir.path().join(format!("f{i}.json")).exists());
+        }
+        assert_eq!(tmp_count(dir.path()), 3);
+    }
+
+    #[test]
+    fn torn_stage_persists_a_prefix_without_visibility() {
+        let dir = tempfile::tempdir().unwrap();
+        let inj = FaultInjector::new(FaultPlan::new(0).with(0, Fault::TornWrite { after_bytes: 2 }));
+        let err = stage_write(&dir.path().join("x.json"), b"payload", Some(&inj)).unwrap_err();
+        assert!(err.to_string().contains("injected fault"));
+        assert!(!dir.path().join("x.json").exists());
+        assert_eq!(tmp_count(dir.path()), 1);
     }
 
     #[test]

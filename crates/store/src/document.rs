@@ -14,7 +14,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-use crate::atomic::atomic_write;
+use crate::atomic::{atomic_write, stage_write, StagedWrite};
 use crate::fault::FaultInjector;
 use crate::storage::{Accounting, StoreError};
 
@@ -101,23 +101,49 @@ impl DocStore {
         self.dir.join(format!("{}.json", id.as_str()))
     }
 
-    /// Inserts a document of `kind`, returning its generated id.
-    pub fn insert(&self, kind: &str, body: serde_json::Value) -> Result<DocId, StoreError> {
+    fn next_id(&self) -> DocId {
         // Uniqueness fallback: two writers can race to the same id when
         // their nonces collide (e.g. a handle reopened from a stale scan),
         // so skip ids whose file already exists instead of overwriting.
-        let id = loop {
+        loop {
             let seq = self.counter.fetch_add(1, Ordering::Relaxed);
             let candidate = DocId(format!("{:08x}-{:x}", self.nonce as u32, seq));
             if !self.path_of(&candidate).exists() {
                 break candidate;
             }
-        };
+        }
+    }
+
+    /// Inserts a document of `kind`, returning its generated id.
+    pub fn insert(&self, kind: &str, body: serde_json::Value) -> Result<DocId, StoreError> {
+        let id = self.next_id();
         let doc = Document { id: id.clone(), kind: kind.to_string(), body };
         let bytes = serde_json::to_vec_pretty(&doc)?;
         atomic_write(&self.path_of(&id), &bytes, self.faults.as_deref())?;
         self.accounting.add_written(bytes.len() as u64);
+        self.accounting.add_syncs(2); // payload fdatasync + directory fsync
         Ok(id)
+    }
+
+    /// Stages a document for a batch commit: durable under a temporary
+    /// name, invisible until [`crate::atomic::commit_staged`] renames it.
+    /// Returns the reserved id, the staged write, and the byte count to
+    /// account for once the batch commits.
+    pub(crate) fn stage(
+        &self,
+        kind: &str,
+        body: serde_json::Value,
+    ) -> Result<(DocId, StagedWrite, u64), StoreError> {
+        let id = self.next_id();
+        let doc = Document { id: id.clone(), kind: kind.to_string(), body };
+        let bytes = serde_json::to_vec_pretty(&doc)?;
+        let staged = stage_write(&self.path_of(&id), &bytes, self.faults.as_deref())?;
+        self.accounting.add_syncs(1); // payload fdatasync; the commit fsyncs dirs
+        Ok((id, staged, bytes.len() as u64))
+    }
+
+    pub(crate) fn faults(&self) -> Option<&FaultInjector> {
+        self.faults.as_deref()
     }
 
     /// Loads a document by id.
@@ -141,6 +167,7 @@ impl DocStore {
         let bytes = serde_json::to_vec_pretty(&doc)?;
         atomic_write(&self.path_of(id), &bytes, self.faults.as_deref())?;
         self.accounting.add_written(bytes.len() as u64);
+        self.accounting.add_syncs(2);
         Ok(())
     }
 

@@ -336,6 +336,10 @@ impl StorageBackend for FaultyBackend {
     fn bytes_read(&self) -> u64 {
         self.inner.bytes_read()
     }
+
+    fn sync_ops(&self) -> u64 {
+        self.inner.sync_ops()
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use crate::atomic::atomic_write;
+use crate::atomic::{atomic_write, stage_write, StagedWrite};
 use crate::fault::FaultInjector;
 use crate::storage::{Accounting, StoreError};
 
@@ -75,21 +75,41 @@ impl FileStore {
         self.dir.join(format!("{}.bin", id.as_str()))
     }
 
-    /// Stores `bytes`, returning the generated file id.
-    pub fn put(&self, bytes: &[u8]) -> Result<FileId, StoreError> {
+    fn next_id(&self) -> FileId {
         // Uniqueness fallback mirroring `DocStore::insert`: skip ids whose
         // file already exists rather than overwriting a colliding writer's
         // blob.
-        let id = loop {
+        loop {
             let seq = self.counter.fetch_add(1, Ordering::Relaxed);
             let candidate = FileId(format!("{:08x}-{:x}", self.nonce as u32, seq));
             if !self.path_of(&candidate).exists() {
                 break candidate;
             }
-        };
+        }
+    }
+
+    /// Stores `bytes`, returning the generated file id.
+    pub fn put(&self, bytes: &[u8]) -> Result<FileId, StoreError> {
+        let id = self.next_id();
         atomic_write(&self.path_of(&id), bytes, self.faults.as_deref())?;
         self.accounting.add_written(bytes.len() as u64);
+        self.accounting.add_syncs(2); // payload fdatasync + directory fsync
         Ok(id)
+    }
+
+    /// Stages `bytes` for a batch commit: durable under a temporary name,
+    /// invisible until [`crate::atomic::commit_staged`] renames it. Returns
+    /// the reserved id, the staged write, and the byte count to account for
+    /// once the batch commits.
+    pub(crate) fn stage(&self, bytes: &[u8]) -> Result<(FileId, StagedWrite, u64), StoreError> {
+        let id = self.next_id();
+        let staged = stage_write(&self.path_of(&id), bytes, self.faults.as_deref())?;
+        self.accounting.add_syncs(1); // payload fdatasync; the commit fsyncs dirs
+        Ok((id, staged, bytes.len() as u64))
+    }
+
+    pub(crate) fn faults(&self) -> Option<&FaultInjector> {
+        self.faults.as_deref()
     }
 
     /// Ids of all stored files (diagnostics/fsck).

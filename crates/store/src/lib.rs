@@ -37,4 +37,6 @@ pub use document::{DocId, DocStore, Document};
 pub use fault::{Fault, FaultInjector, FaultPlan, FaultyBackend};
 pub use files::{FileId, FileStore};
 pub use network::SimNetwork;
-pub use storage::{ModelStorage, StorageBackend, StoreError};
+pub use storage::{
+    batch_ref, BatchId, BatchItem, ModelStorage, StorageBackend, StoreError, BATCH_REF_PREFIX,
+};

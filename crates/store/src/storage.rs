@@ -65,6 +65,7 @@ impl From<serde_json::Error> for StoreError {
 pub struct Accounting {
     written: AtomicU64,
     read: AtomicU64,
+    syncs: AtomicU64,
 }
 
 impl Accounting {
@@ -77,12 +78,114 @@ impl Accounting {
         self.read.fetch_add(n, Ordering::Relaxed);
         mmlib_obs::recorder().inc("mmlib_store_bytes_read_total", n);
     }
+
+    /// Records durability sync operations (payload `fdatasync` / directory
+    /// `fsync` calls). These, not bytes, are the fixed per-artifact cost the
+    /// batched commit path exists to coalesce, so the benchmark gate reads
+    /// this counter rather than wall time (which tracks device load).
+    pub(crate) fn add_syncs(&self, n: u64) {
+        self.syncs.fetch_add(n, Ordering::Relaxed);
+        mmlib_obs::recorder().inc("mmlib_store_sync_ops_total", n);
+    }
 }
 
 /// Records one storage operation in the global ops counter.
 #[inline]
 fn count_op(op: &'static str) {
     mmlib_obs::recorder().inc_labeled("mmlib_store_ops_total", ("op", op), 1);
+}
+
+/// One write in a [`StorageBackend::commit_batch`] call.
+///
+/// Item order is the visibility order: a crash mid-commit exposes only a
+/// prefix of the batch, so callers put referents before the documents that
+/// reference them (model-info last), exactly as on the sequential path.
+#[derive(Debug, Clone)]
+pub enum BatchItem {
+    /// A document of `kind` with a JSON body.
+    Doc {
+        /// Collection-style tag, as for [`StorageBackend::insert_doc`].
+        kind: String,
+        /// The JSON payload.
+        body: serde_json::Value,
+    },
+    /// A blob.
+    File {
+        /// The blob payload.
+        bytes: Vec<u8>,
+    },
+}
+
+/// Generated id of a committed [`BatchItem`], parallel to the submitted
+/// items.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchId {
+    /// Id of a committed [`BatchItem::Doc`].
+    Doc(DocId),
+    /// Id of a committed [`BatchItem::File`].
+    File(FileId),
+}
+
+/// Prefix of an intra-batch id reference (see [`batch_ref`]).
+pub const BATCH_REF_PREFIX: &str = "$batch:";
+
+/// Placeholder string resolving to the generated id of an *earlier* item in
+/// the same [`StorageBackend::commit_batch`] call.
+///
+/// Ids are generated during the commit, but documents that tie a save
+/// together (model-info, lineage records) embed the ids of their referents
+/// — which forces them into follow-up writes unless the reference can be
+/// expressed symbolically. A body string `"$batch:2"` is replaced with item
+/// 2's id before the referencing document is written. Only backward
+/// references are allowed: item order is the visibility order of the batch,
+/// so a forward reference could become visible before its referent and is
+/// rejected as [`StoreError::Malformed`].
+pub fn batch_ref(index: usize) -> String {
+    format!("{BATCH_REF_PREFIX}{index}")
+}
+
+fn batch_id_str(id: &BatchId) -> &str {
+    match id {
+        BatchId::Doc(d) => d.as_str(),
+        BatchId::File(f) => f.as_str(),
+    }
+}
+
+/// Replaces every `$batch:N` string in `body` with the id of committed item
+/// `N`. `ids` holds the items preceding the body's own item, so any
+/// in-range index is a legal backward reference and anything else errors.
+fn resolve_batch_refs(body: &mut serde_json::Value, ids: &[BatchId]) -> Result<(), StoreError> {
+    match body {
+        serde_json::Value::String(s) => {
+            if let Some(raw) = s.strip_prefix(BATCH_REF_PREFIX) {
+                let index: usize = raw.parse().map_err(|_| {
+                    StoreError::Malformed(format!("unparseable batch reference {s:?}"))
+                })?;
+                let id = ids.get(index).ok_or_else(|| {
+                    StoreError::Malformed(format!(
+                        "batch reference {s:?} does not point at an earlier item \
+                         (references must be backward: item order is visibility order)"
+                    ))
+                })?;
+                *s = batch_id_str(id).to_string();
+            }
+        }
+        serde_json::Value::Array(items) => {
+            for item in items {
+                resolve_batch_refs(item, ids)?;
+            }
+        }
+        serde_json::Value::Object(map) => {
+            let keys: Vec<String> = map.keys().cloned().collect();
+            for key in keys {
+                if let Some(v) = map.get_mut(&key) {
+                    resolve_batch_refs(v, ids)?;
+                }
+            }
+        }
+        _ => {}
+    }
+    Ok(())
 }
 
 /// The document/file operations one storage backend must provide.
@@ -133,6 +236,43 @@ pub trait StorageBackend: Send + Sync {
 
     /// Total bytes read through this backend so far.
     fn bytes_read(&self) -> u64;
+
+    /// Durability sync operations (payload `fdatasync` + directory `fsync`
+    /// calls) issued through this backend so far. Backends with no local
+    /// durability tail of their own (e.g. remote clients, where syncing is
+    /// the server's job) report 0.
+    fn sync_ops(&self) -> u64 {
+        0
+    }
+
+    /// Commits a batch of writes, returning the generated ids in item
+    /// order.
+    ///
+    /// Backends may coalesce the durability tail (the local backend stages
+    /// every payload, renames in item order, then fsyncs each distinct
+    /// directory once); the atomicity contract is unchanged — a crash
+    /// anywhere leaves each destination as either its old or its new
+    /// content, with at most temporary files for `fsck` to sweep, and makes
+    /// items visible only in item order. Document bodies may reference the
+    /// ids of earlier items symbolically (see [`batch_ref`]); every backend
+    /// resolves those before the referencing document is written. The
+    /// default implementation routes each item through the per-item
+    /// methods, so remote and fault-wrapping backends keep their existing
+    /// semantics.
+    fn commit_batch(&self, items: Vec<BatchItem>) -> Result<Vec<BatchId>, StoreError> {
+        let mut ids = Vec::with_capacity(items.len());
+        for item in items {
+            let id = match item {
+                BatchItem::Doc { kind, mut body } => {
+                    resolve_batch_refs(&mut body, &ids)?;
+                    BatchId::Doc(self.insert_doc(&kind, body)?)
+                }
+                BatchItem::File { bytes } => BatchId::File(self.put_file(&bytes)?),
+            };
+            ids.push(id);
+        }
+        Ok(ids)
+    }
 }
 
 /// The default backend: a local directory split into `docs/` + `files/`.
@@ -197,6 +337,50 @@ impl StorageBackend for LocalBackend {
 
     fn bytes_read(&self) -> u64 {
         self.accounting.read.load(Ordering::Relaxed)
+    }
+
+    fn sync_ops(&self) -> u64 {
+        self.accounting.syncs.load(Ordering::Relaxed)
+    }
+
+    fn commit_batch(&self, items: Vec<BatchItem>) -> Result<Vec<BatchId>, StoreError> {
+        // Stage everything (each stage consumes one fault-injector
+        // operation, like the sequential writes it replaces), then pay the
+        // rename + directory-fsync tail once for the whole batch. A failed
+        // stage aborts before any rename, so the committed state is
+        // untouched; staged tmp files stay behind for fsck, as a crash
+        // would leave them. Staged ids are reserved up front, so a document
+        // body may reference an earlier item of its own batch (`$batch:N`).
+        let mut staged = Vec::with_capacity(items.len());
+        let mut ids = Vec::with_capacity(items.len());
+        let mut written = Vec::with_capacity(items.len());
+        for item in items {
+            match item {
+                BatchItem::Doc { kind, mut body } => {
+                    resolve_batch_refs(&mut body, &ids)?;
+                    let (id, s, n) = self.docs.stage(&kind, body)?;
+                    staged.push(s);
+                    ids.push(BatchId::Doc(id));
+                    written.push(n);
+                }
+                BatchItem::File { bytes } => {
+                    let (id, s, n) = self.files.stage(&bytes)?;
+                    staged.push(s);
+                    ids.push(BatchId::File(id));
+                    written.push(n);
+                }
+            }
+        }
+        // The commit itself is one more injector operation, so fault plans
+        // can target the rename/dir-fsync step specifically. Both stores
+        // share one injector when faults are enabled.
+        let injector = self.docs.faults().or_else(|| self.files.faults());
+        let dir_syncs = crate::atomic::commit_staged(&staged, injector)?;
+        self.accounting.add_syncs(dir_syncs as u64);
+        for n in written {
+            self.accounting.add_written(n);
+        }
+        Ok(ids)
     }
 }
 
@@ -286,6 +470,14 @@ impl ModelStorage {
         self.backend.bytes_read()
     }
 
+    /// Durability sync operations (payload `fdatasync` + directory `fsync`
+    /// calls) issued through this storage so far. The save benchmark
+    /// snapshots this around a flow: sync count, unlike wall time, is a
+    /// device-independent measure of the write path's durability tail.
+    pub fn sync_ops(&self) -> u64 {
+        self.backend.sync_ops()
+    }
+
     /// Convenience: insert a document of `kind` with a JSON `body`.
     pub fn insert_doc(&self, kind: &str, body: serde_json::Value) -> Result<DocId, StoreError> {
         self.docs().insert(kind, body)
@@ -304,6 +496,14 @@ impl ModelStorage {
     /// Convenience: load a file by id.
     pub fn get_file(&self, id: &FileId) -> Result<Vec<u8>, StoreError> {
         self.files().get(id)
+    }
+
+    /// Commits a batch of document/file writes, coalescing the durability
+    /// tail where the backend supports it (see
+    /// [`StorageBackend::commit_batch`] for the ordering contract).
+    pub fn commit_batch(&self, items: Vec<BatchItem>) -> Result<Vec<BatchId>, StoreError> {
+        count_op("batch_commit");
+        self.backend.commit_batch(items)
     }
 }
 
@@ -429,6 +629,58 @@ mod tests {
         let reopened = ModelStorage::open(dir.path()).unwrap();
         assert_eq!(reopened.get_doc(&id).unwrap().body["v"], true);
         assert_eq!(reopened.get_file(&fid).unwrap(), b"persisted");
+    }
+
+    #[test]
+    fn commit_batch_returns_ids_in_item_order_and_accounts_bytes() {
+        let dir = tempfile::tempdir().unwrap();
+        let storage = ModelStorage::open(dir.path()).unwrap();
+        let before = storage.bytes_written();
+        let ids = storage
+            .commit_batch(vec![
+                BatchItem::Doc { kind: "env".into(), body: json!({"k": 1}) },
+                BatchItem::File { bytes: vec![7u8; 500] },
+                BatchItem::Doc { kind: "model_info".into(), body: json!({"k": 2}) },
+            ])
+            .unwrap();
+        assert_eq!(ids.len(), 3);
+        match (&ids[0], &ids[1], &ids[2]) {
+            (BatchId::Doc(a), BatchId::File(f), BatchId::Doc(b)) => {
+                assert_eq!(storage.get_doc(a).unwrap().kind, "env");
+                assert_eq!(storage.get_file(f).unwrap(), vec![7u8; 500]);
+                assert_eq!(storage.get_doc(b).unwrap().kind, "model_info");
+            }
+            other => panic!("ids out of order: {other:?}"),
+        }
+        assert!(storage.bytes_written() >= before + 500);
+        // No tmp leftovers after a clean batch.
+        for sub in ["docs", "files"] {
+            for entry in std::fs::read_dir(dir.path().join(sub)).unwrap() {
+                let name = entry.unwrap().file_name();
+                assert!(!name.to_str().unwrap().ends_with(".tmp"), "leftover {name:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_batch_commits_nothing_or_a_prefix() {
+        use crate::fault::{Fault, FaultPlan};
+        let dir = tempfile::tempdir().unwrap();
+        // Fault op 3 is the commit (ops 0-2 are the three stages): torn at
+        // cut 1 → only the first item becomes visible.
+        let plan = FaultPlan::new(0).with(3, Fault::TornWrite { after_bytes: 1 });
+        let (storage, _inj) = ModelStorage::open_with_faults(dir.path(), plan).unwrap();
+        let err = storage
+            .commit_batch(vec![
+                BatchItem::Doc { kind: "a".into(), body: json!({}) },
+                BatchItem::Doc { kind: "b".into(), body: json!({}) },
+                BatchItem::File { bytes: vec![1, 2, 3] },
+            ])
+            .unwrap_err();
+        assert!(err.to_string().contains("injected fault"));
+        assert_eq!(storage.docs().ids().unwrap().len(), 1, "prefix visible in item order");
+        assert_eq!(storage.files().ids().unwrap().len(), 0);
+        assert_eq!(storage.bytes_written(), 0, "interrupted batches account nothing");
     }
 
     #[test]

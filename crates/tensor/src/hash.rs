@@ -122,16 +122,19 @@ impl Sha256 {
                 self.buffer_len = 0;
             }
         }
-        while input.len() >= 64 {
-            let (block, rest) = input.split_at(64);
-            let mut b = [0u8; 64];
-            b.copy_from_slice(block);
-            self.compress(&b);
-            input = rest;
+        // Aligned blocks compress straight out of the input slice; the
+        // `try_into` cannot fail for a `chunks_exact(64)` chunk, and the
+        // match keeps the hot loop free of any panic path.
+        let blocks = input.chunks_exact(64);
+        let tail = blocks.remainder();
+        for block in blocks {
+            if let Ok(block) = block.try_into() {
+                self.compress(block);
+            }
         }
-        if !input.is_empty() {
-            self.buffer[..input.len()].copy_from_slice(input);
-            self.buffer_len = input.len();
+        if !tail.is_empty() {
+            self.buffer[..tail.len()].copy_from_slice(tail);
+            self.buffer_len = tail.len();
         }
     }
 
@@ -165,43 +168,74 @@ impl Sha256 {
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for i in 0..16 {
-            w[i] = u32::from_be_bytes([
-                block[i * 4],
-                block[i * 4 + 1],
-                block[i * 4 + 2],
-                block[i * 4 + 3],
-            ]);
+        #[inline(always)]
+        fn ssig0(x: u32) -> u32 {
+            x.rotate_right(7) ^ x.rotate_right(18) ^ (x >> 3)
         }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
+        #[inline(always)]
+        fn ssig1(x: u32) -> u32 {
+            x.rotate_right(17) ^ x.rotate_right(19) ^ (x >> 10)
+        }
+        #[inline(always)]
+        fn bsig0(x: u32) -> u32 {
+            x.rotate_right(2) ^ x.rotate_right(13) ^ x.rotate_right(22)
+        }
+        #[inline(always)]
+        fn bsig1(x: u32) -> u32 {
+            x.rotate_right(6) ^ x.rotate_right(11) ^ x.rotate_right(25)
+        }
+        // One FIPS 180-4 round. The working variables are passed in rotated
+        // role order instead of being shuffled `h = g; g = f; ...` after each
+        // round: the shuffle is pure register pressure that the 64-iteration
+        // loop form forces the compiler to materialize, and removing it (plus
+        // the rolling 16-word schedule below) is where the save-path hash
+        // throughput comes from.
+        macro_rules! rnd {
+            ($a:expr, $b:expr, $c:expr, $d:expr, $e:expr, $f:expr, $g:expr, $h:expr, $kw:expr) => {
+                let t1 = $h
+                    .wrapping_add(bsig1($e))
+                    .wrapping_add(($e & $f) ^ (!$e & $g))
+                    .wrapping_add($kw);
+                let t2 = bsig0($a).wrapping_add(($a & $b) ^ ($a & $c) ^ ($b & $c));
+                $d = $d.wrapping_add(t1);
+                $h = t1.wrapping_add(t2);
+            };
+        }
+        let mut w = [0u32; 16];
+        for (wi, be) in w.iter_mut().zip(block.chunks_exact(4)) {
+            *wi = u32::from_be_bytes([be[0], be[1], be[2], be[3]]);
         }
         let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ ((!e) & g);
-            let temp1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let temp2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(temp1);
-            d = c;
-            c = b;
-            b = a;
-            a = temp1.wrapping_add(temp2);
+        for quarter in 0..4 {
+            if quarter > 0 {
+                // Rolling message schedule: w[j] currently holds w[16(q-1)+j]
+                // and becomes w[16q+j]. Indices (j+1)&15 and (j+9)&15 pick up
+                // already-updated slots exactly when FIPS 180-4 needs the
+                // newer word.
+                for j in 0..16 {
+                    w[j] = w[j]
+                        .wrapping_add(ssig0(w[(j + 1) & 15]))
+                        .wrapping_add(w[(j + 9) & 15])
+                        .wrapping_add(ssig1(w[(j + 14) & 15]));
+                }
+            }
+            let k = &K[quarter * 16..quarter * 16 + 16];
+            rnd!(a, b, c, d, e, f, g, h, k[0].wrapping_add(w[0]));
+            rnd!(h, a, b, c, d, e, f, g, k[1].wrapping_add(w[1]));
+            rnd!(g, h, a, b, c, d, e, f, k[2].wrapping_add(w[2]));
+            rnd!(f, g, h, a, b, c, d, e, k[3].wrapping_add(w[3]));
+            rnd!(e, f, g, h, a, b, c, d, k[4].wrapping_add(w[4]));
+            rnd!(d, e, f, g, h, a, b, c, k[5].wrapping_add(w[5]));
+            rnd!(c, d, e, f, g, h, a, b, k[6].wrapping_add(w[6]));
+            rnd!(b, c, d, e, f, g, h, a, k[7].wrapping_add(w[7]));
+            rnd!(a, b, c, d, e, f, g, h, k[8].wrapping_add(w[8]));
+            rnd!(h, a, b, c, d, e, f, g, k[9].wrapping_add(w[9]));
+            rnd!(g, h, a, b, c, d, e, f, k[10].wrapping_add(w[10]));
+            rnd!(f, g, h, a, b, c, d, e, k[11].wrapping_add(w[11]));
+            rnd!(e, f, g, h, a, b, c, d, k[12].wrapping_add(w[12]));
+            rnd!(d, e, f, g, h, a, b, c, k[13].wrapping_add(w[13]));
+            rnd!(c, d, e, f, g, h, a, b, k[14].wrapping_add(w[14]));
+            rnd!(b, c, d, e, f, g, h, a, k[15].wrapping_add(w[15]));
         }
         self.state[0] = self.state[0].wrapping_add(a);
         self.state[1] = self.state[1].wrapping_add(b);
@@ -235,9 +269,10 @@ pub fn hash_tensor(t: &Tensor) -> Digest {
     for &d in t.shape().dims() {
         h.update(&(d as u64).to_le_bytes());
     }
-    // Hash in 64-element strides to avoid a full byte-buffer copy.
-    let mut chunk_bytes = [0u8; 256];
-    for chunk in t.data().chunks(64) {
+    // Hash in 1024-element strides to avoid a full byte-buffer copy while
+    // amortizing the per-`update` bookkeeping over 64 compression blocks.
+    let mut chunk_bytes = [0u8; 4096];
+    for chunk in t.data().chunks(1024) {
         for (i, v) in chunk.iter().enumerate() {
             chunk_bytes[i * 4..(i + 1) * 4].copy_from_slice(&v.to_le_bytes());
         }

@@ -1,6 +1,7 @@
 //! Property-based tests for the tensor substrate's core invariants.
 
 use mmlib_tensor::hash::{hash_pair, hash_tensor, sha256};
+use mmlib_tensor::hash_par;
 use mmlib_tensor::ops::{self, ExecMode};
 use mmlib_tensor::ser::{state_from_bytes, state_to_bytes, tensor_from_bytes, tensor_to_bytes};
 use mmlib_tensor::{Pcg32, Shape, Tensor};
@@ -113,5 +114,59 @@ proptest! {
         Pcg32::seeded(seed).shuffle(&mut a);
         Pcg32::seeded(seed).shuffle(&mut b);
         prop_assert_eq!(a, b);
+    }
+
+    /// The parallel chunked hashing path must be byte-identical to the
+    /// serial fallback for *any* job list and *any* worker count — worker
+    /// counts below, at, and far beyond the job count all land on the same
+    /// digests, and `workers = 1` degenerates to the serial path exactly.
+    #[test]
+    fn parallel_hashing_matches_serial_for_any_shape_and_worker_count(
+        tensors in prop::collection::vec(arb_tensor(), 0..12),
+        workers in 1usize..16,
+    ) {
+        let refs: Vec<&Tensor> = tensors.iter().collect();
+        let serial: Vec<_> = refs.iter().map(|t| hash_tensor(t)).collect();
+        prop_assert_eq!(&hash_par::hash_tensors_with(&refs, workers), &serial);
+        prop_assert_eq!(&hash_par::hash_tensors_with(&refs, 1), &serial, "workers=1 is the serial path");
+        prop_assert_eq!(&hash_par::hash_tensors_with(&refs, hash_par::MAX_HASH_WORKERS), &serial);
+    }
+
+    /// Chunk boundaries: job counts straddling the per-worker chunk size
+    /// (len % workers from 0 to workers-1) never drop, duplicate, or
+    /// reorder a digest.
+    #[test]
+    fn parallel_hashing_preserves_order_across_chunk_boundaries(
+        n in 0usize..40,
+        workers in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Pcg32::seeded(seed);
+        let tensors: Vec<Tensor> = (0..n)
+            .map(|i| Tensor::rand_normal(Shape::new(vec![1 + i % 5]), 0.0, 1.0, &mut rng))
+            .collect();
+        let refs: Vec<&Tensor> = tensors.iter().collect();
+        let serial: Vec<_> = refs.iter().map(|t| hash_tensor(t)).collect();
+        prop_assert_eq!(hash_par::hash_tensors_with(&refs, workers), serial);
+    }
+
+    /// A panicking worker must not lose results or poison the output: the
+    /// map falls back to serial recomputation and still returns digests
+    /// identical to the serial path.
+    #[test]
+    fn worker_panic_falls_back_to_byte_identical_serial(
+        tensors in prop::collection::vec(arb_tensor(), 4..10),
+        workers in 2usize..6,
+    ) {
+        let refs: Vec<&Tensor> = tensors.iter().collect();
+        let serial: Vec<_> = refs.iter().map(|t| hash_tensor(t)).collect();
+        let main_thread = std::thread::current().id();
+        let digests = hash_par::digest_map_with(&refs, workers, |t| {
+            // Workers run on spawned threads; panic there, but succeed on
+            // the main thread (the serial fallback).
+            assert!(std::thread::current().id() == main_thread, "injected worker panic");
+            hash_tensor(t)
+        });
+        prop_assert_eq!(digests, serial);
     }
 }

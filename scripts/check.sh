@@ -18,12 +18,18 @@ if ! MMLIB_FAULT_SEED_BASE="$FAULT_SEED_BASE" cargo test --test fault_matrix -q;
     exit 1
 fi
 
-# Phase-coverage gate: the repro harness in fast mode writes per-approach
-# TTS/TTR/storage phase breakdowns to BENCH_PR4.json (pinned scale + seed)
-# and exits nonzero if any instrumented phase reports zero samples — i.e.
-# if an observability path went dark.
-if ! ./target/release/repro --fast --scale 0.001 --json BENCH_PR4.json; then
-    echo "check.sh: phase benchmark FAILED (zero-sample phase or harness error)" >&2
+# Phase-regression gate: the repro harness in fast mode writes per-approach
+# TTS/TTR/storage phase breakdowns (plus per-save durability sync counts) to
+# BENCH_PR7.json (pinned scale + seed) and gates them against the frozen
+# pre-optimization baseline BENCH_PR4.json (which is committed history —
+# never regenerated here). Fails if any instrumented phase reports zero
+# samples, if the PUA `hash` phase is not >= 2x faster than the baseline
+# (CPU-bound, so wall clock is stable), or if a BA save issues more than
+# 12/1.5 = 8 sync ops — the write win is held as a sync *count* because
+# shared-storage throughput varies severalfold run to run, while the number
+# of fdatasync/fsync calls the batch commit coalesces is machine-invariant.
+if ! ./target/release/repro --fast --scale 0.001 --json BENCH_PR7.json --baseline BENCH_PR4.json; then
+    echo "check.sh: phase benchmark FAILED (zero-sample phase or hot-path speedup regression)" >&2
     exit 1
 fi
 

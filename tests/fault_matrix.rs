@@ -114,11 +114,14 @@ fn save_sequence(
 /// clean, repair, and verify every surviving model byte-exactly. Returns
 /// how many faults fired and how many saves committed.
 fn run_cell(approach: ApproachKind, seed: u64) -> (u64, usize) {
+    run_cell_with_plan(approach, seed, FaultPlan::storage_from_seed(seed))
+}
+
+fn run_cell_with_plan(approach: ApproachKind, seed: u64, plan: FaultPlan) -> (u64, usize) {
     let dir = tempfile::tempdir().unwrap();
 
     // Save under injected faults.
-    let (storage, injector) =
-        ModelStorage::open_with_faults(dir.path(), FaultPlan::storage_from_seed(seed)).unwrap();
+    let (storage, injector) = ModelStorage::open_with_faults(dir.path(), plan).unwrap();
     let plan = format!("{}", injector.plan());
     let committed = save_sequence(&SaveService::new(storage), approach, seed);
     let fired = injector.injected();
@@ -196,6 +199,53 @@ fn run_approach(approach: ApproachKind, salt: u64) {
     );
 }
 
+/// Batch-write crash cells: one precisely-placed fault per cell, swept
+/// across every write-operation index of the save sequence so the fault
+/// lands on each stage of the batched commit path in turn. Three flavors
+/// per index:
+///
+/// * a short torn write — mid-batch staging crash, or a batch commit that
+///   renames only a prefix of its items (in item order);
+/// * an IO error — the batch commit failing before any rename (and, at
+///   stage indices, a stage failing before any byte is written);
+/// * a torn write cut past the end — every rename lands but the crash
+///   hits between the last batch rename and the directory fsync.
+///
+/// The invariant is the same as the seeded matrix: reopen → fsck repairs
+/// to clean → every committed save recovers byte-identical, and lineage
+/// stays total over the committed models.
+fn run_batch_crash_sweep(approach: ApproachKind, salt: u64) {
+    use mmlib::store::fault::Fault;
+    // The two saves of a sequence consume well under 20 write operations
+    // (stages, batch commits, model-info, lineage); sweeping them all hits
+    // every stage index and both batch-commit indices of each save.
+    const OPS_TO_SWEEP: u64 = 18;
+    let base = seed_base();
+    let mut total_fired = 0u64;
+    let mut interrupted_cells = 0usize;
+    for op in 0..OPS_TO_SWEEP {
+        let cells = [
+            Fault::TornWrite { after_bytes: 1 + base.wrapping_add(op) % 7 },
+            Fault::IoError,
+            Fault::TornWrite { after_bytes: u64::MAX },
+        ];
+        for fault in cells {
+            let plan = FaultPlan::new(base.wrapping_add(salt)).with(op, fault);
+            let (fired, committed) =
+                run_cell_with_plan(approach, base.wrapping_add(salt).wrapping_add(op), plan);
+            total_fired += fired;
+            if committed < 2 {
+                interrupted_cells += 1;
+            }
+        }
+    }
+    assert!(total_fired > 0, "{approach}: no batch-sweep fault fired");
+    assert!(
+        interrupted_cells > 0,
+        "{approach}: batch-sweep faults never interrupted a save — the sweep misses the write window"
+    );
+}
+
 #[test]
 fn fault_matrix_baseline() {
     run_approach(ApproachKind::Baseline, 0);
@@ -209,4 +259,19 @@ fn fault_matrix_param_update() {
 #[test]
 fn fault_matrix_provenance() {
     run_approach(ApproachKind::Provenance, 2_000);
+}
+
+#[test]
+fn batch_crash_cells_baseline() {
+    run_batch_crash_sweep(ApproachKind::Baseline, 3_000);
+}
+
+#[test]
+fn batch_crash_cells_param_update() {
+    run_batch_crash_sweep(ApproachKind::ParamUpdate, 4_000);
+}
+
+#[test]
+fn batch_crash_cells_provenance() {
+    run_batch_crash_sweep(ApproachKind::Provenance, 5_000);
 }
