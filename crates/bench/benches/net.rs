@@ -1,9 +1,13 @@
-//! Criterion benchmarks of the mmlib-net wire path: frame codec throughput
-//! and loopback blob round trips through a live registry server.
+//! Criterion benchmarks of the mmlib-net wire path: frame codec throughput,
+//! loopback blob round trips through a live registry server, and
+//! high-client-count pooled throughput — many threads multiplexed over one
+//! `RemoteStore` pool against a sharded server.
+
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mmlib_net::protocol::{decode_frame, encode_frame, Frame, Opcode};
-use mmlib_net::{RegistryServer, RemoteStore};
+use mmlib_net::{RegistryServer, RemoteStore, ServerConfig, ShardConfig};
 use mmlib_store::{ModelStorage, StorageBackend};
 
 fn bench_frame_codec(c: &mut Criterion) {
@@ -50,5 +54,56 @@ fn bench_loopback_blob_round_trip(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_frame_codec, bench_loopback_blob_round_trip);
+/// Aggregate throughput with many concurrent clients hammering one server
+/// through a shared pipelined pool — the configuration the v2 protocol
+/// exists for. One iteration = every client completes a put + get.
+fn bench_concurrent_clients(c: &mut Criterion) {
+    let dir = tempfile::tempdir().unwrap();
+    let server = RegistryServer::bind_with_config(
+        ModelStorage::open(dir.path()).unwrap(),
+        "127.0.0.1:0",
+        ServerConfig { shards: ShardConfig { workers: 8 }, ..ServerConfig::default() },
+    )
+    .expect("bind loopback server");
+    let store = Arc::new(
+        RemoteStore::builder(server.addr())
+            .pool_size(8)
+            .max_retries(8)
+            .build()
+            .expect("connect pooled client"),
+    );
+
+    const BLOB: usize = 32 * 1024;
+    let mut group = c.benchmark_group("concurrent_clients");
+    group.sample_size(10);
+    for clients in [16usize, 128] {
+        group.throughput(Throughput::Bytes((clients * BLOB * 2) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(clients), &clients, |b, &clients| {
+            b.iter(|| {
+                crossbeam::scope(|s| {
+                    for t in 0..clients {
+                        let store = Arc::clone(&store);
+                        s.spawn(move |_| {
+                            let blob: Vec<u8> =
+                                (0..BLOB).map(|i| ((i + t * 13) % 251) as u8).collect();
+                            let id = store.put_file(&blob).unwrap();
+                            let back = store.get_file(&id).unwrap();
+                            assert_eq!(back.len(), blob.len());
+                            store.remove_file(&id).unwrap();
+                        });
+                    }
+                })
+                .unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_frame_codec,
+    bench_loopback_blob_round_trip,
+    bench_concurrent_clients
+);
 criterion_main!(benches);

@@ -61,8 +61,12 @@ re-base the model's delta chain: promote every n-th\n                           
 node to a full snapshot (default n = 8) so recovery\n                           \
 time stays flat; recovery stays byte-identical\n  \
   lineage tag <id> <tag>   attach a tag to a model's lineage record\n  \
-  serve --addr <ip:port> [--for <secs>]\n                           \
-serve the store as a TCP model registry (requires --store)\n\
+  serve --addr <ip:port> [--for <secs>] [--io-threads <n>] [--shards <n>]\n        \
+[--max-inflight <n>] [--per-conn-inflight <n>]\n                           \
+serve the store as a TCP model registry (requires --store);\n                           \
+--shards sets the worker pool, --io-threads the socket\n                           \
+pollers, and the inflight caps bound admission before\n                           \
+the server sheds load with Busy\n\
 \n\
 --remote <addr> runs a command against a registry served elsewhere\n\
 (`mmlib serve`) instead of a local --store directory.";
@@ -94,7 +98,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     // documents: the server sees every node's traffic, the client doesn't.
     if command == "stats" {
         if let Some(addr) = &remote_addr {
-            let client = mmlib_net::RemoteStore::connect(addr.as_str()).map_err(fail)?;
+            let client = mmlib_net::RemoteStore::builder(addr.as_str()).build().map_err(fail)?;
             return client.server_stats_text().map_err(fail);
         }
     }
@@ -112,7 +116,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 
     let storage = match (store_dir, remote_addr) {
         (Some(dir), None) => ModelStorage::open(Path::new(&dir)).map_err(fail)?,
-        (None, Some(addr)) => mmlib_net::RemoteStore::connect(addr.as_str())
+        (None, Some(addr)) => mmlib_net::RemoteStore::builder(addr.as_str())
+            .build()
             .map_err(fail)?
             .into_storage(),
         _ => return Err(CliError::Usage(USAGE.into())),
@@ -141,7 +146,18 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 fn serve(store_dir: &str, tail: &[&str]) -> Result<String, CliError> {
     let mut addr = "127.0.0.1:7440".to_string();
     let mut run_for: Option<u64> = None;
+    let defaults = mmlib_net::AdmissionConfig::default();
+    let mut io_threads = mmlib_net::WireConfig::default().io_threads;
+    let mut shards = mmlib_net::ShardConfig::default().workers;
+    let mut per_conn_inflight = defaults.per_conn_inflight;
+    let mut global_inflight = defaults.global_inflight;
     let mut iter = tail.iter();
+    let parse_count = |flag: &str, value: Option<&&str>| -> Result<usize, CliError> {
+        let value = value.ok_or_else(|| CliError::Usage(USAGE.into()))?;
+        value.parse().map_err(|_| {
+            CliError::Usage(format!("{flag} needs a positive count, got {value:?}"))
+        })
+    };
     while let Some(&flag) = iter.next() {
         match flag {
             "--addr" => {
@@ -156,9 +172,21 @@ fn serve(store_dir: &str, tail: &[&str]) -> Result<String, CliError> {
                     CliError::Usage(format!("--for needs a number of seconds, got {secs:?}"))
                 })?);
             }
+            "--io-threads" => io_threads = parse_count(flag, iter.next())?,
+            "--shards" => shards = parse_count(flag, iter.next())?,
+            "--max-inflight" => global_inflight = parse_count(flag, iter.next())?,
+            "--per-conn-inflight" => per_conn_inflight = parse_count(flag, iter.next())?,
             other => return Err(CliError::Usage(format!("unknown serve flag {other:?}\n{USAGE}"))),
         }
     }
+    // Each flag maps 1:1 onto a validated sub-config; bad combinations
+    // (zero threads, a per-connection cap above the global one) are
+    // refused here with the constructor's own explanation.
+    let bad_flags = |e: mmlib_net::ConfigError| CliError::Usage(format!("{e}\n{USAGE}"));
+    let wire = mmlib_net::WireConfig::new(io_threads).map_err(bad_flags)?;
+    let shards = mmlib_net::ShardConfig::new(shards).map_err(bad_flags)?;
+    let admission =
+        mmlib_net::AdmissionConfig::new(per_conn_inflight, global_inflight).map_err(bad_flags)?;
 
     let storage = ModelStorage::open(Path::new(store_dir)).map_err(fail)?;
     // The server's registry carries its own wire metrics plus the full
@@ -166,7 +194,13 @@ fn serve(store_dir: &str, tail: &[&str]) -> Result<String, CliError> {
     // always shows the complete exposition, even before any save ran).
     let recorder = std::sync::Arc::new(mmlib_obs::Recorder::new());
     mmlib_core::register_metrics(&recorder);
-    let config = mmlib_net::ServerConfig { recorder: Some(recorder), ..Default::default() };
+    let config = mmlib_net::ServerConfig {
+        wire,
+        shards,
+        admission,
+        recorder: Some(recorder),
+        ..Default::default()
+    };
     let mut server =
         mmlib_net::RegistryServer::bind_with_config(storage, addr.as_str(), config).map_err(fail)?;
     // Announce immediately — clients need the address while we block.
@@ -477,24 +511,28 @@ fn render_lineage_node(node: &mmlib_lineage::LineageNode) -> String {
 /// wire opcodes. Returns `None` for subcommands that have no dedicated
 /// opcode (they run through the generic remote storage path instead).
 fn lineage_remote(addr: &str, tail: &[&str]) -> Result<Option<String>, CliError> {
-    let record_line = |record: &serde_json::Value| {
-        let field = |k: &str| {
-            record.get(k).and_then(serde_json::Value::as_str).unwrap_or("-").to_string()
-        };
-        format!("{} ({} {}) parent {}", field("model"), field("approach"), field("relation"), field("parent"))
+    let node_line = |node: &mmlib_net::LineageNode| {
+        let or_dash = |v: &Option<String>| v.clone().unwrap_or_else(|| "-".to_string());
+        format!(
+            "{} ({} {}) parent {}",
+            node.model,
+            or_dash(&node.approach),
+            or_dash(&node.relation),
+            or_dash(&node.parent)
+        )
     };
     match tail {
         ["show", id] => {
-            let client = mmlib_net::RemoteStore::connect(addr).map_err(fail)?;
-            let record = client.lineage_get(id).map_err(fail)?;
-            serde_json::to_string_pretty(&record).map(Some).map_err(fail)
+            let client = mmlib_net::RemoteStore::builder(addr).build().map_err(fail)?;
+            let node = client.lineage_node(id).map_err(fail)?;
+            serde_json::to_string_pretty(&node.raw).map(Some).map_err(fail)
         }
         ["ancestry", id] => {
-            let client = mmlib_net::RemoteStore::connect(addr).map_err(fail)?;
-            let ancestry = client.lineage_ancestry(id).map_err(fail)?;
+            let client = mmlib_net::RemoteStore::builder(addr).build().map_err(fail)?;
+            let chain = client.lineage_chain(id).map_err(fail)?;
             let mut out = String::new();
-            for (depth, record) in ancestry.iter().enumerate() {
-                writeln!(out, "{}{}", "  ".repeat(depth), record_line(record)).unwrap();
+            for (depth, node) in chain.iter().enumerate() {
+                writeln!(out, "{}{}", "  ".repeat(depth), node_line(node)).unwrap();
             }
             Ok(Some(out))
         }

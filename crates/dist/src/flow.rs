@@ -328,19 +328,21 @@ fn run_flow_tcp(
 ) -> FlowResult {
     // mmlib-lint: allow(P1, flow harness aborts on unusable experiment storage by design)
     let backing = ModelStorage::open(storage_root).expect("storage root must be writable");
-    // Connections live for the whole flow, so there must be a worker
-    // for every concurrent client: the server plus every node.
-    let workers = workers.max(config.kind.nodes() + 1);
+    // Workers are execution shards, not a connection cap — the v2 server
+    // multiplexes any number of connections over its I/O threads. Still
+    // honour the caller's figure as the shard count floor.
+    let shards = mmlib_net::ShardConfig { workers: workers.max(1) };
     let mut server = mmlib_net::RegistryServer::bind_with_config(
         backing,
         "127.0.0.1:0",
-        mmlib_net::ServerConfig { workers, faults, ..Default::default() },
+        mmlib_net::ServerConfig { shards, faults, ..Default::default() },
     )
     // mmlib-lint: allow(P1, flow harness aborts when the loopback server cannot bind)
     .expect("bind loopback registry server");
     let addr = server.addr();
     let make_storage = move || {
-        mmlib_net::RemoteStore::connect(addr)
+        mmlib_net::RemoteStore::builder(addr)
+            .build()
             // mmlib-lint: allow(P1, flow harness aborts when the loopback server is unreachable)
             .expect("connect to loopback registry")
             .into_storage()

@@ -4,7 +4,10 @@
 //! server match arm, (b) referenced by client/protocol plumbing outside the
 //! enum's own definition, and (c) mentioned by at least one test under
 //! `crates/net/tests/`. Adding an opcode without wiring all three — or
-//! deleting a dispatch arm behind a wildcard — fails the gate.
+//! deleting a dispatch arm behind a wildcard — fails the gate. Opcode
+//! discriminants must also be pairwise distinct: two variants sharing a
+//! wire byte would decode ambiguously, and `#[repr(u8)]` only catches the
+//! collision at compile time when both are written as literals.
 
 use crate::lexer::{Token, TokenKind};
 use crate::rules::Violation;
@@ -48,6 +51,24 @@ pub fn check(files: &[SourceFile], out: &mut Vec<Violation>) {
     mentioned_client.extend(opcode_mentions_outside_own_impls(protocol));
     let mentioned_tests: Vec<String> =
         tests.iter().flat_map(|f| opcode_mentions(f)).collect();
+
+    let discriminants = opcode_discriminants(protocol);
+    for (idx, (variant, value, line)) in discriminants.iter().enumerate() {
+        for (other, other_value, _) in &discriminants[..idx] {
+            if value == other_value {
+                out.push(Violation::at(
+                    "X1",
+                    protocol,
+                    *line,
+                    0,
+                    format!(
+                        "opcode `{variant}` reuses wire discriminant {value:#04x} \
+                         already taken by `{other}` — frames would decode ambiguously"
+                    ),
+                ));
+            }
+        }
+    }
 
     for (variant, line) in &variants {
         if server.is_some() && !dispatched.contains(variant) {
@@ -127,6 +148,57 @@ pub fn opcode_variants(protocol: &SourceFile) -> Vec<(String, usize)> {
         i += 1;
     }
     out
+}
+
+/// Extracts each `Variant = <literal>` discriminant from `enum Opcode` as
+/// `(variant, value, line)`. Variants without a literal discriminant are
+/// skipped (rustc assigns those, and it refuses collisions itself).
+fn opcode_discriminants(protocol: &SourceFile) -> Vec<(String, u64, usize)> {
+    let code: Vec<&Token> = protocol.code_tokens().map(|(_, t)| t).collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].is_ident("enum") && code.get(i + 1).is_some_and(|t| t.is_ident("Opcode")) {
+            let mut depth = 0usize;
+            let mut j = i + 2;
+            while j < code.len() {
+                let t = code[j];
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    if depth == 1 {
+                        return out;
+                    }
+                    depth -= 1;
+                } else if depth == 1
+                    && t.kind == TokenKind::Ident
+                    && code.get(j + 1).is_some_and(|n| n.is_punct('='))
+                {
+                    if let Some(value) = code.get(j + 2).and_then(|lit| parse_int(&lit.text)) {
+                        out.push((t.text.clone(), value, t.line));
+                    }
+                    while j < code.len() && !code[j].is_punct(',') && !code[j].is_punct('}') {
+                        j += 1;
+                    }
+                    continue;
+                }
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses a decimal or `0x` integer literal, ignoring `_` separators.
+/// Literals this cannot parse (e.g. with a type suffix) are skipped by the
+/// caller rather than guessed at.
+fn parse_int(text: &str) -> Option<u64> {
+    let clean: String = text.chars().filter(|c| *c != '_').collect();
+    match clean.strip_prefix("0x").or_else(|| clean.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => clean.parse().ok(),
+    }
 }
 
 /// Variants appearing as a server match arm: `Opcode::V =>` or `Opcode::V |`.

@@ -4,37 +4,57 @@
 //! [`crate::RegistryServer`] and implements the same document/file surface
 //! as local storage, so the whole save/recover stack runs unmodified
 //! against a registry across the network — the paper's node/server split
-//! (§4.1). Blobs stream in 64 KiB chunks both ways; requests are retried
-//! with exponential backoff plus jitter when the connection drops.
+//! (§4.1).
+//!
+//! Connections come from a small **pool** with **request pipelining**: each
+//! pooled socket negotiates protocol v2 at open, a dedicated reader thread
+//! demultiplexes responses by frame id, and any number of caller threads
+//! share the pool concurrently — `recover_flow_family` and the dist flows
+//! no longer pay per-request connection latency. Requests are retried with
+//! exponential backoff plus jitter on connection failure, and a server
+//! `Busy` load-shed answer is just another retryable outcome (the
+//! connection stays up). Pinning [`RemoteStoreBuilder::protocol_version`]
+//! to 1 keeps the legacy serial framing for old servers.
 
-use std::io::{BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
+use bytes::Bytes;
+use mmlib_obs::Gauge;
 use mmlib_store::{DocId, Document, FileId, ModelStorage, StorageBackend, StoreError};
 use parking_lot::Mutex;
 use serde_json::{json, Value};
 
 use crate::protocol::{
-    header_str, header_u64, read_chunks, read_frame, write_chunks, write_frame, Frame, Opcode,
-    WireError, PROTOCOL_VERSION,
+    chunk_frames, encode_frame_prefix, header_str, header_u64, read_frame_counted,
+    try_decode_frame, Frame, Opcode, WireError, WireVersion, PROTOCOL_V1, PROTOCOL_V2,
 };
 
-/// Client tuning knobs.
+/// Gauge of currently open pooled client connections (process-wide).
+pub const NET_POOL_CONNECTIONS: &str = "mmlib_net_pool_connections";
+
+/// Client tuning knobs. Usually set through [`RemoteStore::builder`].
 #[derive(Debug, Clone)]
 pub struct ClientConfig {
     /// Attempts per request beyond the first (0 = fail fast).
     pub max_retries: u32,
     /// Backoff before retry `n` is `base_backoff * 2^n` plus jitter.
     pub base_backoff: Duration,
-    /// Socket read timeout (None = block forever).
+    /// How long a caller waits for its pipelined reply (None = forever).
     pub read_timeout: Option<Duration>,
     /// Socket write timeout.
     pub write_timeout: Option<Duration>,
     /// TCP connect timeout per attempt.
     pub connect_timeout: Duration,
+    /// Pooled connections; callers round-robin across them.
+    pub pool_size: usize,
+    /// Wire protocol to negotiate ([`PROTOCOL_V2`] multiplexes; pin to
+    /// [`PROTOCOL_V1`] for the legacy one-request-at-a-time framing).
+    pub protocol_version: u32,
 }
 
 impl Default for ClientConfig {
@@ -45,64 +65,167 @@ impl Default for ClientConfig {
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
             connect_timeout: Duration::from_secs(5),
+            pool_size: 2,
+            protocol_version: PROTOCOL_V2,
         }
     }
 }
 
-/// A connection to a registry server, usable as a storage backend.
+/// Configures and opens a [`RemoteStore`]. Obtained from
+/// [`RemoteStore::builder`].
+#[derive(Debug)]
+pub struct RemoteStoreBuilder {
+    addr: Result<SocketAddr, StoreError>,
+    config: ClientConfig,
+}
+
+impl RemoteStoreBuilder {
+    /// Pooled connections the client multiplexes requests over.
+    pub fn pool_size(mut self, n: usize) -> RemoteStoreBuilder {
+        self.config.pool_size = n;
+        self
+    }
+
+    /// Attempts per request beyond the first (0 = fail fast).
+    pub fn max_retries(mut self, n: u32) -> RemoteStoreBuilder {
+        self.config.max_retries = n;
+        self
+    }
+
+    /// Base of the exponential retry backoff.
+    pub fn base_backoff(mut self, d: Duration) -> RemoteStoreBuilder {
+        self.config.base_backoff = d;
+        self
+    }
+
+    /// How long a caller waits for its reply (None = forever).
+    pub fn read_timeout(mut self, d: Option<Duration>) -> RemoteStoreBuilder {
+        self.config.read_timeout = d;
+        self
+    }
+
+    /// Socket write timeout.
+    pub fn write_timeout(mut self, d: Option<Duration>) -> RemoteStoreBuilder {
+        self.config.write_timeout = d;
+        self
+    }
+
+    /// TCP connect timeout per attempt.
+    pub fn connect_timeout(mut self, d: Duration) -> RemoteStoreBuilder {
+        self.config.connect_timeout = d;
+        self
+    }
+
+    /// Pins the wire protocol version ([`PROTOCOL_V1`] or [`PROTOCOL_V2`]).
+    pub fn protocol_version(mut self, v: u32) -> RemoteStoreBuilder {
+        self.config.protocol_version = v;
+        self
+    }
+
+    /// Opens the store and verifies the server speaks the pinned protocol
+    /// version, so misconfiguration fails here rather than at first use.
+    pub fn build(self) -> Result<RemoteStore, StoreError> {
+        let addr = self.addr?;
+        let config = self.config;
+        if config.pool_size == 0 {
+            return Err(StoreError::Remote("pool_size must be at least 1".to_string()));
+        }
+        if config.protocol_version != PROTOCOL_V1 && config.protocol_version != PROTOCOL_V2 {
+            return Err(StoreError::Remote(format!(
+                "unsupported protocol version pin {} (client speaks {PROTOCOL_V1} and {PROTOCOL_V2})",
+                config.protocol_version
+            )));
+        }
+        let pool = (0..config.pool_size).map(|_| PoolSlot::new()).collect();
+        let store = RemoteStore {
+            addr,
+            config,
+            pool,
+            next_slot: AtomicUsize::new(0),
+            next_request_id: AtomicU64::new(1),
+            jitter: Jitter::new(),
+            bytes_written: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            wire_out: Arc::new(AtomicU64::new(0)),
+            wire_in: Arc::new(AtomicU64::new(0)),
+            pool_gauge: mmlib_obs::recorder().gauge(NET_POOL_CONNECTIONS, None),
+        };
+        // Handshake one connection now; the rest open lazily on demand.
+        let reply = store.request(Frame::new(
+            Opcode::Ping,
+            json!({"version": store.config.protocol_version}),
+        ))?;
+        let version =
+            header_u64(&reply.header, "version").map_err(|e| StoreError::Remote(e.to_string()))?;
+        if version != u64::from(store.config.protocol_version) {
+            return Err(StoreError::Remote(format!(
+                "server speaks protocol version {version}, client pinned {}",
+                store.config.protocol_version
+            )));
+        }
+        Ok(store)
+    }
+}
+
+/// A pooled, pipelined client for a registry server, usable as a storage
+/// backend.
 ///
-/// One `RemoteStore` holds one TCP connection (requests are serialized on
-/// it); clone-free sharing happens by wrapping it in an `Arc` via
-/// [`RemoteStore::into_storage`]. For concurrent clients, open one
-/// `RemoteStore` per thread — the loopback stress test does exactly that.
+/// One `RemoteStore` holds [`ClientConfig::pool_size`] TCP connections and
+/// is safe to share across any number of threads — callers round-robin
+/// over the pool and concurrent requests on one socket are correlated by
+/// frame id. Wrap it in an `Arc` directly, or hand the whole stack a
+/// [`ModelStorage`] via [`RemoteStore::into_storage`].
 pub struct RemoteStore {
     addr: SocketAddr,
     config: ClientConfig,
-    conn: Mutex<Option<Conn>>,
+    pool: Vec<PoolSlot>,
+    next_slot: AtomicUsize,
+    next_request_id: AtomicU64,
     jitter: Jitter,
+    /// Storage-semantic bytes (stored document/blob sizes), mirroring what
+    /// a local backend would report — the paper's storage metric.
     bytes_written: AtomicU64,
     bytes_read: AtomicU64,
-}
-
-struct Conn {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+    /// Exact raw socket bytes, for reconciling against the server's
+    /// `bytes_in`/`bytes_out` counters.
+    wire_out: Arc<AtomicU64>,
+    wire_in: Arc<AtomicU64>,
+    pool_gauge: Arc<Gauge>,
 }
 
 impl RemoteStore {
-    /// Connects to a registry server and verifies the protocol version.
+    /// Starts building a client for the registry at `addr`.
+    pub fn builder(addr: impl ToSocketAddrs) -> RemoteStoreBuilder {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| StoreError::Remote(format!("bad address: {e}")))
+            .and_then(|mut addrs| {
+                addrs
+                    .next()
+                    .ok_or_else(|| StoreError::Remote("address resolved to nothing".to_string()))
+            });
+        RemoteStoreBuilder { addr, config: ClientConfig::default() }
+    }
+
+    /// Connects with default settings.
+    ///
+    /// Deprecated: use [`RemoteStore::builder`] — `builder(addr).build()`
+    /// is the direct equivalent.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<RemoteStore, StoreError> {
-        RemoteStore::connect_with_config(addr, ClientConfig::default())
+        RemoteStore::builder(addr).build()
     }
 
     /// Connects with explicit tuning knobs.
+    ///
+    /// Deprecated: use [`RemoteStore::builder`], which exposes every field
+    /// of [`ClientConfig`] as a named setter.
     pub fn connect_with_config(
         addr: impl ToSocketAddrs,
         config: ClientConfig,
     ) -> Result<RemoteStore, StoreError> {
-        let addr = addr
-            .to_socket_addrs()
-            .map_err(|e| StoreError::Remote(format!("bad address: {e}")))?
-            .next()
-            .ok_or_else(|| StoreError::Remote("address resolved to nothing".to_string()))?;
-        let store = RemoteStore {
-            addr,
-            config,
-            conn: Mutex::new(None),
-            jitter: Jitter::new(),
-            bytes_written: AtomicU64::new(0),
-            bytes_read: AtomicU64::new(0),
-        };
-        // Handshake now so misconfiguration fails at connect, not first use.
-        let reply = store.request(Frame::new(Opcode::Ping, json!({"version": PROTOCOL_VERSION})))?;
-        let version = header_u64(&reply.header, "version")
-            .map_err(|e| StoreError::Remote(e.to_string()))?;
-        if version as u32 != PROTOCOL_VERSION {
-            return Err(StoreError::Remote(format!(
-                "server speaks protocol version {version}, client needs {PROTOCOL_VERSION}"
-            )));
-        }
-        Ok(store)
+        let mut builder = RemoteStore::builder(addr);
+        builder.config = config;
+        builder.build()
     }
 
     /// The server address this client talks to.
@@ -117,7 +240,29 @@ impl RemoteStore {
         ModelStorage::from_backend(Arc::new(self), descriptor)
     }
 
-    /// Fetches the server's metrics snapshot (the `Stats` opcode).
+    /// Fetches the server's metrics snapshot, typed (the `Stats` opcode).
+    pub fn stats(&self) -> Result<ServerStats, StoreError> {
+        let reply = self.request(Frame::new(Opcode::Stats, json!({})))?;
+        Ok(ServerStats::from_value(expect_ok(reply)?))
+    }
+
+    /// Fetches one model's lineage record, typed (the `LineageGet`
+    /// opcode).
+    pub fn lineage_node(&self, id: &str) -> Result<LineageNode, StoreError> {
+        self.lineage_get(id).map(LineageNode::from_value)
+    }
+
+    /// Fetches a model's ancestry, tip first, typed (the `LineageAncestry`
+    /// opcode).
+    pub fn lineage_chain(&self, id: &str) -> Result<Vec<LineageNode>, StoreError> {
+        Ok(self.lineage_ancestry(id)?.into_iter().map(LineageNode::from_value).collect())
+    }
+
+    /// Fetches the server's metrics snapshot as raw JSON.
+    ///
+    /// Deprecated: use [`RemoteStore::stats`], which returns the typed
+    /// [`ServerStats`] (the raw JSON stays available as
+    /// [`ServerStats::raw`]).
     pub fn server_stats(&self) -> Result<Value, StoreError> {
         Ok(self.request(Frame::new(Opcode::Stats, json!({})))?.header)
     }
@@ -132,9 +277,10 @@ impl RemoteStore {
         }
     }
 
-    /// Fetches one model's lineage record from the registry (the
-    /// `LineageGet` opcode). The returned value is the record body:
-    /// `{"model", "parent", "approach", ...}`.
+    /// Fetches one model's lineage record as raw JSON.
+    ///
+    /// Deprecated: use [`RemoteStore::lineage_node`], which returns the
+    /// typed [`LineageNode`] (raw JSON in [`LineageNode::raw`]).
     pub fn lineage_get(&self, id: &str) -> Result<Value, StoreError> {
         let reply = self.request(Frame::new(Opcode::LineageGet, json!({"id": id})))?;
         let header = expect_ok(reply)?;
@@ -144,9 +290,10 @@ impl RemoteStore {
             .ok_or_else(|| StoreError::Remote("lineage_get reply missing `record`".to_string()))
     }
 
-    /// Fetches a model's ancestry, tip first, over live lineage parent
-    /// edges (the `LineageAncestry` opcode). Each element is one lineage
-    /// record body.
+    /// Fetches a model's ancestry as raw JSON records, tip first.
+    ///
+    /// Deprecated: use [`RemoteStore::lineage_chain`], which returns typed
+    /// [`LineageNode`]s.
     pub fn lineage_ancestry(&self, id: &str) -> Result<Vec<Value>, StoreError> {
         let reply = self.request(Frame::new(Opcode::LineageAncestry, json!({"id": id})))?;
         let header = expect_ok(reply)?;
@@ -158,21 +305,24 @@ impl RemoteStore {
         }
     }
 
-    fn open_conn(&self) -> Result<Conn, WireError> {
-        let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)?;
-        stream.set_read_timeout(self.config.read_timeout)?;
-        stream.set_write_timeout(self.config.write_timeout)?;
-        stream.set_nodelay(true)?;
-        Ok(Conn {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
-        })
+    /// Exact raw bytes this client has written to its sockets. At
+    /// quiescence this equals the server's `bytes_in` for a server only
+    /// this client talks to.
+    pub fn wire_bytes_out(&self) -> u64 {
+        self.wire_out.load(Ordering::Relaxed)
     }
 
-    /// Sends one request and reads its `Ok` reply, retrying the whole
-    /// exchange on connection failure with exponential backoff + jitter.
-    /// An `Err` *reply* is a server-side answer, not a connection failure —
-    /// it maps to a [`StoreError`] and is never retried.
+    /// Exact raw bytes this client has read from its sockets (counterpart
+    /// of the server's `bytes_out`).
+    pub fn wire_bytes_in(&self) -> u64 {
+        self.wire_in.load(Ordering::Relaxed)
+    }
+
+    /// Sends one request and reads its `Ok`/`Err` reply, retrying the whole
+    /// exchange on connection failure or server load-shed with exponential
+    /// backoff + jitter. An `Err` *reply* is a server-side answer, not a
+    /// connection failure — it maps to a [`StoreError`] and is never
+    /// retried.
     fn request(&self, frame: Frame) -> Result<Frame, StoreError> {
         self.request_blob(frame, None).map(|(reply, _)| reply)
     }
@@ -186,11 +336,15 @@ impl RemoteStore {
     ) -> Result<(Frame, Option<Vec<u8>>), StoreError> {
         let mut attempt = 0u32;
         loop {
+            // Every attempt gets a fresh frame id, so a late reply to a
+            // timed-out attempt can never be mistaken for this one's.
             match self.try_exchange(&frame, blob) {
                 Ok(reply) => return Ok(reply),
                 Err(e) => {
-                    // Reconnect on any wire failure; the old socket is gone.
-                    *self.conn.lock() = None;
+                    let shed_hint = match e {
+                        WireError::Busy(ms) => Some(Duration::from_millis(ms)),
+                        _ => None,
+                    };
                     if attempt >= self.config.max_retries {
                         return Err(StoreError::Remote(format!(
                             "request {} failed after {} attempts: {e}",
@@ -198,58 +352,535 @@ impl RemoteStore {
                             attempt + 1
                         )));
                     }
-                    std::thread::sleep(self.backoff(attempt));
+                    let backoff = self.backoff(attempt);
+                    std::thread::sleep(shed_hint.map_or(backoff, |hint| backoff.max(hint)));
                     attempt += 1;
                 }
             }
         }
     }
 
-    /// One request/reply exchange on the cached connection.
+    /// One exchange on a pooled connection (round-robin pick, lazily
+    /// opened). All errors out of here are retryable: wire failures have
+    /// already torn the connection down, and `Busy` left it healthy.
     fn try_exchange(
         &self,
         frame: &Frame,
         blob: Option<&[u8]>,
     ) -> Result<(Frame, Option<Vec<u8>>), WireError> {
-        let mut guard = self.conn.lock();
-        if guard.is_none() {
-            *guard = Some(self.open_conn()?);
+        let slot = &self.pool[self.next_slot.fetch_add(1, Ordering::Relaxed) % self.pool.len()];
+        let (reply, reply_blob) = match self.config.protocol_version {
+            PROTOCOL_V1 => self.exchange_v1(slot, frame, blob)?,
+            _ => self.exchange_v2(slot, frame, blob)?,
+        };
+        if reply.opcode == Opcode::Busy {
+            let hint = reply.header.get("retry_after_ms").and_then(Value::as_u64).unwrap_or(0);
+            return Err(WireError::Busy(hint));
         }
-        let Some(conn) = guard.as_mut() else {
-            return Err(WireError::Protocol("connection cache unexpectedly empty".to_string()));
+        // Storage-semantic accounting: payload bytes moved, as a local
+        // backend would see them (headers are transport overhead).
+        let sent = frame.payload.len() as u64 + blob.map_or(0, |b| b.len() as u64);
+        let received = reply.payload.len() as u64
+            + reply_blob.as_ref().map_or(0, |b| b.len() as u64);
+        self.bytes_written.fetch_add(sent, Ordering::Relaxed);
+        self.bytes_read.fetch_add(received, Ordering::Relaxed);
+        Ok((reply, reply_blob))
+    }
+
+    /// Pipelined v2 exchange: register the frame id, write, wait for the
+    /// reader thread to hand back the correlated reply.
+    fn exchange_v2(
+        &self,
+        slot: &PoolSlot,
+        frame: &Frame,
+        blob: Option<&[u8]>,
+    ) -> Result<(Frame, Option<Vec<u8>>), WireError> {
+        let conn = {
+            let mut guard = slot.conn.lock();
+            match &*guard {
+                Some(PooledConn::V2(conn)) if conn.alive.load(Ordering::Acquire) => {
+                    Arc::clone(conn)
+                }
+                _ => {
+                    let conn = self.open_v2()?;
+                    *guard = Some(PooledConn::V2(Arc::clone(&conn)));
+                    conn
+                }
+            }
         };
 
-        write_frame(&mut conn.writer, frame)?;
-        let mut sent = frame.payload.len() as u64;
-        if let Some(blob) = blob {
-            write_chunks(&mut conn.writer, blob)?;
-            sent += blob.len() as u64;
-        }
-        conn.writer.flush()?;
-        self.bytes_written.fetch_add(sent, Ordering::Relaxed);
+        let id = self.next_request_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        conn.pending
+            .lock()
+            .insert(id, PendingEntry { tx, wants_blob: wants_blob(frame.opcode) });
 
-        let reply = read_frame(&mut conn.reader)?;
-        let mut received = reply.payload.len() as u64;
-        let reply_blob = if reply.opcode == Opcode::Ok {
-            match reply.header.get("len").and_then(Value::as_u64) {
-                Some(len) if wants_blob(frame.opcode) => {
-                    let blob = read_chunks(&mut conn.reader, len)?;
-                    received += blob.len() as u64;
-                    Some(blob)
+        let sent = frame.clone().with_request_id(id);
+        let wrote = {
+            let mut writer = conn.writer.lock();
+            self.write_request(&mut *writer, &sent, blob, WireVersion::V2)
+        };
+        if let Err(e) = wrote {
+            conn.pending.lock().remove(&id);
+            self.teardown_v2(slot, &conn, &format!("write failed: {e}"));
+            return Err(e);
+        }
+
+        let event = match self.config.read_timeout {
+            Some(timeout) => rx.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => {
+                    // Leave the connection up: the reader discards the
+                    // stale reply if it ever arrives.
+                    conn.pending.lock().remove(&id);
+                    WireError::Protocol(format!(
+                        "timed out after {timeout:?} waiting for a reply"
+                    ))
                 }
-                _ => None,
+                mpsc::RecvTimeoutError::Disconnected => {
+                    WireError::Protocol("connection reader exited".to_string())
+                }
+            }),
+            None => rx
+                .recv()
+                .map_err(|_| WireError::Protocol("connection reader exited".to_string())),
+        };
+        match event? {
+            ConnEvent::Reply(reply, reply_blob) => Ok((reply, reply_blob)),
+            ConnEvent::Failed(reason) => {
+                self.clear_slot_if(slot, &conn);
+                Err(WireError::Protocol(reason))
+            }
+        }
+    }
+
+    /// Legacy serial v1 exchange, one request at a time under the slot
+    /// lock (the seed client's behaviour, kept for old servers).
+    fn exchange_v1(
+        &self,
+        slot: &PoolSlot,
+        frame: &Frame,
+        blob: Option<&[u8]>,
+    ) -> Result<(Frame, Option<Vec<u8>>), WireError> {
+        let mut guard = slot.conn.lock();
+        if !matches!(&*guard, Some(PooledConn::V1(_))) {
+            *guard = Some(PooledConn::V1(self.open_v1()?));
+        }
+        let Some(PooledConn::V1(conn)) = guard.as_mut() else {
+            return Err(WireError::Protocol("connection cache unexpectedly empty".to_string()));
+        };
+        let result = self.exchange_v1_on(conn, frame, blob);
+        if result.is_err() {
+            // The socket's framing state is unknown after any failure.
+            *guard = None;
+        }
+        result
+    }
+
+    fn exchange_v1_on(
+        &self,
+        conn: &mut V1Conn,
+        frame: &Frame,
+        blob: Option<&[u8]>,
+    ) -> Result<(Frame, Option<Vec<u8>>), WireError> {
+        self.write_request(&mut conn.stream, frame, blob, WireVersion::V1)?;
+        let (reply, n) = read_frame_counted(&mut conn.stream, WireVersion::V1)?;
+        self.wire_in.fetch_add(n, Ordering::Relaxed);
+        let reply_blob = if reply.opcode == Opcode::Ok && wants_blob(frame.opcode) {
+            match reply.header.get("len").and_then(Value::as_u64) {
+                Some(len) => Some(self.read_chunks_v1(conn, len)?),
+                None => None,
             }
         } else {
             None
         };
-        self.bytes_read.fetch_add(received, Ordering::Relaxed);
         Ok((reply, reply_blob))
+    }
+
+    fn read_chunks_v1(&self, conn: &mut V1Conn, len: u64) -> Result<Vec<u8>, WireError> {
+        let mut out = Vec::new();
+        while (out.len() as u64) < len {
+            let (chunk, n) = read_frame_counted(&mut conn.stream, WireVersion::V1)?;
+            self.wire_in.fetch_add(n, Ordering::Relaxed);
+            if chunk.opcode != Opcode::Chunk {
+                return Err(WireError::Protocol(format!(
+                    "expected chunk frame, got {}",
+                    chunk.opcode.name()
+                )));
+            }
+            if chunk.payload.is_empty() || out.len() as u64 + chunk.payload.len() as u64 > len {
+                return Err(WireError::Protocol("chunk overruns announced length".to_string()));
+            }
+            out.extend_from_slice(&chunk.payload);
+        }
+        Ok(out)
+    }
+
+    /// Writes one request frame (and its blob as chunk frames) to `w`,
+    /// counting exact wire bytes. Payloads are written straight from the
+    /// caller's buffers — no intermediate copy.
+    fn write_request(
+        &self,
+        w: &mut impl Write,
+        frame: &Frame,
+        blob: Option<&[u8]>,
+        version: WireVersion,
+    ) -> Result<(), WireError> {
+        let mut wrote = self.write_one(w, frame, version)?;
+        if let Some(blob) = blob {
+            for chunk in chunk_frames(frame.request_id, &Bytes::from(blob.to_vec())) {
+                wrote += self.write_one(w, &chunk, version)?;
+            }
+        }
+        w.flush()?;
+        self.wire_out.fetch_add(wrote, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn write_one(
+        &self,
+        w: &mut impl Write,
+        frame: &Frame,
+        version: WireVersion,
+    ) -> Result<u64, WireError> {
+        let prefix = encode_frame_prefix(frame, version)?;
+        w.write_all(&prefix)?;
+        w.write_all(&frame.payload)?;
+        Ok((prefix.len() + frame.payload.len()) as u64)
+    }
+
+    /// Opens a socket and negotiates v2 with a `Hello` handshake, then
+    /// spawns the demultiplexing reader thread.
+    fn open_v2(&self) -> Result<Arc<V2Conn>, WireError> {
+        let stream = self.open_socket()?;
+        let hello = Frame::new(Opcode::Hello, json!({"version": u64::from(PROTOCOL_V2)}));
+        self.write_request(&mut &stream, &hello, None, WireVersion::V1)?;
+        let (reply, n) = read_frame_counted(&mut &stream, WireVersion::V1)?;
+        self.wire_in.fetch_add(n, Ordering::Relaxed);
+        match reply.opcode {
+            Opcode::Ok => {
+                let agreed = header_u64(&reply.header, "version")
+                    .map_err(|e| WireError::Protocol(e.to_string()))?;
+                if agreed != u64::from(PROTOCOL_V2) {
+                    return Err(WireError::Protocol(format!(
+                        "handshake agreed on version {agreed}, expected {PROTOCOL_V2}"
+                    )));
+                }
+            }
+            _ => {
+                let msg = reply
+                    .header
+                    .get("message")
+                    .and_then(Value::as_str)
+                    .unwrap_or("handshake rejected");
+                return Err(WireError::Protocol(format!("hello rejected: {msg}")));
+            }
+        }
+        let reader_stream = stream.try_clone()?;
+        // The reader polls so it can notice a locally-initiated close even
+        // when the wire is silent.
+        reader_stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+        let conn = Arc::new(V2Conn {
+            writer: Mutex::new(stream),
+            pending: Mutex::new(HashMap::new()),
+            alive: AtomicBool::new(true),
+        });
+        self.pool_gauge.add(1.0);
+        {
+            let reader_conn = Arc::clone(&conn);
+            let wire_in = Arc::clone(&self.wire_in);
+            let gauge = Arc::clone(&self.pool_gauge);
+            std::thread::Builder::new()
+                .name(format!("mmlib-client-{}", self.addr))
+                .spawn(move || reader_loop(&reader_conn, reader_stream, &wire_in, &gauge))
+                .map_err(|e| {
+                    conn.alive.store(false, Ordering::Release);
+                    self.pool_gauge.add(-1.0);
+                    WireError::Io(e)
+                })?;
+        }
+        Ok(conn)
+    }
+
+    fn open_v1(&self) -> Result<V1Conn, WireError> {
+        let stream = self.open_socket()?;
+        self.pool_gauge.add(1.0);
+        Ok(V1Conn { stream, gauge: Arc::clone(&self.pool_gauge) })
+    }
+
+    fn open_socket(&self) -> Result<TcpStream, WireError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)?;
+        stream.set_read_timeout(self.config.read_timeout)?;
+        stream.set_write_timeout(self.config.write_timeout)?;
+        stream.set_nodelay(true)?;
+        Ok(stream)
+    }
+
+    /// Tears a failed v2 connection down: fail every waiter, free the pool
+    /// slot for a fresh connection.
+    fn teardown_v2(&self, slot: &PoolSlot, conn: &Arc<V2Conn>, reason: &str) {
+        conn.fail_all(reason);
+        let _ = conn.writer.lock().shutdown(Shutdown::Both);
+        self.clear_slot_if(slot, conn);
+    }
+
+    fn clear_slot_if(&self, slot: &PoolSlot, conn: &Arc<V2Conn>) {
+        let mut guard = slot.conn.lock();
+        if let Some(PooledConn::V2(current)) = &*guard {
+            if Arc::ptr_eq(current, conn) {
+                *guard = None;
+            }
+        }
     }
 
     fn backoff(&self, attempt: u32) -> Duration {
         let base = self.config.base_backoff * 2u32.saturating_pow(attempt);
         // Up to +50% jitter so clients retrying together spread out.
         base + base.mul_f64(self.jitter.next_fraction() * 0.5)
+    }
+}
+
+impl Drop for RemoteStore {
+    fn drop(&mut self) {
+        for slot in &self.pool {
+            if let Some(PooledConn::V2(conn)) = &*slot.conn.lock() {
+                conn.fail_all("client shut down");
+                let _ = conn.writer.lock().shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// One pool entry; its connection opens on first use.
+struct PoolSlot {
+    conn: Mutex<Option<PooledConn>>,
+}
+
+impl PoolSlot {
+    fn new() -> PoolSlot {
+        PoolSlot { conn: Mutex::new(None) }
+    }
+}
+
+enum PooledConn {
+    V1(V1Conn),
+    V2(Arc<V2Conn>),
+}
+
+struct V1Conn {
+    stream: TcpStream,
+    gauge: Arc<Gauge>,
+}
+
+impl Drop for V1Conn {
+    fn drop(&mut self) {
+        self.gauge.add(-1.0);
+    }
+}
+
+/// A multiplexed v2 connection: writers interleave under the lock, one
+/// reader thread demultiplexes replies by frame id.
+struct V2Conn {
+    writer: Mutex<TcpStream>,
+    pending: Mutex<HashMap<u64, PendingEntry>>,
+    alive: AtomicBool,
+}
+
+struct PendingEntry {
+    tx: mpsc::Sender<ConnEvent>,
+    wants_blob: bool,
+}
+
+enum ConnEvent {
+    Reply(Frame, Option<Vec<u8>>),
+    Failed(String),
+}
+
+impl V2Conn {
+    fn fail_all(&self, reason: &str) {
+        self.alive.store(false, Ordering::Release);
+        for (_, entry) in self.pending.lock().drain() {
+            let _ = entry.tx.send(ConnEvent::Failed(reason.to_string()));
+        }
+    }
+}
+
+/// A reply blob mid-assembly on the reader thread.
+struct Partial {
+    frame: Frame,
+    want: u64,
+    data: Vec<u8>,
+    tx: mpsc::Sender<ConnEvent>,
+}
+
+/// The per-connection reader: accumulate bytes, decode v2 frames, route
+/// each to the caller waiting on its frame id. Replies to ids nobody waits
+/// for (a timed-out attempt's late answer) are discarded.
+fn reader_loop(conn: &V2Conn, mut stream: TcpStream, wire_in: &AtomicU64, gauge: &Gauge) {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut start = 0usize;
+    let mut partials: HashMap<u64, Partial> = HashMap::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    let reason = 'conn: loop {
+        if !conn.alive.load(Ordering::Acquire) {
+            break "connection closed".to_string();
+        }
+        match stream.read(&mut scratch) {
+            Ok(0) => break "server closed the connection".to_string(),
+            Ok(n) => {
+                wire_in.fetch_add(n as u64, Ordering::Relaxed);
+                buf.extend_from_slice(&scratch[..n]);
+                loop {
+                    match try_decode_frame(&buf[start..], WireVersion::V2) {
+                        Ok(None) => break,
+                        Ok(Some((frame, used))) => {
+                            start += used;
+                            route_reply(conn, frame, &mut partials);
+                        }
+                        Err(e) => break 'conn format!("protocol error: {e}"),
+                    }
+                }
+                if start > 4096 && start * 2 >= buf.len() {
+                    buf.drain(..start);
+                    start = 0;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                continue;
+            }
+            Err(e) => break format!("read failed: {e}"),
+        }
+    };
+    conn.fail_all(&reason);
+    gauge.add(-1.0);
+}
+
+/// Routes one decoded response frame on the reader thread.
+fn route_reply(conn: &V2Conn, frame: Frame, partials: &mut HashMap<u64, Partial>) {
+    let id = frame.request_id;
+    match frame.opcode {
+        Opcode::Chunk => {
+            let Some(partial) = partials.get_mut(&id) else { return };
+            if frame.payload.is_empty()
+                || partial.data.len() as u64 + frame.payload.len() as u64 > partial.want
+            {
+                if let Some(partial) = partials.remove(&id) {
+                    let _ = partial
+                        .tx
+                        .send(ConnEvent::Failed("chunk overruns announced length".to_string()));
+                }
+                return;
+            }
+            partial.data.extend_from_slice(&frame.payload);
+            if partial.data.len() as u64 == partial.want {
+                let Some(done) = partials.remove(&id) else { return };
+                let _ = done.tx.send(ConnEvent::Reply(done.frame, Some(done.data)));
+            }
+        }
+        Opcode::Ok => {
+            let Some(entry) = conn.pending.lock().remove(&id) else { return };
+            let announced = frame.header.get("len").and_then(Value::as_u64);
+            match announced {
+                Some(len) if entry.wants_blob && len > 0 => {
+                    partials.insert(id, Partial { frame, want: len, data: Vec::new(), tx: entry.tx });
+                }
+                Some(_) if entry.wants_blob => {
+                    let _ = entry.tx.send(ConnEvent::Reply(frame, Some(Vec::new())));
+                }
+                _ => {
+                    let _ = entry.tx.send(ConnEvent::Reply(frame, None));
+                }
+            }
+        }
+        Opcode::Err | Opcode::Busy => {
+            partials.remove(&id);
+            let Some(entry) = conn.pending.lock().remove(&id) else { return };
+            let _ = entry.tx.send(ConnEvent::Reply(frame, None));
+        }
+        // The server never sends request opcodes; a stray one is dropped
+        // rather than poisoning every in-flight request on the socket.
+        _ => {}
+    }
+}
+
+/// The registry server's metrics snapshot, decoded from the `Stats` reply.
+#[derive(Debug, Clone)]
+pub struct ServerStats {
+    /// Requests served across all opcodes.
+    pub total_requests: u64,
+    /// Raw socket bytes the server received.
+    pub bytes_in: u64,
+    /// Raw socket bytes the server sent.
+    pub bytes_out: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests answered with `Busy` by admission control.
+    pub load_shed: u64,
+    /// Requests in flight when the snapshot was taken.
+    pub inflight: u64,
+    /// Per-opcode request counts, sorted by opcode name.
+    pub requests_by_opcode: Vec<(String, u64)>,
+    /// The undecoded snapshot, for fields this struct predates.
+    pub raw: Value,
+}
+
+impl ServerStats {
+    fn from_value(raw: Value) -> ServerStats {
+        let get = |key: &str| raw.get(key).and_then(Value::as_u64).unwrap_or(0);
+        let mut requests_by_opcode: Vec<(String, u64)> = Vec::new();
+        if let Some(Value::Object(map)) = raw.get("requests") {
+            for (name, count) in map {
+                requests_by_opcode.push((name.clone(), count.as_u64().unwrap_or(0)));
+            }
+        }
+        requests_by_opcode.sort();
+        ServerStats {
+            total_requests: get("total_requests"),
+            bytes_in: get("bytes_in"),
+            bytes_out: get("bytes_out"),
+            connections: get("connections"),
+            load_shed: get("load_shed"),
+            inflight: get("inflight"),
+            requests_by_opcode,
+            raw,
+        }
+    }
+}
+
+/// One model's lineage record, decoded from a `LineageGet` /
+/// `LineageAncestry` reply.
+#[derive(Debug, Clone)]
+pub struct LineageNode {
+    /// The model this record describes.
+    pub model: String,
+    /// Parent model id, if the model was derived from one.
+    pub parent: Option<String>,
+    /// Save approach recorded at derivation (`param_update`, ...).
+    pub approach: Option<String>,
+    /// Relation to the parent (`fine_tuned`, `distilled`, ...).
+    pub relation: Option<String>,
+    /// Content root hash recorded for the version, when present.
+    pub root_hash: Option<String>,
+    /// The undecoded record, for fields this struct predates.
+    pub raw: Value,
+}
+
+impl LineageNode {
+    fn from_value(raw: Value) -> LineageNode {
+        let get = |key: &str| {
+            raw.get(key).and_then(Value::as_str).map(str::to_string)
+        };
+        LineageNode {
+            model: get("model").unwrap_or_default(),
+            parent: get("parent"),
+            approach: get("approach"),
+            relation: get("relation"),
+            root_hash: get("root_hash"),
+            raw,
+        }
     }
 }
 

@@ -7,8 +7,12 @@
 //!   a scheduled fault closes the socket immediately, the transient
 //!   `ECONNRESET` a restarting registry produces;
 //! * the **response** injector is consulted once per outgoing frame
-//!   (replies *and* blob chunks) — a scheduled fault drops the connection
-//!   before the frame, or truncates the frame's bytes mid-write.
+//!   (replies *and* blob chunks). Under protocol v2 a fault's blast radius
+//!   is part of its meaning: `DropConnection`/`ConnReset` kill the whole
+//!   multiplexed connection, `TruncateFrame`/`TornWrite` emit a prefix of
+//!   one frame and then close (the torn-write failure mode), and `IoError`
+//!   silently swallows exactly one response frame while the connection —
+//!   and every *other* in-flight request on it — lives on.
 //!
 //! Both plans come from `mmlib-store`'s [`FaultPlan`], so one seed
 //! describes a whole storage + network failure scenario. Clients are
@@ -64,9 +68,4 @@ impl NetFaults {
     pub fn response_injector(&self) -> &FaultInjector {
         &self.response
     }
-}
-
-/// The `io::Error` representing an injected network fault.
-pub(crate) fn injected_io_error(fault: &Fault) -> std::io::Error {
-    std::io::Error::other(format!("injected fault: {fault}"))
 }

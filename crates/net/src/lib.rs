@@ -6,14 +6,19 @@
 //! split for the reproduction with real bytes on real sockets:
 //!
 //! * [`protocol`] — length-prefixed binary frames (u32 length + opcode +
-//!   JSON header + raw payload) with 64 KiB chunked blob streaming, so a
-//!   242 MB ResNet-152 snapshot never sits in one allocation twice.
+//!   frame id + JSON header + raw payload) with 64 KiB chunked blob
+//!   streaming, so a 242 MB ResNet-152 snapshot never sits in one
+//!   allocation twice. Protocol **v2** multiplexes many in-flight requests
+//!   per connection, correlated by a `u64` frame id; the `Hello` handshake
+//!   negotiates the version, so v1 peers keep working.
 //! * [`RegistryServer`] — a TCP server over a [`mmlib_store::ModelStorage`]
-//!   with a crossbeam worker pool and per-opcode request/byte metrics.
-//! * [`RemoteStore`] — a client implementing
+//!   with nonblocking I/O threads, sharded worker pools keyed by model id
+//!   (per-model request ordering), admission control with `Busy` load
+//!   shedding, and per-opcode request/byte metrics.
+//! * [`RemoteStore`] — a pooled, pipelined client implementing
 //!   [`mmlib_store::StorageBackend`], so the entire save/recover stack runs
 //!   unmodified against a remote registry; retries with exponential backoff
-//!   plus jitter, configurable timeouts.
+//!   plus jitter, configurable through [`RemoteStore::builder`].
 //!
 //! [`SimNetwork`](mmlib_store::SimNetwork) models transfer time without
 //! moving bytes (reproducible evaluation numbers); this crate moves the
@@ -27,7 +32,15 @@ pub mod fault;
 pub mod protocol;
 pub mod server;
 
-pub use client::{ClientConfig, RemoteStore};
+pub use client::{
+    ClientConfig, LineageNode, RemoteStore, RemoteStoreBuilder, ServerStats,
+};
 pub use fault::NetFaults;
-pub use protocol::{Frame, Opcode, WireError, CHUNK_SIZE, MAX_FRAME_LEN, PROTOCOL_VERSION};
-pub use server::{RegistryServer, ServerConfig, ServerMetrics};
+pub use protocol::{
+    Frame, Opcode, WireError, WireVersion, CHUNK_SIZE, MAX_FRAME_LEN, PROTOCOL_V1, PROTOCOL_V2,
+    PROTOCOL_VERSION,
+};
+pub use server::{
+    AdmissionConfig, ConfigError, RegistryServer, ServerConfig, ServerMetrics, ShardConfig,
+    WireConfig,
+};

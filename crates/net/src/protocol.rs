@@ -1,6 +1,7 @@
-//! The mmlib wire protocol: length-prefixed binary frames.
+//! The mmlib wire protocol: length-prefixed binary frames, in two
+//! negotiated framings.
 //!
-//! One frame on the wire is:
+//! **v1** (legacy, still spoken for old clients) is one message per frame:
 //!
 //! ```text
 //! ┌─────────────┬─────────┬───────────────┬──────────────┬─────────────┐
@@ -9,13 +10,46 @@
 //! └─────────────┴─────────┴───────────────┴──────────────┴─────────────┘
 //! ```
 //!
+//! **v2** (current) adds a `u64` request id right after the opcode, so one
+//! connection can carry many in-flight requests and every response frame
+//! names the request it answers:
+//!
+//! ```text
+//! ┌─────────────┬─────────┬────────────────┬───────────────┬────────┬─────────┐
+//! │ u32 LE len  │ u8 op   │ u64 LE req id  │ u32 LE hlen   │ header │ payload │
+//! └─────────────┴─────────┴────────────────┴───────────────┴────────┴─────────┘
+//! ```
+//!
 //! `len` counts everything after the length field itself. The JSON header
 //! carries the structured part of a message (ids, document bodies, sizes);
 //! the payload carries raw blob bytes. Large blobs never travel in one
 //! frame: a transfer is announced by its request/response frame (header
 //! `{"len": n}`) and the bytes follow in [`CHUNK_SIZE`]-bounded
-//! [`Opcode::Chunk`] frames, so neither side ever buffers more than one
-//! chunk beyond the blob's own allocation.
+//! [`Opcode::Chunk`] frames. Under v2 each chunk carries the request id of
+//! its transfer, so chunks of different transfers may interleave freely on
+//! one multiplexed connection.
+//!
+//! # Version negotiation
+//!
+//! The first frame on a connection is always **v1-framed**, so both sides
+//! can parse it before any version is agreed:
+//!
+//! * a v1 client opens with [`Opcode::Ping`] `{"version": 1}` and the
+//!   whole connection stays v1 — exactly the historical protocol;
+//! * a v2 client opens with [`Opcode::Hello`] `{"version": 2}`; the server
+//!   answers with a v1-framed `Ok {"version": 2, "max_inflight": n}` and
+//!   *every frame after that handshake pair*, in both directions, is
+//!   v2-framed;
+//! * any other requested version is rejected cleanly with a v1-framed
+//!   `Err {"code": "version_mismatch"}` — the unknown-version handshake
+//!   never desynchronizes the stream.
+//!
+//! # Load shedding
+//!
+//! A v2 server enforcing its admission budget answers an over-budget
+//! request with [`Opcode::Busy`] (`{"code": "busy", "retry_after_ms": n}`)
+//! instead of queueing it. `Busy` is a per-request response: the
+//! connection stays healthy and other in-flight requests are unaffected.
 
 use std::fmt;
 use std::io::{Read, Write};
@@ -23,8 +57,15 @@ use std::io::{Read, Write};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde_json::Value;
 
-/// Protocol version, checked during the `Ping` handshake.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// The legacy framing version (no request ids, one request in flight).
+pub const PROTOCOL_V1: u32 = 1;
+
+/// The multiplexed framing version (request ids, pipelining, `Busy`).
+pub const PROTOCOL_V2: u32 = 2;
+
+/// Highest protocol version this build speaks; servers negotiate down to a
+/// client's version when they can.
+pub const PROTOCOL_VERSION: u32 = PROTOCOL_V2;
 
 /// Hard upper bound on one frame's body; oversized length prefixes are
 /// rejected before any allocation happens.
@@ -36,12 +77,59 @@ pub const CHUNK_SIZE: usize = 64 * 1024;
 /// Hard upper bound on one streamed blob (sum of its chunks).
 pub const MAX_BLOB_LEN: u64 = 8 * 1024 * 1024 * 1024;
 
+/// Negotiated framing for one connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireVersion {
+    /// Legacy framing: no request id on the wire (decoded as id 0).
+    V1,
+    /// Multiplexed framing: a u64 request id after the opcode byte.
+    V2,
+}
+
+impl WireVersion {
+    /// The version number exchanged in handshakes.
+    pub fn number(self) -> u32 {
+        match self {
+            WireVersion::V1 => PROTOCOL_V1,
+            WireVersion::V2 => PROTOCOL_V2,
+        }
+    }
+
+    /// Maps a handshake version number to a framing, if supported.
+    pub fn from_number(n: u64) -> Option<WireVersion> {
+        match n {
+            n if n == u64::from(PROTOCOL_V1) => Some(WireVersion::V1),
+            n if n == u64::from(PROTOCOL_V2) => Some(WireVersion::V2),
+            _ => None,
+        }
+    }
+
+    /// Bytes between the opcode byte and the header-length field: the
+    /// request id under v2, nothing under v1.
+    fn id_bytes(self) -> usize {
+        match self {
+            WireVersion::V1 => 0,
+            WireVersion::V2 => 8,
+        }
+    }
+
+    /// Minimum legal body length (opcode + id + header length field).
+    fn min_body(self) -> usize {
+        1 + self.id_bytes() + 4
+    }
+}
+
 /// Message opcodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum Opcode {
-    /// Liveness + version handshake. Header: `{"version": n}`.
+    /// Liveness + legacy (v1) version handshake. Header: `{"version": n}`.
     Ping = 0x01,
+    /// v2 version-negotiation handshake, sent v1-framed as a connection's
+    /// first frame. Header: `{"version": n}`; the `Ok` reply carries
+    /// `{"version": n, "max_inflight": n}` and flips the connection to the
+    /// agreed framing.
+    Hello = 0x02,
     /// Insert a document. Header: `{"kind": s, "body": v}`.
     DocInsert = 0x10,
     /// Fetch a document. Header: `{"id": s}`.
@@ -82,14 +170,20 @@ pub enum Opcode {
     Ok = 0x40,
     /// Failure response. Header: `{"code": s, "message": s}`.
     Err = 0x41,
-    /// Blob payload continuation for an announced transfer.
+    /// Load-shed response: the server's admission budget is exhausted.
+    /// Header: `{"code": "busy", "retry_after_ms": n}`. Retryable; the
+    /// connection stays healthy.
+    Busy = 0x42,
+    /// Blob payload continuation for an announced transfer. Under v2 the
+    /// frame's request id names the transfer it belongs to.
     Chunk = 0x50,
 }
 
 impl Opcode {
     /// Every opcode, for metrics tables.
-    pub const ALL: [Opcode; 20] = [
+    pub const ALL: [Opcode; 22] = [
         Opcode::Ping,
+        Opcode::Hello,
         Opcode::DocInsert,
         Opcode::DocGet,
         Opcode::DocUpdate,
@@ -108,6 +202,7 @@ impl Opcode {
         Opcode::LineageAncestry,
         Opcode::Ok,
         Opcode::Err,
+        Opcode::Busy,
         Opcode::Chunk,
     ];
 
@@ -115,6 +210,7 @@ impl Opcode {
     pub fn name(self) -> &'static str {
         match self {
             Opcode::Ping => "ping",
+            Opcode::Hello => "hello",
             Opcode::DocInsert => "doc_insert",
             Opcode::DocGet => "doc_get",
             Opcode::DocUpdate => "doc_update",
@@ -133,6 +229,7 @@ impl Opcode {
             Opcode::LineageAncestry => "lineage_ancestry",
             Opcode::Ok => "ok",
             Opcode::Err => "err",
+            Opcode::Busy => "busy",
             Opcode::Chunk => "chunk",
         }
     }
@@ -144,25 +241,27 @@ impl Opcode {
     pub(crate) fn index(self) -> usize {
         match self {
             Opcode::Ping => 0,
-            Opcode::DocInsert => 1,
-            Opcode::DocGet => 2,
-            Opcode::DocUpdate => 3,
-            Opcode::DocContains => 4,
-            Opcode::DocRemove => 5,
-            Opcode::DocIds => 6,
-            Opcode::FilePut => 7,
-            Opcode::FileGet => 8,
-            Opcode::FileSize => 9,
-            Opcode::FileContains => 10,
-            Opcode::FileRemove => 11,
-            Opcode::FileIds => 12,
-            Opcode::Stats => 13,
-            Opcode::StatsText => 14,
-            Opcode::LineageGet => 15,
-            Opcode::LineageAncestry => 16,
-            Opcode::Ok => 17,
-            Opcode::Err => 18,
-            Opcode::Chunk => 19,
+            Opcode::Hello => 1,
+            Opcode::DocInsert => 2,
+            Opcode::DocGet => 3,
+            Opcode::DocUpdate => 4,
+            Opcode::DocContains => 5,
+            Opcode::DocRemove => 6,
+            Opcode::DocIds => 7,
+            Opcode::FilePut => 8,
+            Opcode::FileGet => 9,
+            Opcode::FileSize => 10,
+            Opcode::FileContains => 11,
+            Opcode::FileRemove => 12,
+            Opcode::FileIds => 13,
+            Opcode::Stats => 14,
+            Opcode::StatsText => 15,
+            Opcode::LineageGet => 16,
+            Opcode::LineageAncestry => 17,
+            Opcode::Ok => 18,
+            Opcode::Err => 19,
+            Opcode::Busy => 20,
+            Opcode::Chunk => 21,
         }
     }
 }
@@ -182,17 +281,26 @@ impl TryFrom<u8> for Opcode {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Frame {
     pub opcode: Opcode,
+    /// Correlates a response (or chunk) with its request on a multiplexed
+    /// connection. Not on the wire under v1 framing (always decodes as 0).
+    pub request_id: u64,
     pub header: Value,
     pub payload: Bytes,
 }
 
 impl Frame {
     pub fn new(opcode: Opcode, header: Value) -> Frame {
-        Frame { opcode, header, payload: Bytes::new() }
+        Frame { opcode, request_id: 0, header, payload: Bytes::new() }
     }
 
     pub fn with_payload(opcode: Opcode, header: Value, payload: Bytes) -> Frame {
-        Frame { opcode, header, payload }
+        Frame { opcode, request_id: 0, header, payload }
+    }
+
+    /// Tags the frame with a request id (v2 correlation).
+    pub fn with_request_id(mut self, id: u64) -> Frame {
+        self.request_id = id;
+        self
     }
 }
 
@@ -214,6 +322,9 @@ pub enum WireError {
     /// The peer violated the message exchange (wrong opcode, bad chunk
     /// accounting, version mismatch, ...).
     Protocol(String),
+    /// The server shed this request under load ([`Opcode::Busy`]); retry
+    /// after a backoff. Carries the advised delay in milliseconds.
+    Busy(u64),
 }
 
 impl fmt::Display for WireError {
@@ -228,6 +339,7 @@ impl fmt::Display for WireError {
             WireError::BadOpcode(b) => write!(f, "unknown opcode {b:#04x}"),
             WireError::BadHeader(m) => write!(f, "bad frame header: {m}"),
             WireError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            WireError::Busy(ms) => write!(f, "server busy (retry after {ms} ms)"),
         }
     }
 }
@@ -240,48 +352,65 @@ impl From<std::io::Error> for WireError {
     }
 }
 
-/// Encodes a frame into a fresh buffer (length prefix included).
+/// Encodes a frame's length prefix, opcode, request id (v2), and header —
+/// everything *except* the payload — so callers can write the payload from
+/// its own shared buffer without copying it through the encoder. Returns
+/// the prefix; the full frame on the wire is `prefix ++ frame.payload`.
 ///
 /// Fails with [`WireError::Oversized`] when the body would exceed
 /// [`MAX_FRAME_LEN`] — the decoder rejects such frames, so emitting one
 /// would only waste bandwidth before a guaranteed peer error.
-pub fn encode_frame(frame: &Frame) -> Result<Bytes, WireError> {
+pub fn encode_frame_prefix(frame: &Frame, version: WireVersion) -> Result<Bytes, WireError> {
     let header = frame.header.to_json_string();
-    let body_len = 1 + 4 + header.len() + frame.payload.len();
+    let body_len = version.min_body() + header.len() + frame.payload.len();
     if body_len > MAX_FRAME_LEN {
         return Err(WireError::Oversized(body_len));
     }
     let body_len_u32 = u32::try_from(body_len).map_err(|_| WireError::Oversized(body_len))?;
     let header_len_u32 =
         u32::try_from(header.len()).map_err(|_| WireError::Oversized(header.len()))?;
-    let mut out = BytesMut::with_capacity(4 + body_len);
+    let mut out = BytesMut::with_capacity(4 + version.min_body() + header.len());
     out.put_u32_le(body_len_u32);
     out.put_u8(frame.opcode as u8);
+    if version == WireVersion::V2 {
+        out.put_u64_le(frame.request_id);
+    }
     out.put_u32_le(header_len_u32);
     out.put_slice(header.as_bytes());
+    Ok(out.freeze())
+}
+
+/// Encodes a frame into one contiguous buffer (length prefix included)
+/// under the given framing version.
+pub fn encode_frame_v(frame: &Frame, version: WireVersion) -> Result<Bytes, WireError> {
+    let prefix = encode_frame_prefix(frame, version)?;
+    if frame.payload.is_empty() {
+        return Ok(prefix);
+    }
+    let mut out = BytesMut::with_capacity(prefix.len() + frame.payload.len());
+    out.put_slice(&prefix);
     out.put_slice(&frame.payload);
     Ok(out.freeze())
 }
 
-/// Decodes one frame from a buffer, consuming exactly its bytes.
-///
-/// Fails with [`WireError::Truncated`] when the buffer holds less than the
-/// declared length and [`WireError::Oversized`] when the declared length
-/// exceeds [`MAX_FRAME_LEN`] (without consuming past the prefix).
-pub fn decode_frame(buf: &mut Bytes) -> Result<Frame, WireError> {
-    if buf.remaining() < 4 {
+/// Encodes a frame under the legacy v1 framing (the request id is not
+/// written). Kept as the stable name the original protocol exposed.
+pub fn encode_frame(frame: &Frame) -> Result<Bytes, WireError> {
+    encode_frame_v(frame, WireVersion::V1)
+}
+
+/// Decodes one frame's *body* (everything after the u32 length prefix).
+/// `body` must hold exactly the declared body bytes.
+fn decode_body(mut body: Bytes, version: WireVersion) -> Result<Frame, WireError> {
+    if body.remaining() < version.min_body() {
         return Err(WireError::Truncated);
     }
-    let body_len = buf.get_u32_le() as usize;
-    if body_len > MAX_FRAME_LEN {
-        return Err(WireError::Oversized(body_len));
-    }
-    if body_len < 5 || buf.remaining() < body_len {
-        return Err(WireError::Truncated);
-    }
-    let mut body = buf.split_to(body_len);
     let opcode = Opcode::try_from(body.get_u8())?;
-    let header_len = body.get_u32_le() as usize;
+    let request_id = match version {
+        WireVersion::V1 => 0,
+        WireVersion::V2 => body.get_u64_le(),
+    };
+    let header_len = usize::try_from(body.get_u32_le()).unwrap_or(usize::MAX);
     if body.remaining() < header_len {
         return Err(WireError::Truncated);
     }
@@ -290,18 +419,89 @@ pub fn decode_frame(buf: &mut Bytes) -> Result<Frame, WireError> {
         .map_err(|e| WireError::BadHeader(format!("header not UTF-8: {e}")))?;
     let header =
         Value::parse(header_text).map_err(|e| WireError::BadHeader(e.to_string()))?;
-    Ok(Frame { opcode, header, payload: body })
+    Ok(Frame { opcode, request_id, header, payload: body })
 }
 
-/// Writes one frame to a stream.
-pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
-    w.write_all(&encode_frame(frame)?)?;
+/// Decodes one frame from a buffer under the given framing, consuming
+/// exactly its bytes. The payload is a zero-copy slice of the input.
+///
+/// Fails with [`WireError::Truncated`] when the buffer holds less than the
+/// declared length and [`WireError::Oversized`] when the declared length
+/// exceeds [`MAX_FRAME_LEN`] (without consuming past the prefix).
+pub fn decode_frame_v(buf: &mut Bytes, version: WireVersion) -> Result<Frame, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let body_len = usize::try_from(buf.get_u32_le()).unwrap_or(usize::MAX);
+    if body_len > MAX_FRAME_LEN {
+        return Err(WireError::Oversized(body_len));
+    }
+    if body_len < version.min_body() || buf.remaining() < body_len {
+        return Err(WireError::Truncated);
+    }
+    let body = buf.split_to(body_len);
+    decode_body(body, version)
+}
+
+/// Decodes one v1 frame (the stable legacy entry point).
+pub fn decode_frame(buf: &mut Bytes) -> Result<Frame, WireError> {
+    decode_frame_v(buf, WireVersion::V1)
+}
+
+/// Incremental decode for event-loop readers: examines `buf` (the start of
+/// a frame stream) and returns the first complete frame plus the number of
+/// bytes it occupied, or `Ok(None)` when more bytes are needed. Errors are
+/// unrecoverable for the stream (framing is lost).
+pub fn try_decode_frame(
+    buf: &[u8],
+    version: WireVersion,
+) -> Result<Option<(Frame, usize)>, WireError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let declared = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    let body_len = usize::try_from(declared).unwrap_or(usize::MAX);
+    if body_len > MAX_FRAME_LEN {
+        return Err(WireError::Oversized(body_len));
+    }
+    if body_len < version.min_body() {
+        return Err(WireError::Truncated);
+    }
+    let total = 4 + body_len;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let body = Bytes::copy_from_slice(&buf[4..total]);
+    Ok(Some((decode_body(body, version)?, total)))
+}
+
+/// Writes one frame to a stream under the given framing. The payload is
+/// written straight from the frame's shared buffer — no copy.
+pub fn write_frame_v(
+    w: &mut impl Write,
+    frame: &Frame,
+    version: WireVersion,
+) -> Result<(), WireError> {
+    let prefix = encode_frame_prefix(frame, version)?;
+    w.write_all(&prefix)?;
+    if !frame.payload.is_empty() {
+        w.write_all(&frame.payload)?;
+    }
     Ok(())
 }
 
-/// Reads one frame from a stream. Returns [`WireError::Closed`] on a clean
-/// EOF at a frame boundary.
-pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
+/// Writes one v1 frame (the stable legacy entry point).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
+    write_frame_v(w, frame, WireVersion::V1)
+}
+
+/// Reads one frame from a stream under the given framing, also returning
+/// the exact number of wire bytes consumed (length prefix included).
+/// Returns [`WireError::Closed`] on a clean EOF at a frame boundary.
+pub fn read_frame_counted(
+    r: &mut impl Read,
+    version: WireVersion,
+) -> Result<(Frame, u64), WireError> {
     let mut len_buf = [0u8; 4];
     match r.read_exact(&mut len_buf) {
         Ok(()) => {}
@@ -316,7 +516,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
     if body_len > MAX_FRAME_LEN {
         return Err(WireError::Oversized(body_len));
     }
-    if body_len < 5 {
+    if body_len < version.min_body() {
         return Err(WireError::Truncated);
     }
     let mut body = vec![0u8; body_len];
@@ -327,44 +527,62 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
             WireError::Io(e)
         }
     })?;
-    // Re-assemble a length-prefixed buffer for the shared decoder.
-    let mut framed = BytesMut::with_capacity(4 + body_len);
-    framed.put_u32_le(u32::try_from(body_len).map_err(|_| WireError::Oversized(body_len))?);
-    framed.put_slice(&body);
-    decode_frame(&mut framed.freeze())
+    let wire_len = 4 + body_len as u64;
+    Ok((decode_body(Bytes::from(body), version)?, wire_len))
 }
 
-/// Reads the string field `key` from a frame header.
-pub fn header_str<'a>(header: &'a Value, key: &str) -> Result<&'a str, WireError> {
-    header
-        .get(key)
-        .and_then(Value::as_str)
-        .ok_or_else(|| WireError::BadHeader(format!("missing string field `{key}`")))
+/// Reads one frame from a stream under the given framing.
+pub fn read_frame_v(r: &mut impl Read, version: WireVersion) -> Result<Frame, WireError> {
+    read_frame_counted(r, version).map(|(frame, _)| frame)
 }
 
-/// Reads the u64 field `key` from a frame header.
-pub fn header_u64(header: &Value, key: &str) -> Result<u64, WireError> {
-    header
-        .get(key)
-        .and_then(Value::as_u64)
-        .ok_or_else(|| WireError::BadHeader(format!("missing integer field `{key}`")))
+/// Reads one v1 frame (the stable legacy entry point).
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
+    read_frame_v(r, WireVersion::V1)
 }
 
-/// Streams `blob` to `w` as `Chunk` frames of at most [`CHUNK_SIZE`] bytes.
-/// Empty blobs send no chunks (the announcement frame's `len: 0` says it all).
-pub fn write_chunks(w: &mut impl Write, blob: &[u8]) -> Result<(), WireError> {
-    for chunk in blob.chunks(CHUNK_SIZE) {
-        let frame = Frame::with_payload(
-            Opcode::Chunk,
-            serde_json::json!({}),
-            Bytes::copy_from_slice(chunk),
+/// Splits `blob` into the `Chunk` frames of its transfer, each at most
+/// [`CHUNK_SIZE`] bytes, tagged with `request_id`. Every chunk's payload is
+/// a zero-copy slice of `blob` — the bytes are shared, never duplicated.
+/// Empty blobs yield no chunks (the announcement's `len: 0` says it all).
+pub fn chunk_frames(request_id: u64, blob: &Bytes) -> Vec<Frame> {
+    let mut out = Vec::with_capacity(blob.len().div_ceil(CHUNK_SIZE));
+    let mut start = 0usize;
+    while start < blob.len() {
+        let end = (start + CHUNK_SIZE).min(blob.len());
+        out.push(
+            Frame::with_payload(Opcode::Chunk, serde_json::json!({}), blob.slice(start..end))
+                .with_request_id(request_id),
         );
-        write_frame(w, &frame)?;
+        start = end;
+    }
+    out
+}
+
+/// Streams `blob` to `w` as `Chunk` frames of at most [`CHUNK_SIZE`] bytes
+/// under the given framing, tagging each with `request_id` (ignored by v1
+/// framing). Payload bytes are written straight from `blob` — no copy.
+pub fn write_chunks_v(
+    w: &mut impl Write,
+    request_id: u64,
+    blob: &Bytes,
+    version: WireVersion,
+) -> Result<(), WireError> {
+    for frame in chunk_frames(request_id, blob) {
+        write_frame_v(w, &frame, version)?;
     }
     Ok(())
 }
 
-/// Reads an announced `len`-byte blob as `Chunk` frames into one allocation.
+/// Streams `blob` to `w` as v1 `Chunk` frames (the stable legacy entry
+/// point; copies each chunk into its frame).
+pub fn write_chunks(w: &mut impl Write, blob: &[u8]) -> Result<(), WireError> {
+    write_chunks_v(w, 0, &Bytes::copy_from_slice(blob), WireVersion::V1)
+}
+
+/// Reads an announced `len`-byte blob as consecutive `Chunk` frames into
+/// one allocation (v1 streams only — under v2, chunks may interleave with
+/// other responses and are assembled per request id by the demultiplexer).
 pub fn read_chunks(r: &mut impl Read, len: u64) -> Result<Vec<u8>, WireError> {
     if len > MAX_BLOB_LEN {
         return Err(WireError::Protocol(format!(
@@ -394,6 +612,22 @@ pub fn read_chunks(r: &mut impl Read, len: u64) -> Result<Vec<u8>, WireError> {
     Ok(blob)
 }
 
+/// Reads the string field `key` from a frame header.
+pub fn header_str<'a>(header: &'a Value, key: &str) -> Result<&'a str, WireError> {
+    header
+        .get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| WireError::BadHeader(format!("missing string field `{key}`")))
+}
+
+/// Reads the u64 field `key` from a frame header.
+pub fn header_u64(header: &Value, key: &str) -> Result<u64, WireError> {
+    header
+        .get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| WireError::BadHeader(format!("missing integer field `{key}`")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,16 +647,41 @@ mod tests {
     }
 
     #[test]
+    fn v2_frame_round_trips_with_request_id() {
+        let frame = Frame::with_payload(
+            Opcode::FileGet,
+            json!({"id": "f-1"}),
+            Bytes::copy_from_slice(b"xyz"),
+        )
+        .with_request_id(0xDEAD_BEEF_F00D_u64);
+        let mut encoded = encode_frame_v(&frame, WireVersion::V2).unwrap();
+        let decoded = decode_frame_v(&mut encoded, WireVersion::V2).unwrap();
+        assert_eq!(decoded, frame);
+        assert_eq!(decoded.request_id, 0xDEAD_BEEF_F00D_u64);
+        assert!(!encoded.has_remaining());
+    }
+
+    #[test]
+    fn v1_encoding_does_not_carry_the_request_id() {
+        let frame = Frame::new(Opcode::Ping, json!({"version": 1})).with_request_id(42);
+        let mut encoded = encode_frame_v(&frame, WireVersion::V1).unwrap();
+        let decoded = decode_frame_v(&mut encoded, WireVersion::V1).unwrap();
+        assert_eq!(decoded.request_id, 0, "v1 framing has no id field");
+    }
+
+    #[test]
     fn truncated_frames_are_rejected() {
         let frame = Frame::new(Opcode::Ping, json!({"version": 1}));
-        let encoded = encode_frame(&frame).unwrap();
-        for cut in 0..encoded.len() {
-            let mut partial = encoded.slice(0..cut);
-            assert!(
-                decode_frame(&mut partial).is_err(),
-                "cut at {cut} of {} decoded anyway",
-                encoded.len()
-            );
+        for version in [WireVersion::V1, WireVersion::V2] {
+            let encoded = encode_frame_v(&frame, version).unwrap();
+            for cut in 0..encoded.len() {
+                let mut partial = encoded.slice(0..cut);
+                assert!(
+                    decode_frame_v(&mut partial, version).is_err(),
+                    "{version:?} cut at {cut} of {} decoded anyway",
+                    encoded.len()
+                );
+            }
         }
     }
 
@@ -457,6 +716,15 @@ mod tests {
     }
 
     #[test]
+    fn opcode_bytes_are_unique() {
+        for (i, a) in Opcode::ALL.into_iter().enumerate() {
+            for b in Opcode::ALL.into_iter().skip(i + 1) {
+                assert_ne!(a as u8, b as u8, "{} and {} share a byte", a.name(), b.name());
+            }
+        }
+    }
+
+    #[test]
     fn oversized_frame_is_rejected_at_encode_time() {
         let frame = Frame::with_payload(
             Opcode::FilePut,
@@ -487,5 +755,55 @@ mod tests {
         write_chunks(&mut wire, &[7u8; 100]).unwrap();
         let mut reader = wire.as_slice();
         assert!(matches!(read_chunks(&mut reader, 50), Err(WireError::Protocol(_))));
+    }
+
+    #[test]
+    fn chunk_frames_share_the_blob_allocation() {
+        let blob = Bytes::from((0..150_000u32).map(|i| (i % 255) as u8).collect::<Vec<u8>>());
+        let frames = chunk_frames(9, &blob);
+        assert_eq!(frames.len(), 3);
+        assert!(frames.iter().all(|f| f.request_id == 9));
+        let total: usize = frames.iter().map(|f| f.payload.len()).sum();
+        assert_eq!(total, blob.len());
+        // Zero-copy: the reassembled bytes are identical without any copy
+        // having happened at split time.
+        let mut back = Vec::new();
+        for f in &frames {
+            back.extend_from_slice(&f.payload);
+        }
+        assert_eq!(back, blob.to_vec());
+    }
+
+    #[test]
+    fn try_decode_frame_is_incremental() {
+        let a = Frame::new(Opcode::DocIds, json!({})).with_request_id(1);
+        let b = Frame::with_payload(Opcode::Chunk, json!({}), Bytes::copy_from_slice(b"pp"))
+            .with_request_id(2);
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&encode_frame_v(&a, WireVersion::V2).unwrap());
+        wire.extend_from_slice(&encode_frame_v(&b, WireVersion::V2).unwrap());
+
+        // Nothing decodes until the first frame is complete.
+        let first_len = encode_frame_v(&a, WireVersion::V2).unwrap().len();
+        for cut in 0..first_len {
+            assert!(matches!(
+                try_decode_frame(&wire[..cut], WireVersion::V2),
+                Ok(None)
+            ));
+        }
+        let (frame, used) = try_decode_frame(&wire, WireVersion::V2).unwrap().unwrap();
+        assert_eq!(frame, a);
+        assert_eq!(used, first_len);
+        let (frame2, used2) = try_decode_frame(&wire[used..], WireVersion::V2).unwrap().unwrap();
+        assert_eq!(frame2, b);
+        assert_eq!(used + used2, wire.len());
+    }
+
+    #[test]
+    fn wire_version_maps_handshake_numbers() {
+        assert_eq!(WireVersion::from_number(1), Some(WireVersion::V1));
+        assert_eq!(WireVersion::from_number(2), Some(WireVersion::V2));
+        assert_eq!(WireVersion::from_number(3), None);
+        assert_eq!(WireVersion::V2.number(), PROTOCOL_V2);
     }
 }

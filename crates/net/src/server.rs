@@ -1,42 +1,197 @@
-//! The model-registry server: a TCP front-end over a [`ModelStorage`].
+//! The model-registry server: a multiplexed TCP front-end over a
+//! [`ModelStorage`].
 //!
 //! The paper's deployment keeps all model data on a central server (a
 //! MongoDB plus a shared FS) that every node reads and writes over the
-//! cluster network (§4.1). [`RegistryServer`] is that component: it binds a
-//! `std::net::TcpListener`, accepts node connections, and serves the wire
-//! protocol of [`crate::protocol`] against a local store using a crossbeam
-//! worker-thread pool. Per-opcode request counts and byte counters are
-//! recorded so distributed experiments can report *measured* transfer
-//! volume instead of modeled volume.
+//! cluster network (§4.1). [`RegistryServer`] is that component, built for
+//! the ROADMAP's "thousands of concurrent clients" north star:
+//!
+//! * a small set of **I/O threads** ([`WireConfig::io_threads`]) own every
+//!   socket, running a nonblocking read/decode/write loop — a connection
+//!   costs a buffer, not a thread;
+//! * decoded requests are dispatched to **sharded worker pools**
+//!   ([`ShardConfig::workers`]) keyed by the model/document/file id in the
+//!   request header, so requests naming the same model execute in arrival
+//!   order on one shard while different models proceed in parallel;
+//! * **admission control** ([`AdmissionConfig`]) bounds in-flight requests
+//!   per connection and globally; an over-budget request is answered with
+//!   an [`Opcode::Busy`] frame instead of queueing without bound, and the
+//!   connection stays healthy. The in-flight budget also bounds each
+//!   connection's outbound queue, which is why no write timeout is needed.
+//!
+//! Version negotiation (see [`crate::protocol`]) keeps v1 clients working:
+//! a connection that opens with `Ping` stays on the serial v1 framing and
+//! is exempt from load shedding (it can only have one request in flight).
+//!
+//! Per-opcode request counts and byte counters are recorded so distributed
+//! experiments can report *measured* transfer volume instead of modeled
+//! volume; `bytes_in`/`bytes_out` count raw socket bytes, exactly.
 
-use std::io::{BufReader, BufWriter, Write};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use mmlib_obs::{Counter, Recorder};
+use mmlib_obs::{Counter, Gauge, Recorder};
 use mmlib_store::fault::Fault;
 use mmlib_store::{DocId, FileId, ModelStorage, StoreError};
+use parking_lot::Mutex;
 use serde_json::{json, Value};
 
-use crate::fault::{injected_io_error, NetFaults};
+use crate::fault::NetFaults;
 use crate::protocol::{
-    encode_frame, header_str, header_u64, read_chunks, read_frame, write_frame, Frame, Opcode,
-    WireError, CHUNK_SIZE, PROTOCOL_VERSION,
+    chunk_frames, encode_frame_v, header_str, header_u64, try_decode_frame, Frame, Opcode,
+    WireError, WireVersion, MAX_BLOB_LEN, PROTOCOL_V1,
 };
 
-/// Server tuning knobs.
+/// An invalid server configuration value.
+#[derive(Debug)]
+pub struct ConfigError(String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid server config: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Wire-level settings: socket ownership and connection lifecycle.
+///
+/// I/O threads multiplex *all* connections — neither they nor the shard
+/// workers cap how many connections the server accepts.
 #[derive(Debug, Clone)]
-pub struct ServerConfig {
-    /// Worker threads; one connection is handled per worker at a time, so
-    /// this also caps concurrent connections.
+pub struct WireConfig {
+    /// Event-loop threads owning the sockets. Each connection is pinned to
+    /// one I/O thread; two or three keep a loopback registry saturated.
+    pub io_threads: usize,
+    /// Close a connection silently after this long with no traffic and no
+    /// request in flight (`None` = never).
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        WireConfig { io_threads: 2, idle_timeout: Some(Duration::from_secs(30)) }
+    }
+}
+
+impl WireConfig {
+    /// Validated constructor: `io_threads` must be nonzero.
+    pub fn new(io_threads: usize) -> Result<WireConfig, ConfigError> {
+        let config = WireConfig { io_threads, ..WireConfig::default() };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Replaces the idle timeout.
+    pub fn with_idle_timeout(mut self, timeout: Option<Duration>) -> WireConfig {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.io_threads == 0 {
+            return Err(ConfigError("io_threads must be at least 1".to_string()));
+        }
+        Ok(())
+    }
+}
+
+/// Worker-shard settings: request execution parallelism.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Worker threads, one queue each. Requests are routed by hashing the
+    /// id in the request header, so all requests naming one model land on
+    /// one worker in arrival order (the per-model ordering guarantee).
     pub workers: usize,
-    /// Per-connection socket read timeout (None = block forever).
-    pub read_timeout: Option<Duration>,
-    /// Per-connection socket write timeout.
-    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig { workers: 8 }
+    }
+}
+
+impl ShardConfig {
+    /// Validated constructor: `workers` must be nonzero.
+    pub fn new(workers: usize) -> Result<ShardConfig, ConfigError> {
+        let config = ShardConfig { workers };
+        config.validate()?;
+        Ok(config)
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.workers == 0 {
+            return Err(ConfigError("shard workers must be at least 1".to_string()));
+        }
+        Ok(())
+    }
+}
+
+/// Admission-control settings: the in-flight request budget.
+///
+/// Only v2 (multiplexed) connections are shed — a v1 connection is serial
+/// by construction and predates the `Busy` opcode.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// In-flight requests one connection may hold before being shed.
+    pub per_conn_inflight: usize,
+    /// In-flight requests the whole server may hold before shedding.
+    pub global_inflight: usize,
+    /// Backoff hint carried in `Busy` responses, in milliseconds.
+    pub retry_after_ms: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig { per_conn_inflight: 64, global_inflight: 1024, retry_after_ms: 25 }
+    }
+}
+
+impl AdmissionConfig {
+    /// Validated constructor: both budgets must be nonzero and the global
+    /// budget must admit at least one connection's worth.
+    pub fn new(
+        per_conn_inflight: usize,
+        global_inflight: usize,
+    ) -> Result<AdmissionConfig, ConfigError> {
+        let config = AdmissionConfig {
+            per_conn_inflight,
+            global_inflight,
+            ..AdmissionConfig::default()
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.per_conn_inflight == 0 {
+            return Err(ConfigError("per_conn_inflight must be at least 1".to_string()));
+        }
+        if self.global_inflight < self.per_conn_inflight {
+            return Err(ConfigError(format!(
+                "global_inflight ({}) must be >= per_conn_inflight ({})",
+                self.global_inflight, self.per_conn_inflight
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Server tuning knobs, grouped by layer.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Socket ownership and connection lifecycle.
+    pub wire: WireConfig,
+    /// Request execution parallelism.
+    pub shards: ShardConfig,
+    /// In-flight request budget.
+    pub admission: AdmissionConfig,
     /// Deterministic fault schedules for the accept loop and response
     /// frames (tests only; `None` serves faithfully).
     pub faults: Option<Arc<NetFaults>>,
@@ -48,22 +203,19 @@ pub struct ServerConfig {
     pub recorder: Option<Arc<Recorder>>,
 }
 
-impl Default for ServerConfig {
-    fn default() -> Self {
-        ServerConfig {
-            workers: 8,
-            read_timeout: Some(Duration::from_secs(30)),
-            write_timeout: Some(Duration::from_secs(30)),
-            faults: None,
-            recorder: None,
-        }
+impl ServerConfig {
+    /// Validates every layer's settings.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.wire.validate()?;
+        self.shards.validate()?;
+        self.admission.validate()
     }
 }
 
 /// Per-opcode request counts, latency histograms, and byte totals —
 /// recorded through an [`mmlib_obs::Recorder`] registry.
 ///
-/// The hot-path counters (per-frame byte counts) go through cached
+/// The hot-path counters (raw socket byte counts) go through cached
 /// [`Counter`] handles, so counting stays a single `fetch_add` and totals
 /// stay EXACT even under fault-injected truncation; the registry is what
 /// makes the same numbers visible in the Prometheus exposition.
@@ -74,6 +226,8 @@ pub struct ServerMetrics {
     bytes_in: Arc<Counter>,
     bytes_out: Arc<Counter>,
     connections: Arc<Counter>,
+    load_shed: Arc<Counter>,
+    inflight: Arc<Gauge>,
 }
 
 /// Counter of requests served, labeled `opcode="..."`.
@@ -86,6 +240,10 @@ pub const NET_BYTES_IN_TOTAL: &str = "mmlib_net_bytes_in_total";
 pub const NET_BYTES_OUT_TOTAL: &str = "mmlib_net_bytes_out_total";
 /// Counter of connections accepted.
 pub const NET_CONNECTIONS_TOTAL: &str = "mmlib_net_connections_total";
+/// Counter of requests shed with a `Busy` response.
+pub const NET_LOAD_SHED_TOTAL: &str = "mmlib_net_load_shed_total";
+/// Gauge of requests currently in flight (admitted, response not yet sent).
+pub const NET_INFLIGHT_REQUESTS: &str = "mmlib_net_inflight_requests";
 
 impl Default for ServerMetrics {
     fn default() -> Self {
@@ -102,7 +260,17 @@ impl ServerMetrics {
         let bytes_in = recorder.counter(NET_BYTES_IN_TOTAL, None);
         let bytes_out = recorder.counter(NET_BYTES_OUT_TOTAL, None);
         let connections = recorder.counter(NET_CONNECTIONS_TOTAL, None);
-        ServerMetrics { recorder, requests, bytes_in, bytes_out, connections }
+        let load_shed = recorder.counter(NET_LOAD_SHED_TOTAL, None);
+        let inflight = recorder.gauge(NET_INFLIGHT_REQUESTS, None);
+        ServerMetrics {
+            recorder,
+            requests,
+            bytes_in,
+            bytes_out,
+            connections,
+            load_shed,
+            inflight,
+        }
     }
 
     /// The registry backing these metrics.
@@ -110,7 +278,8 @@ impl ServerMetrics {
         &self.recorder
     }
 
-    /// Requests served for one opcode.
+    /// Requests served for one opcode (admitted requests; shed requests
+    /// count under [`ServerMetrics::load_shed`] instead).
     pub fn requests(&self, op: Opcode) -> u64 {
         self.requests[op.index()].value()
     }
@@ -120,12 +289,12 @@ impl ServerMetrics {
         self.requests.iter().map(|c| c.value()).sum()
     }
 
-    /// Total wire bytes received (frames in, chunks included).
+    /// Total raw socket bytes received.
     pub fn bytes_in(&self) -> u64 {
         self.bytes_in.value()
     }
 
-    /// Total wire bytes sent.
+    /// Total raw socket bytes sent.
     pub fn bytes_out(&self) -> u64 {
         self.bytes_out.value()
     }
@@ -133,6 +302,16 @@ impl ServerMetrics {
     /// Connections accepted.
     pub fn connections(&self) -> u64 {
         self.connections.value()
+    }
+
+    /// Requests answered with `Busy` by admission control.
+    pub fn load_shed(&self) -> u64 {
+        self.load_shed.value()
+    }
+
+    /// Requests currently in flight.
+    pub fn inflight(&self) -> f64 {
+        self.inflight.value()
     }
 
     /// JSON snapshot, as served by the `Stats` opcode.
@@ -150,6 +329,8 @@ impl ServerMetrics {
             "bytes_in": self.bytes_in(),
             "bytes_out": self.bytes_out(),
             "connections": self.connections(),
+            "load_shed": self.load_shed(),
+            "inflight": self.inflight() as u64,
         })
     }
 
@@ -190,7 +371,9 @@ impl RegistryServer {
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> std::io::Result<RegistryServer> {
-        assert!(config.workers > 0, "server needs at least one worker");
+        config
+            .validate()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
         let listener = TcpListener::bind(addr)?;
         // The accept loop polls so the shutdown flag is honoured promptly.
         listener.set_nonblocking(true)?;
@@ -236,7 +419,176 @@ impl Drop for RegistryServer {
     }
 }
 
-/// Accept loop + crossbeam-scoped worker pool.
+/// Shared server state every I/O thread and worker sees.
+struct ServerState {
+    storage: ModelStorage,
+    metrics: Arc<ServerMetrics>,
+    admission: AdmissionConfig,
+    faults: Option<Arc<NetFaults>>,
+    global_inflight: AtomicUsize,
+}
+
+/// One request handed from an I/O thread to a shard worker.
+struct Job {
+    conn: Arc<ConnShared>,
+    frame: Frame,
+    /// Assembled `FilePut` payload, when the request announced one.
+    blob: Option<Vec<u8>>,
+    started: Instant,
+}
+
+/// The half of a connection that shard workers touch: the outbound queue
+/// plus the flags the I/O thread and workers coordinate through.
+struct ConnShared {
+    out: Mutex<OutQueue>,
+    /// Negotiated wire version number (starts at v1; `Hello` may raise it).
+    version: AtomicU32,
+    /// Requests admitted on this connection and not yet answered.
+    inflight: AtomicUsize,
+}
+
+/// Outbound bytes awaiting the socket, with a partial-write cursor.
+struct OutQueue {
+    queue: VecDeque<Bytes>,
+    /// Bytes of the front buffer already written.
+    front_written: usize,
+    /// Stop accepting new buffers; close the socket once drained. Set by
+    /// a fault (truncation), a protocol error, or peer EOF.
+    close_after_flush: bool,
+    /// Close immediately, discarding anything queued (injected drop).
+    dead: bool,
+}
+
+impl ConnShared {
+    fn new() -> ConnShared {
+        ConnShared {
+            out: Mutex::new(OutQueue {
+                queue: VecDeque::new(),
+                front_written: 0,
+                close_after_flush: false,
+                dead: false,
+            }),
+            version: AtomicU32::new(PROTOCOL_V1),
+            inflight: AtomicUsize::new(0),
+        }
+    }
+
+    fn wire_version(&self) -> WireVersion {
+        WireVersion::from_number(u64::from(self.version.load(Ordering::Acquire)))
+            .unwrap_or(WireVersion::V1)
+    }
+
+    /// Encodes and enqueues response frames, consulting the fault schedule
+    /// once per frame (replies *and* blob chunks — the v1 contract):
+    ///
+    /// * `TruncateFrame`/`TornWrite` — only a prefix of the frame's bytes
+    ///   is queued and the connection closes after flushing it;
+    /// * `DropConnection`/`ConnReset` — the connection dies immediately,
+    ///   discarding everything queued;
+    /// * `IoError` — *this one frame* vanishes and the connection lives
+    ///   on: the injected loss of a single multiplexed response, which
+    ///   must not corrupt its neighbors.
+    fn send_frames(
+        &self,
+        frames: &[Frame],
+        version: WireVersion,
+        faults: Option<&NetFaults>,
+    ) -> Result<(), WireError> {
+        for frame in frames {
+            match faults.and_then(NetFaults::on_response) {
+                None => {}
+                Some(Fault::TruncateFrame { after_bytes })
+                | Some(Fault::TornWrite { after_bytes }) => {
+                    let encoded = encode_frame_v(frame, version)?;
+                    // Saturate: a cut point beyond addressable memory means
+                    // "the whole frame", which `min` clamps to its length.
+                    let cut =
+                        usize::try_from(after_bytes).unwrap_or(usize::MAX).min(encoded.len());
+                    let mut out = self.out.lock();
+                    if !out.dead && !out.close_after_flush {
+                        out.queue.push_back(encoded.slice(0..cut));
+                        out.close_after_flush = true;
+                    }
+                    return Ok(());
+                }
+                Some(Fault::DropConnection) | Some(Fault::ConnReset) => {
+                    let mut out = self.out.lock();
+                    out.queue.clear();
+                    out.front_written = 0;
+                    out.dead = true;
+                    return Ok(());
+                }
+                Some(Fault::IoError) => continue,
+                // Latency faults sleep inside the injector and are never
+                // returned; any other variant belongs to the storage layer
+                // — ignore it rather than kill the server.
+                Some(_) => {}
+            }
+            let encoded = encode_frame_v(frame, version)?;
+            let mut out = self.out.lock();
+            if out.dead || out.close_after_flush {
+                return Ok(());
+            }
+            out.queue.push_back(encoded);
+        }
+        Ok(())
+    }
+}
+
+/// A connection as owned by its I/O thread.
+struct IoConn {
+    stream: TcpStream,
+    shared: Arc<ConnShared>,
+    recv: RecvBuf,
+    /// Blob transfers announced but not fully received, by request id
+    /// (v1 chunks decode with id 0, so one map serves both framings).
+    pending_blobs: HashMap<u64, PendingBlob>,
+    last_activity: Instant,
+    /// Set once any frame has been processed — `Hello` is only legal
+    /// before this.
+    saw_frame: bool,
+    /// Peer half-closed; finish writing, then close.
+    eof: bool,
+}
+
+/// An announced inbound blob being assembled from chunk frames.
+struct PendingBlob {
+    announce: Frame,
+    want: u64,
+    data: Vec<u8>,
+    started: Instant,
+    /// The request was shed at announce time: consume its chunks (the
+    /// client already sent them) but execute nothing.
+    discard: bool,
+}
+
+/// Inbound byte accumulator with a consumed-prefix cursor.
+struct RecvBuf {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl RecvBuf {
+    fn new() -> RecvBuf {
+        RecvBuf { buf: Vec::new(), start: 0 }
+    }
+
+    fn readable(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.start += n;
+        // Reclaim the consumed prefix once it dominates the buffer,
+        // keeping amortized cost linear.
+        if self.start > 4096 && self.start * 2 >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+/// Supervisor: accept loop + I/O threads + shard workers under one scope.
 fn serve(
     listener: TcpListener,
     storage: ModelStorage,
@@ -244,22 +596,47 @@ fn serve(
     metrics: Arc<ServerMetrics>,
     stop: Arc<AtomicBool>,
 ) {
+    let state = Arc::new(ServerState {
+        storage,
+        metrics: Arc::clone(&metrics),
+        admission: config.admission.clone(),
+        faults: config.faults.clone(),
+        global_inflight: AtomicUsize::new(0),
+    });
+
     let result = crossbeam::scope(|s| {
-        let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
-        for _ in 0..config.workers {
-            let rx = rx.clone();
-            let storage = storage.clone();
-            let metrics = Arc::clone(&metrics);
-            let config = config.clone();
+        // Shard workers: one FIFO queue each. Requests are routed by id
+        // hash, so a queue is a per-model serialization point.
+        let mut shard_txs = Vec::with_capacity(config.shards.workers);
+        for _ in 0..config.shards.workers {
+            let (tx, rx) = crossbeam::channel::unbounded::<Job>();
+            shard_txs.push(tx);
+            let state = Arc::clone(&state);
             s.spawn(move |_| {
-                while let Ok(stream) = rx.recv() {
-                    metrics.connections.add(1);
-                    // A failed connection must not take the worker down.
-                    let _ = handle_connection(stream, &storage, &config, &metrics);
+                while let Ok(job) = rx.recv() {
+                    run_job(&state, job);
                 }
             });
         }
 
+        // I/O threads: each adopts connections from its intake and
+        // multiplexes them with a nonblocking event loop.
+        let mut intakes = Vec::with_capacity(config.wire.io_threads);
+        for _ in 0..config.wire.io_threads {
+            let intake: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+            intakes.push(Arc::clone(&intake));
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            let shard_txs = shard_txs.clone();
+            let idle_timeout = config.wire.idle_timeout;
+            s.spawn(move |_| io_loop(&state, &intake, &shard_txs, idle_timeout, &stop));
+        }
+        // The supervisor's own senders must drop so workers exit when the
+        // I/O threads do.
+        drop(shard_txs);
+
+        // Accept loop: pin each connection to an I/O thread round-robin.
+        let mut next_io = 0usize;
         while !stop.load(Ordering::SeqCst) {
             match listener.accept() {
                 Ok((stream, _peer)) => {
@@ -267,123 +644,480 @@ fn serve(
                     // connection before it is served — the transient
                     // ECONNRESET of a restarting registry. Clients survive
                     // it through their retry loop.
-                    if let Some(faults) = &config.faults {
+                    if let Some(faults) = &state.faults {
                         if faults.on_accept().is_some() {
                             drop(stream);
                             continue;
                         }
                     }
-                    if tx.send(stream).is_err() {
-                        break;
-                    }
+                    intakes[next_io % intakes.len()].lock().push(stream);
+                    next_io = next_io.wrapping_add(1);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(5));
+                    std::thread::sleep(Duration::from_millis(1));
                 }
                 Err(_) => break,
             }
         }
-        drop(tx); // workers drain the queue, then their recv fails and they exit
     });
-    // A worker panic (already reported on its own thread) surfaces here
+    // A thread panic (already reported on its own thread) surfaces here
     // after the scope joins. The server is tearing down at this point, so
     // note it instead of re-panicking into the joining thread.
     if result.is_err() {
-        eprintln!("mmlib-net: a registry worker panicked; server shut down");
+        eprintln!("mmlib-net: a registry thread panicked; server shut down");
     }
 }
 
-/// Serves one connection until the peer disconnects or errors.
-fn handle_connection(
-    stream: TcpStream,
-    storage: &ModelStorage,
-    config: &ServerConfig,
-    metrics: &ServerMetrics,
-) -> Result<(), WireError> {
-    stream.set_read_timeout(config.read_timeout)?;
-    stream.set_write_timeout(config.write_timeout)?;
-    stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    loop {
-        let frame = match read_frame(&mut reader) {
-            Ok(frame) => frame,
-            Err(WireError::Closed) => return Ok(()),
-            // Idle timeout between requests: close silently — writing an
-            // error frame would later read back as a stale reply.
-            Err(WireError::Io(e))
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                return Ok(())
+/// One I/O thread: adopt, read, decode, dispatch, write — never block.
+fn io_loop(
+    state: &ServerState,
+    intake: &Mutex<Vec<TcpStream>>,
+    shard_txs: &[crossbeam::channel::Sender<Job>],
+    idle_timeout: Option<Duration>,
+    stop: &AtomicBool,
+) {
+    let mut conns: Vec<IoConn> = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    while !stop.load(Ordering::SeqCst) {
+        let mut progressed = false;
+        for stream in intake.lock().drain(..) {
+            if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                continue;
             }
-            Err(e) => return Err(e),
-        };
-        metrics.count(frame.opcode);
-        let faults = config.faults.as_deref();
-        let started = Instant::now();
-        let outcome = respond(&frame, &mut reader, &mut writer, storage, metrics, faults);
-        metrics.observe_latency(frame.opcode, started.elapsed());
-        match outcome {
-            Ok(()) => writer.flush()?,
-            Err(e) => {
-                // Try to tell the peer before giving up on the connection —
-                // unless the failure *is* an injected drop, which must look
-                // like a dead socket, not a served error.
-                if !is_injected(&e) {
-                    let _ = send_counted(
-                        &mut writer,
-                        metrics,
-                        None,
-                        &err_frame("protocol", &e.to_string()),
-                    );
+            state.metrics.connections.add(1);
+            conns.push(IoConn {
+                stream,
+                shared: Arc::new(ConnShared::new()),
+                recv: RecvBuf::new(),
+                pending_blobs: HashMap::new(),
+                last_activity: Instant::now(),
+                saw_frame: false,
+                eof: false,
+            });
+            progressed = true;
+        }
+
+        let mut i = 0;
+        while i < conns.len() {
+            match service_conn(state, &mut conns[i], shard_txs, idle_timeout, &mut scratch) {
+                Ok(active) => {
+                    progressed |= active;
+                    i += 1;
                 }
-                let _ = writer.flush();
-                return Err(e);
+                Err(()) => {
+                    // Fatal for this connection only: drop the socket. Any
+                    // in-flight jobs keep their Arc and finish harmlessly.
+                    conns.swap_remove(i);
+                    progressed = true;
+                }
+            }
+        }
+
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+/// Services one connection once: flush, read, decode, dispatch, flush.
+/// `Ok(true)` when any bytes moved; `Err(())` when the connection is done.
+fn service_conn(
+    state: &ServerState,
+    conn: &mut IoConn,
+    shard_txs: &[crossbeam::channel::Sender<Job>],
+    idle_timeout: Option<Duration>,
+    scratch: &mut [u8],
+) -> Result<bool, ()> {
+    let mut active = flush_out(state, conn)?;
+
+    // Read whatever the socket has, bounded per pass so one firehose
+    // connection cannot starve its neighbors.
+    let mut reads = 0;
+    while reads < 8 && !conn.eof {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                conn.eof = true;
+                conn.shared.out.lock().close_after_flush = true;
+            }
+            Ok(n) => {
+                state.metrics.bytes_in.add(n as u64);
+                conn.recv.buf.extend_from_slice(&scratch[..n]);
+                conn.last_activity = Instant::now();
+                active = true;
+                reads += 1;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(()),
+        }
+    }
+
+    // Decode and handle every complete frame buffered so far.
+    loop {
+        let version = conn.shared.wire_version();
+        match try_decode_frame(conn.recv.readable(), version) {
+            Ok(None) => break,
+            Ok(Some((frame, used))) => {
+                conn.recv.consume(used);
+                active = true;
+                handle_frame(state, conn, frame, shard_txs);
+            }
+            Err(e) => {
+                // Framing is lost: tell the peer (best effort) and close.
+                let reply = err_frame("protocol", &e.to_string());
+                let _ = conn.shared.send_frames(&[reply], version, None);
+                conn.shared.out.lock().close_after_flush = true;
+                let garbage = conn.recv.readable().len();
+                conn.recv.consume(garbage);
+                break;
+            }
+        }
+    }
+
+    active |= flush_out(state, conn)?;
+
+    {
+        let out = conn.shared.out.lock();
+        if out.dead || (out.close_after_flush && out.queue.is_empty()) {
+            return Err(());
+        }
+    }
+    if let Some(idle) = idle_timeout {
+        if conn.last_activity.elapsed() > idle
+            && conn.shared.inflight.load(Ordering::Acquire) == 0
+            && conn.pending_blobs.is_empty()
+            && conn.shared.out.lock().queue.is_empty()
+        {
+            // Idle close is silent — writing an error frame would later
+            // read back as a stale reply.
+            return Err(());
+        }
+    }
+    Ok(active)
+}
+
+/// Writes queued outbound bytes until the socket would block. Counts every
+/// byte that reaches the socket — and only those — into `bytes_out`.
+fn flush_out(state: &ServerState, conn: &mut IoConn) -> Result<bool, ()> {
+    let mut out = conn.shared.out.lock();
+    if out.dead {
+        return Err(());
+    }
+    let mut active = false;
+    while let Some(front) = out.queue.front() {
+        let from = out.front_written;
+        match conn.stream.write(&front[from..]) {
+            Ok(0) => return Err(()),
+            Ok(n) => {
+                state.metrics.bytes_out.add(n as u64);
+                active = true;
+                if from + n == front.len() {
+                    out.queue.pop_front();
+                    out.front_written = 0;
+                } else {
+                    out.front_written = from + n;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(()),
+        }
+    }
+    Ok(active)
+}
+
+/// Routes one decoded frame: handshake and chunk assembly run on the I/O
+/// thread; admitted requests dispatch to their shard.
+fn handle_frame(
+    state: &ServerState,
+    conn: &mut IoConn,
+    frame: Frame,
+    shard_txs: &[crossbeam::channel::Sender<Job>],
+) {
+    let started = Instant::now();
+    let version = conn.shared.wire_version();
+    let first_frame = !conn.saw_frame;
+    conn.saw_frame = true;
+    match frame.opcode {
+        Opcode::Hello => {
+            handle_hello(state, conn, &frame, version, first_frame, started);
+        }
+        Opcode::Chunk => {
+            handle_chunk(state, conn, frame, shard_txs);
+        }
+        Opcode::Ok | Opcode::Err | Opcode::Busy => {
+            let reply = err_frame(
+                "protocol",
+                &format!("{} is not a request opcode", frame.opcode.name()),
+            )
+            .with_request_id(frame.request_id);
+            let _ = conn.shared.send_frames(&[reply], version, None);
+            conn.shared.out.lock().close_after_flush = true;
+        }
+        Opcode::FilePut => {
+            let request_id = frame.request_id;
+            let Ok(len) = header_u64(&frame.header, "len") else {
+                let reply = err_frame("bad_header", "missing integer field `len`")
+                    .with_request_id(request_id);
+                let _ = conn.shared.send_frames(&[reply], version, None);
+                return;
+            };
+            if len > MAX_BLOB_LEN {
+                let reply = err_frame(
+                    "protocol",
+                    &format!("announced blob of {len} bytes exceeds maximum {MAX_BLOB_LEN}"),
+                )
+                .with_request_id(request_id);
+                let _ = conn.shared.send_frames(&[reply], version, None);
+                conn.shared.out.lock().close_after_flush = true;
+                return;
+            }
+            if conn.pending_blobs.contains_key(&request_id) {
+                let reply = err_frame(
+                    "protocol",
+                    "a blob transfer is already in flight for this request id",
+                )
+                .with_request_id(request_id);
+                let _ = conn.shared.send_frames(&[reply], version, None);
+                conn.shared.out.lock().close_after_flush = true;
+                return;
+            }
+            // The admission decision happens at announce time: a shed
+            // upload still has its (already sent) chunks consumed, but
+            // buffers and executes nothing.
+            let discard = !admit(state, conn, &frame, version);
+            if len == 0 {
+                if !discard {
+                    dispatch(state, conn, frame, Some(Vec::new()), started, shard_txs);
+                }
+                return;
+            }
+            conn.pending_blobs.insert(
+                request_id,
+                PendingBlob { announce: frame, want: len, data: Vec::new(), started, discard },
+            );
+        }
+        _ => {
+            if admit(state, conn, &frame, version) {
+                dispatch(state, conn, frame, None, started, shard_txs);
             }
         }
     }
 }
 
-/// Handles one request frame, writing the response (and any chunks).
+/// The v2 version-negotiation handshake, handled inline on the I/O thread
+/// because it must flip the connection's framing *between* its reply and
+/// the next frame.
+fn handle_hello(
+    state: &ServerState,
+    conn: &mut IoConn,
+    frame: &Frame,
+    version: WireVersion,
+    first_frame: bool,
+    started: Instant,
+) {
+    if !first_frame {
+        let reply = err_frame("protocol", "hello must be the first frame on a connection")
+            .with_request_id(frame.request_id);
+        let _ = conn.shared.send_frames(&[reply], version, None);
+        conn.shared.out.lock().close_after_flush = true;
+        return;
+    }
+    let requested = header_u64(&frame.header, "version").ok().and_then(WireVersion::from_number);
+    match requested {
+        Some(agreed) => {
+            let reply = ok_frame(json!({
+                "version": agreed.number(),
+                "max_inflight": state.admission.per_conn_inflight as u64,
+            }))
+            .with_request_id(frame.request_id);
+            // The reply itself is always v1-framed; only frames after the
+            // handshake pair use the agreed framing.
+            let _ = conn.shared.send_frames(&[reply], WireVersion::V1, None);
+            conn.shared.version.store(agreed.number(), Ordering::Release);
+            state.metrics.count(Opcode::Hello);
+            state.metrics.observe_latency(Opcode::Hello, started.elapsed());
+        }
+        None => {
+            let reply = err_frame(
+                "version_mismatch",
+                &format!(
+                    "server speaks versions {PROTOCOL_V1}..={}, client asked for {}",
+                    crate::protocol::PROTOCOL_VERSION,
+                    frame.header.get("version").and_then(Value::as_u64).unwrap_or(0)
+                ),
+            )
+            .with_request_id(frame.request_id);
+            let _ = conn.shared.send_frames(&[reply], WireVersion::V1, None);
+            conn.shared.out.lock().close_after_flush = true;
+        }
+    }
+}
+
+/// Appends a chunk to its pending blob; a completed blob dispatches its
+/// announced request (or evaporates, if the request was shed).
+fn handle_chunk(
+    state: &ServerState,
+    conn: &mut IoConn,
+    frame: Frame,
+    shard_txs: &[crossbeam::channel::Sender<Job>],
+) {
+    let version = conn.shared.wire_version();
+    let request_id = frame.request_id;
+    let Some(pending) = conn.pending_blobs.get_mut(&request_id) else {
+        let reply = err_frame("protocol", "chunk without an announced transfer")
+            .with_request_id(request_id);
+        let _ = conn.shared.send_frames(&[reply], version, None);
+        conn.shared.out.lock().close_after_flush = true;
+        return;
+    };
+    if frame.payload.is_empty()
+        || pending.data.len() as u64 + frame.payload.len() as u64 > pending.want
+    {
+        let reply = err_frame("protocol", "chunk overruns announced length")
+            .with_request_id(request_id);
+        let _ = conn.shared.send_frames(&[reply], version, None);
+        conn.shared.out.lock().close_after_flush = true;
+        conn.pending_blobs.remove(&request_id);
+        return;
+    }
+    if pending.discard {
+        // Shed transfer: track progress without buffering the bytes.
+        if frame.payload.len() as u64 == pending.want {
+            conn.pending_blobs.remove(&request_id);
+        } else {
+            pending.want -= frame.payload.len() as u64;
+        }
+        return;
+    }
+    pending.data.extend_from_slice(&frame.payload);
+    if pending.data.len() as u64 == pending.want {
+        let Some(done) = conn.pending_blobs.remove(&request_id) else { return };
+        dispatch(state, conn, done.announce, Some(done.data), done.started, shard_txs);
+    }
+}
+
+/// Admission control: admits the request (incrementing the in-flight
+/// accounting) or sheds it with a `Busy` response. v1 connections are
+/// serial by construction and always admitted.
+fn admit(state: &ServerState, conn: &IoConn, frame: &Frame, version: WireVersion) -> bool {
+    let over_budget = version != WireVersion::V1
+        && (conn.shared.inflight.load(Ordering::Acquire) >= state.admission.per_conn_inflight
+            || state.global_inflight.load(Ordering::Acquire) >= state.admission.global_inflight);
+    if over_budget {
+        state.metrics.load_shed.add(1);
+        let reply = busy_frame(state.admission.retry_after_ms).with_request_id(frame.request_id);
+        let _ = conn.shared.send_frames(&[reply], version, state.faults.as_deref());
+        return false;
+    }
+    state.global_inflight.fetch_add(1, Ordering::AcqRel);
+    conn.shared.inflight.fetch_add(1, Ordering::AcqRel);
+    state.metrics.inflight.add(1.0);
+    state.metrics.count(frame.opcode);
+    true
+}
+
+/// Hands an admitted request to its shard. Routing hashes the id named in
+/// the header, so every request about one model/document/file serializes
+/// on one worker; requests without an id spread by request id.
+fn dispatch(
+    state: &ServerState,
+    conn: &IoConn,
+    frame: Frame,
+    blob: Option<Vec<u8>>,
+    started: Instant,
+    shard_txs: &[crossbeam::channel::Sender<Job>],
+) {
+    let key = match header_str(&frame.header, "id") {
+        Ok(id) => fnv1a(id.as_bytes()),
+        Err(_) => frame.request_id,
+    };
+    let shard = usize::try_from(key % shard_txs.len() as u64).unwrap_or(0);
+    let job = Job { conn: Arc::clone(&conn.shared), frame, blob, started };
+    if shard_txs[shard].send(job).is_err() {
+        // Shutdown race: workers are gone; the connection is about to be
+        // torn down with them.
+        finish_inflight(state, &conn.shared);
+    }
+}
+
+/// Executes one admitted request on its shard worker and enqueues the
+/// response frames.
+fn run_job(state: &ServerState, job: Job) {
+    let version = job.conn.wire_version();
+    let reply = respond(&job.frame, job.blob.as_deref(), &state.storage, &state.metrics, version);
+    let mut frames = vec![reply.frame.with_request_id(job.frame.request_id)];
+    if let Some(blob) = reply.blob {
+        frames.extend(chunk_frames(job.frame.request_id, &blob));
+    }
+    let _ = job.conn.send_frames(&frames, version, state.faults.as_deref());
+    state.metrics.observe_latency(job.frame.opcode, job.started.elapsed());
+    finish_inflight(state, &job.conn);
+}
+
+fn finish_inflight(state: &ServerState, conn: &ConnShared) {
+    state.global_inflight.fetch_sub(1, Ordering::AcqRel);
+    conn.inflight.fetch_sub(1, Ordering::AcqRel);
+    state.metrics.inflight.add(-1.0);
+}
+
+/// A request's response: one reply frame, plus an outbound blob to stream
+/// as chunks after it.
+struct Reply {
+    frame: Frame,
+    blob: Option<Bytes>,
+}
+
+impl Reply {
+    fn frame(frame: Frame) -> Reply {
+        Reply { frame, blob: None }
+    }
+}
+
+/// Handles one request frame against storage, building (not sending) the
+/// response. Per-request errors come back as `Err` frames — under v2 they
+/// poison only their own request id, never the connection.
 fn respond(
     frame: &Frame,
-    reader: &mut impl std::io::Read,
-    writer: &mut (impl Write + Sized),
+    blob: Option<&[u8]>,
     storage: &ModelStorage,
     metrics: &ServerMetrics,
-    faults: Option<&NetFaults>,
-) -> Result<(), WireError> {
-    metrics.bytes_in.add(wire_size(frame));
+    version: WireVersion,
+) -> Reply {
     match frame.opcode {
         Opcode::Ping => {
-            let version = header_u64(&frame.header, "version")?;
-            if version as u32 != PROTOCOL_VERSION {
-                let reply = err_frame(
+            // The v1 liveness/handshake exchange: the requested version
+            // must match the connection's negotiated framing.
+            let reply = match header_u64(&frame.header, "version") {
+                Ok(v) if v == u64::from(version.number()) => {
+                    ok_frame(json!({"version": version.number()}))
+                }
+                Ok(v) => err_frame(
                     "version_mismatch",
-                    &format!("server speaks version {PROTOCOL_VERSION}, client sent {version}"),
-                );
-                return send_counted(writer, metrics, faults, &reply);
-            }
-            send_counted(writer, metrics, faults, &ok_frame(json!({"version": PROTOCOL_VERSION})))
+                    &format!("connection speaks version {}, ping sent {v}", version.number()),
+                ),
+                Err(e) => err_frame("bad_header", &e.to_string()),
+            };
+            Reply::frame(reply)
         }
         Opcode::DocInsert => {
-            let kind = header_str(&frame.header, "kind")?;
-            let body = frame
-                .header
-                .get("body")
-                .cloned()
-                .ok_or_else(|| WireError::BadHeader("missing `body`".to_string()))?;
+            let (kind, body) = match (header_str(&frame.header, "kind"), frame.header.get("body"))
+            {
+                (Ok(kind), Some(body)) => (kind, body.clone()),
+                (Err(e), _) => return Reply::frame(err_frame("bad_header", &e.to_string())),
+                (_, None) => return Reply::frame(err_frame("bad_header", "missing `body`")),
+            };
             let reply = match storage.insert_doc(kind, body) {
                 Ok(id) => ok_frame(json!({"id": id.as_str()})),
                 Err(e) => store_err_frame(&e),
             };
-            send_counted(writer, metrics, faults, &reply)
+            Reply::frame(reply)
         }
         Opcode::DocGet => {
-            let id = DocId::from_string(header_str(&frame.header, "id")?.to_string());
+            let id = match header_str(&frame.header, "id") {
+                Ok(id) => DocId::from_string(id.to_string()),
+                Err(e) => return Reply::frame(err_frame("bad_header", &e.to_string())),
+            };
             let reply = match storage.get_doc(&id) {
                 Ok(doc) => ok_frame(json!({
                     "id": doc.id.as_str(),
@@ -392,15 +1126,16 @@ fn respond(
                 })),
                 Err(e) => store_err_frame(&e),
             };
-            send_counted(writer, metrics, faults, &reply)
+            Reply::frame(reply)
         }
         Opcode::DocUpdate => {
-            let id = DocId::from_string(header_str(&frame.header, "id")?.to_string());
-            let body = frame
-                .header
-                .get("body")
-                .cloned()
-                .ok_or_else(|| WireError::BadHeader("missing `body`".to_string()))?;
+            let id = match header_str(&frame.header, "id") {
+                Ok(id) => DocId::from_string(id.to_string()),
+                Err(e) => return Reply::frame(err_frame("bad_header", &e.to_string())),
+            };
+            let Some(body) = frame.header.get("body").cloned() else {
+                return Reply::frame(err_frame("bad_header", "missing `body`"));
+            };
             // Reply with the document's kind so clients can account the new
             // stored size without an extra round trip.
             let reply = match storage
@@ -410,20 +1145,25 @@ fn respond(
                 Ok(kind) => ok_frame(json!({"kind": kind})),
                 Err(e) => store_err_frame(&e),
             };
-            send_counted(writer, metrics, faults, &reply)
+            Reply::frame(reply)
         }
         Opcode::DocContains => {
-            let id = DocId::from_string(header_str(&frame.header, "id")?.to_string());
-            let present = storage.docs().contains(&id);
-            send_counted(writer, metrics, faults, &ok_frame(json!({"present": present})))
+            let id = match header_str(&frame.header, "id") {
+                Ok(id) => DocId::from_string(id.to_string()),
+                Err(e) => return Reply::frame(err_frame("bad_header", &e.to_string())),
+            };
+            Reply::frame(ok_frame(json!({"present": storage.docs().contains(&id)})))
         }
         Opcode::DocRemove => {
-            let id = DocId::from_string(header_str(&frame.header, "id")?.to_string());
+            let id = match header_str(&frame.header, "id") {
+                Ok(id) => DocId::from_string(id.to_string()),
+                Err(e) => return Reply::frame(err_frame("bad_header", &e.to_string())),
+            };
             let reply = match storage.docs().remove(&id) {
                 Ok(()) => ok_frame(json!({})),
                 Err(e) => store_err_frame(&e),
             };
-            send_counted(writer, metrics, faults, &reply)
+            Reply::frame(reply)
         }
         Opcode::DocIds => {
             let reply = match storage.docs().ids() {
@@ -434,48 +1174,57 @@ fn respond(
                 }
                 Err(e) => store_err_frame(&e),
             };
-            send_counted(writer, metrics, faults, &reply)
+            Reply::frame(reply)
         }
         Opcode::FilePut => {
-            let len = header_u64(&frame.header, "len")?;
-            let blob = read_chunks(reader, len)?;
-            metrics.bytes_in.add(blob.len() as u64);
-            let reply = match storage.put_file(&blob) {
+            let blob = blob.unwrap_or(&[]);
+            let reply = match storage.put_file(blob) {
                 Ok(id) => ok_frame(json!({"id": id.as_str()})),
                 Err(e) => store_err_frame(&e),
             };
-            send_counted(writer, metrics, faults, &reply)
+            Reply::frame(reply)
         }
         Opcode::FileGet => {
-            let id = FileId::from_string(header_str(&frame.header, "id")?.to_string());
+            let id = match header_str(&frame.header, "id") {
+                Ok(id) => FileId::from_string(id.to_string()),
+                Err(e) => return Reply::frame(err_frame("bad_header", &e.to_string())),
+            };
             match storage.get_file(&id) {
                 Ok(blob) => {
-                    send_counted(writer, metrics, faults, &ok_frame(json!({"len": blob.len() as u64})))?;
-                    send_chunks_counted(writer, metrics, faults, &blob)
+                    let blob = Bytes::from(blob);
+                    Reply { frame: ok_frame(json!({"len": blob.len() as u64})), blob: Some(blob) }
                 }
-                Err(e) => send_counted(writer, metrics, faults, &store_err_frame(&e)),
+                Err(e) => Reply::frame(store_err_frame(&e)),
             }
         }
         Opcode::FileSize => {
-            let id = FileId::from_string(header_str(&frame.header, "id")?.to_string());
+            let id = match header_str(&frame.header, "id") {
+                Ok(id) => FileId::from_string(id.to_string()),
+                Err(e) => return Reply::frame(err_frame("bad_header", &e.to_string())),
+            };
             let reply = match storage.files().size(&id) {
                 Ok(size) => ok_frame(json!({"len": size})),
                 Err(e) => store_err_frame(&e),
             };
-            send_counted(writer, metrics, faults, &reply)
+            Reply::frame(reply)
         }
         Opcode::FileContains => {
-            let id = FileId::from_string(header_str(&frame.header, "id")?.to_string());
-            let present = storage.files().contains(&id);
-            send_counted(writer, metrics, faults, &ok_frame(json!({"present": present})))
+            let id = match header_str(&frame.header, "id") {
+                Ok(id) => FileId::from_string(id.to_string()),
+                Err(e) => return Reply::frame(err_frame("bad_header", &e.to_string())),
+            };
+            Reply::frame(ok_frame(json!({"present": storage.files().contains(&id)})))
         }
         Opcode::FileRemove => {
-            let id = FileId::from_string(header_str(&frame.header, "id")?.to_string());
+            let id = match header_str(&frame.header, "id") {
+                Ok(id) => FileId::from_string(id.to_string()),
+                Err(e) => return Reply::frame(err_frame("bad_header", &e.to_string())),
+            };
             let reply = match storage.files().remove(&id) {
                 Ok(()) => ok_frame(json!({})),
                 Err(e) => store_err_frame(&e),
             };
-            send_counted(writer, metrics, faults, &reply)
+            Reply::frame(reply)
         }
         Opcode::FileIds => {
             let reply = match storage.files().ids() {
@@ -486,15 +1235,15 @@ fn respond(
                 }
                 Err(e) => store_err_frame(&e),
             };
-            send_counted(writer, metrics, faults, &reply)
+            Reply::frame(reply)
         }
-        Opcode::Stats => send_counted(writer, metrics, faults, &ok_frame(metrics.snapshot())),
-        Opcode::StatsText => {
-            let reply = ok_frame(json!({"text": metrics.render_text()}));
-            send_counted(writer, metrics, faults, &reply)
-        }
+        Opcode::Stats => Reply::frame(ok_frame(metrics.snapshot())),
+        Opcode::StatsText => Reply::frame(ok_frame(json!({"text": metrics.render_text()}))),
         Opcode::LineageGet => {
-            let id = header_str(&frame.header, "id")?;
+            let id = match header_str(&frame.header, "id") {
+                Ok(id) => id,
+                Err(e) => return Reply::frame(err_frame("bad_header", &e.to_string())),
+            };
             let reply = match lineage_record(storage, id) {
                 Ok(Some(record)) => ok_frame(json!({"id": id, "record": record})),
                 Ok(None) => store_err_frame(&StoreError::MissingDocument(DocId::from_string(
@@ -502,10 +1251,13 @@ fn respond(
                 ))),
                 Err(e) => store_err_frame(&e),
             };
-            send_counted(writer, metrics, faults, &reply)
+            Reply::frame(reply)
         }
         Opcode::LineageAncestry => {
-            let id = header_str(&frame.header, "id")?;
+            let id = match header_str(&frame.header, "id") {
+                Ok(id) => id,
+                Err(e) => return Reply::frame(err_frame("bad_header", &e.to_string())),
+            };
             let reply = match lineage_ancestry(storage, id) {
                 Ok(Some(ancestry)) => ok_frame(json!({"id": id, "ancestry": ancestry})),
                 Ok(None) => store_err_frame(&StoreError::MissingDocument(DocId::from_string(
@@ -513,12 +1265,16 @@ fn respond(
                 ))),
                 Err(e) => store_err_frame(&e),
             };
-            send_counted(writer, metrics, faults, &reply)
+            Reply::frame(reply)
         }
-        Opcode::Ok | Opcode::Err | Opcode::Chunk => Err(WireError::Protocol(format!(
-            "{} is not a request opcode",
-            frame.opcode.name()
-        ))),
+        Opcode::Hello | Opcode::Ok | Opcode::Err | Opcode::Busy | Opcode::Chunk => {
+            // Handled (or rejected) on the I/O thread before dispatch;
+            // reaching a worker would be a routing bug.
+            Reply::frame(err_frame(
+                "protocol",
+                &format!("{} is not a dispatchable request", frame.opcode.name()),
+            ))
+        }
     }
 }
 
@@ -587,6 +1343,10 @@ fn err_frame(code: &str, message: &str) -> Frame {
     Frame::new(Opcode::Err, json!({"code": code, "message": message}))
 }
 
+fn busy_frame(retry_after_ms: u64) -> Frame {
+    Frame::new(Opcode::Busy, json!({"code": "busy", "retry_after_ms": retry_after_ms}))
+}
+
 /// Maps a [`StoreError`] onto the wire so clients can reconstruct it.
 fn store_err_frame(e: &StoreError) -> Frame {
     match e {
@@ -605,62 +1365,12 @@ fn store_err_frame(e: &StoreError) -> Frame {
     }
 }
 
-/// True when a wire error stems from an injected fault (such failures must
-/// look like a dead socket to the peer, never like a served error frame).
-fn is_injected(e: &WireError) -> bool {
-    matches!(e, WireError::Io(io) if io.to_string().starts_with("injected fault"))
-}
-
-/// Sends a frame, adding its wire size to the outbound byte counter.
-///
-/// The fault hook fires here, once per outgoing frame (replies and blob
-/// chunks alike): a scheduled truncation writes only a prefix of the
-/// encoded frame before failing, a drop fails before any byte — and the
-/// byte counter records exactly what reached the socket, so metrics stay
-/// consistent with committed data even mid-fault.
-fn send_counted(
-    writer: &mut impl Write,
-    metrics: &ServerMetrics,
-    faults: Option<&NetFaults>,
-    frame: &Frame,
-) -> Result<(), WireError> {
-    match faults.and_then(NetFaults::on_response) {
-        None => {}
-        Some(Fault::TruncateFrame { after_bytes }) | Some(Fault::TornWrite { after_bytes }) => {
-            let encoded = encode_frame(frame)?;
-            // Saturate: a cut point beyond addressable memory means "the
-            // whole frame", which `min` then clamps to the actual length.
-            let cut = usize::try_from(after_bytes).unwrap_or(usize::MAX).min(encoded.len());
-            writer.write_all(&encoded[..cut])?;
-            writer.flush()?;
-            metrics.bytes_out.add(cut as u64);
-            return Err(WireError::Io(injected_io_error(&Fault::TruncateFrame {
-                after_bytes,
-            })));
-        }
-        Some(other) => return Err(WireError::Io(injected_io_error(&other))),
+/// FNV-1a: the shard router's stable, dependency-free string hash.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
-    metrics.bytes_out.add(wire_size(frame));
-    write_frame(writer, frame)
-}
-
-/// Streams a blob as `Chunk` frames through [`send_counted`], so each chunk
-/// passes the fault hook and is byte-counted individually.
-fn send_chunks_counted(
-    writer: &mut impl Write,
-    metrics: &ServerMetrics,
-    faults: Option<&NetFaults>,
-    blob: &[u8],
-) -> Result<(), WireError> {
-    for chunk in blob.chunks(CHUNK_SIZE) {
-        let frame =
-            Frame::with_payload(Opcode::Chunk, json!({}), Bytes::copy_from_slice(chunk));
-        send_counted(writer, metrics, faults, &frame)?;
-    }
-    Ok(())
-}
-
-/// Approximate on-wire size of a frame (exact for frames we build).
-fn wire_size(frame: &Frame) -> u64 {
-    4 + 1 + 4 + frame.header.to_json_string().len() as u64 + frame.payload.len() as u64
+    hash
 }

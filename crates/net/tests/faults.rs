@@ -2,11 +2,18 @@
 //! connection resets must all be survived by `RemoteStore`'s retry loop,
 //! with server byte counters staying consistent with what actually reached
 //! the wire and the store.
+//!
+//! Fault schedules index *outgoing response frames* in order. Handshake
+//! (`Hello`) replies are exempt — they are the v1-framed connection
+//! prelude, not a response to a request — so ordinals are stable across
+//! protocol versions: 0 = the first request's reply, then one per
+//! reply/chunk. Clients are pinned to `pool_size(1)` so the frame order —
+//! and therefore the schedule — is deterministic.
 
 use std::sync::Arc;
 
 use bytes::Bytes;
-use mmlib_net::protocol::encode_frame;
+use mmlib_net::protocol::{encode_frame_v, WireVersion};
 use mmlib_net::{Frame, NetFaults, Opcode, RegistryServer, RemoteStore, ServerConfig};
 use mmlib_store::fault::{Fault, FaultPlan};
 use mmlib_store::{ModelStorage, StorageBackend};
@@ -18,11 +25,24 @@ fn faulty_server(dir: &std::path::Path, faults: NetFaults) -> RegistryServer {
     RegistryServer::bind_with_config(storage, "127.0.0.1:0", config).unwrap()
 }
 
-/// Exact wire size of a frame the server would build.
-fn wire_len(op: Opcode, header: serde_json::Value, payload: &[u8]) -> u64 {
-    encode_frame(&Frame::with_payload(op, header, Bytes::copy_from_slice(payload)))
+fn client(server: &RegistryServer) -> RemoteStore {
+    RemoteStore::builder(server.addr()).pool_size(1).build().unwrap()
+}
+
+/// Exact wire size of a frame the server would send, in either framing.
+fn wire_len(v: WireVersion, op: Opcode, header: serde_json::Value, payload: &[u8]) -> u64 {
+    encode_frame_v(&Frame::with_payload(op, header, Bytes::copy_from_slice(payload)), v)
         .unwrap()
         .len() as u64
+}
+
+/// The v1-framed `Hello` reply that opens every v2 connection.
+fn hello_reply_len() -> u64 {
+    let header = json!({
+        "version": mmlib_net::PROTOCOL_V2,
+        "max_inflight": mmlib_net::AdmissionConfig::default().per_conn_inflight as u64,
+    });
+    wire_len(WireVersion::V1, Opcode::Ok, header, &[])
 }
 
 #[test]
@@ -33,7 +53,7 @@ fn truncated_chunk_mid_blob_stream_is_survived_by_retry() {
     // after 100 bytes mid-stream.
     let plan = FaultPlan::new(11).with(4, Fault::TruncateFrame { after_bytes: 100 });
     let server = faulty_server(dir.path(), NetFaults::response_only(plan));
-    let client = RemoteStore::connect(server.addr()).unwrap();
+    let client = client(&server);
 
     let blob: Vec<u8> = (0..300_000u32).map(|i| (i.wrapping_mul(31) >> 3) as u8).collect();
     let id = client.put_file(&blob).unwrap();
@@ -47,17 +67,26 @@ fn truncated_chunk_mid_blob_stream_is_survived_by_retry() {
     assert_eq!(metrics.connections(), 2, "one reconnect after the cut stream");
 
     // bytes_out must count exactly what reached the socket: every full
-    // frame of both attempts plus the 100-byte truncated prefix.
-    let announce = wire_len(Opcode::Ok, json!({"len": blob.len() as u64}), &[]);
-    let chunk_full = wire_len(Opcode::Chunk, json!({}), &blob[..65536]);
-    let chunk_last = wire_len(Opcode::Chunk, json!({}), &blob[4 * 65536..]);
-    let expected_out = wire_len(Opcode::Ok, json!({"version": mmlib_net::PROTOCOL_VERSION}), &[])
-        + wire_len(Opcode::Ok, json!({"id": id.as_str()}), &[])
+    // frame of both attempts plus the 100-byte truncated prefix. The
+    // truncation closes the connection, so the retry re-handshakes.
+    let v2 = WireVersion::V2;
+    let announce = wire_len(v2, Opcode::Ok, json!({"len": blob.len() as u64}), &[]);
+    let chunk_full = wire_len(v2, Opcode::Chunk, json!({}), &blob[..65536]);
+    let chunk_last = wire_len(v2, Opcode::Chunk, json!({}), &blob[4 * 65536..]);
+    let expected_out = hello_reply_len()
+        + wire_len(v2, Opcode::Ok, json!({"version": mmlib_net::PROTOCOL_V2}), &[])
+        + wire_len(v2, Opcode::Ok, json!({"id": id.as_str()}), &[])
         // Failed attempt: announcement + one full chunk + the prefix.
         + announce + chunk_full + 100
-        // Clean retry: announcement + 4 full chunks + the tail chunk.
+        // Clean retry on a fresh connection: handshake, announcement,
+        // 4 full chunks, the tail chunk.
+        + hello_reply_len()
         + announce + 4 * chunk_full + chunk_last;
     assert_eq!(metrics.bytes_out(), expected_out);
+
+    // The client's own wire counter agrees with the server's, minus the
+    // 100-byte prefix its decoder threw away with the dead connection.
+    assert!(client.wire_bytes_in() >= expected_out - 100 - chunk_full);
 
     // The store committed the blob exactly once, byte-identical.
     let direct = ModelStorage::open(dir.path()).unwrap();
@@ -73,9 +102,10 @@ fn transient_connect_reset_is_survived_by_retry() {
     let plan = FaultPlan::new(7).with(0, Fault::ConnReset);
     let server = faulty_server(dir.path(), NetFaults::accept_only(plan));
 
-    // connect() performs the Ping handshake, so surviving the reset proves
-    // the retry loop covers transient connect failures end to end.
-    let client = RemoteStore::connect(server.addr()).unwrap();
+    // Building the store performs the Hello + Ping handshake, so surviving
+    // the reset proves the retry loop covers transient connect failures
+    // end to end.
+    let client = client(&server);
     let id = client.insert_doc("k", json!({"v": 1})).unwrap();
     assert_eq!(client.get_doc(&id).unwrap().body["v"], 1u64);
 
@@ -87,18 +117,49 @@ fn transient_connect_reset_is_survived_by_retry() {
 #[test]
 fn dropped_reply_retries_with_at_least_once_semantics() {
     let dir = tempfile::tempdir().unwrap();
-    // Op 0 = ping reply; op 1 (the insert reply) is dropped before any
-    // byte, so the server commits the document but the client never hears.
+    // Op 0 = ping reply; op 1 (the insert reply) drops the whole
+    // connection before any byte, so the server commits the document but
+    // the client never hears.
     let plan = FaultPlan::new(3).with(1, Fault::DropConnection);
     let server = faulty_server(dir.path(), NetFaults::response_only(plan));
-    let client = RemoteStore::connect(server.addr()).unwrap();
+    let client = client(&server);
 
     let id = client.insert_doc("k", json!({"v": 42})).unwrap();
     assert_eq!(client.get_doc(&id).unwrap().body["v"], 42u64);
     assert_eq!(server.metrics().requests(Opcode::DocInsert), 2, "one retry");
+    assert_eq!(server.metrics().connections(), 2, "the drop killed the first connection");
 
     // At-least-once: the first attempt's commit survives as a duplicate —
     // the orphan `mmlib fsck` exists to find.
+    let direct = ModelStorage::open(dir.path()).unwrap();
+    assert_eq!(direct.docs().ids().unwrap().len(), 2);
+}
+
+#[test]
+fn lost_single_response_poisons_only_its_request_id() {
+    let dir = tempfile::tempdir().unwrap();
+    // Op 1 (the insert reply) is swallowed as if a single multiplexed
+    // response frame were lost; unlike DropConnection, the connection —
+    // and every other request on it — stays healthy.
+    let plan = FaultPlan::new(9).with(1, Fault::IoError);
+    let server = faulty_server(dir.path(), NetFaults::response_only(plan));
+    let client = RemoteStore::builder(server.addr())
+        .pool_size(1)
+        .read_timeout(Some(std::time::Duration::from_millis(100)))
+        .build()
+        .unwrap();
+
+    let id = client.insert_doc("k", json!({"v": 7})).unwrap();
+    assert_eq!(client.get_doc(&id).unwrap().body["v"], 7u64);
+
+    let metrics = server.metrics();
+    assert_eq!(metrics.requests(Opcode::DocInsert), 2, "the lost reply forced one retry");
+    assert_eq!(
+        metrics.connections(),
+        1,
+        "a lost response must not tear the multiplexed connection down"
+    );
+    // At-least-once again: both insert attempts committed.
     let direct = ModelStorage::open(dir.path()).unwrap();
     assert_eq!(direct.docs().ids().unwrap().len(), 2);
 }
@@ -110,7 +171,7 @@ fn injected_latency_only_delays() {
         .with(0, Fault::Latency { micros: 2_000 })
         .with(1, Fault::Latency { micros: 2_000 });
     let server = faulty_server(dir.path(), NetFaults::response_only(plan));
-    let client = RemoteStore::connect(server.addr()).unwrap();
+    let client = client(&server);
     let id = client.put_file(b"slow but sure").unwrap();
     assert_eq!(client.get_file(&id).unwrap(), b"slow but sure");
     assert_eq!(server.metrics().requests(Opcode::FileGet), 1, "no retry needed");

@@ -1,8 +1,15 @@
 //! Property tests of the wire-frame codec: arbitrary headers and payloads
 //! round-trip; truncated frames and oversized lengths are always rejected.
+//! The v2 properties cover multiplexing: interleaved frames with distinct
+//! request ids decode in order with ids intact, and a truncated stream
+//! yields exactly the complete frames before the cut — the loss is scoped
+//! to the unfinished request id, never to earlier frames.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use mmlib_net::protocol::{decode_frame, encode_frame, Frame, Opcode, WireError, MAX_FRAME_LEN};
+use mmlib_net::protocol::{
+    decode_frame, encode_frame, encode_frame_v, try_decode_frame, Frame, Opcode, WireError,
+    WireVersion, MAX_FRAME_LEN,
+};
 use proptest::prelude::*;
 
 /// Builds an arbitrary JSON header from a shape seed (objects of strings,
@@ -73,6 +80,88 @@ proptest! {
             Err(WireError::Oversized(n)) => prop_assert_eq!(n, declared as usize),
             other => prop_assert!(false, "expected Oversized, got {:?}", other),
         }
+    }
+
+    #[test]
+    fn interleaved_v2_frames_round_trip_in_order(
+        frames in prop::collection::vec(
+            (0u64..1000, 1u64..u64::MAX, prop::collection::vec(0u8..=255, 0..3000)),
+            1..12,
+        ),
+    ) {
+        // A multiplexed v2 stream: frames for many request ids interleaved
+        // back to back, exactly as the pipelined client and the sharded
+        // server emit them.
+        let originals: Vec<Frame> = frames
+            .iter()
+            .enumerate()
+            .map(|(i, (op_seed, id, payload))| {
+                Frame::with_payload(
+                    opcode_from_seed(*op_seed),
+                    serde_json::json!({"seq": i as u64}),
+                    Bytes::from(payload.clone()),
+                )
+                .with_request_id(*id)
+            })
+            .collect();
+        let mut stream = Vec::new();
+        for frame in &originals {
+            stream.extend_from_slice(&encode_frame_v(frame, WireVersion::V2).unwrap());
+        }
+
+        // The incremental decoder must return them in order, ids intact.
+        let mut offset = 0usize;
+        for original in &originals {
+            let (decoded, used) =
+                try_decode_frame(&stream[offset..], WireVersion::V2).unwrap().unwrap();
+            prop_assert_eq!(&decoded, original);
+            prop_assert_eq!(decoded.request_id, original.request_id);
+            offset += used;
+        }
+        prop_assert_eq!(offset, stream.len());
+        prop_assert!(try_decode_frame(&stream[offset..], WireVersion::V2).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_v2_stream_poisons_only_the_unfinished_frame(
+        frames in prop::collection::vec(
+            (1u64..u64::MAX, prop::collection::vec(0u8..=255, 0..1500)),
+            1..8,
+        ),
+        cut_seed in 0u64..1_000_000,
+    ) {
+        let originals: Vec<Frame> = frames
+            .iter()
+            .map(|(id, payload)| {
+                Frame::with_payload(
+                    Opcode::Chunk,
+                    serde_json::json!({}),
+                    Bytes::from(payload.clone()),
+                )
+                .with_request_id(*id)
+            })
+            .collect();
+        let mut stream = Vec::new();
+        let mut boundaries = Vec::new();
+        for frame in &originals {
+            stream.extend_from_slice(&encode_frame_v(frame, WireVersion::V2).unwrap());
+            boundaries.push(stream.len());
+        }
+        let cut = (cut_seed as usize) % stream.len();
+        let partial = &stream[..cut];
+        let whole_before_cut = boundaries.iter().filter(|&&b| b <= cut).count();
+
+        // Every frame wholly before the cut decodes intact; the frame the
+        // cut landed in is simply "not yet arrived" (Ok(None)), never an
+        // error and never a corruption of its predecessors.
+        let mut offset = 0usize;
+        for original in originals.iter().take(whole_before_cut) {
+            let (decoded, used) =
+                try_decode_frame(&partial[offset..], WireVersion::V2).unwrap().unwrap();
+            prop_assert_eq!(&decoded, original);
+            offset += used;
+        }
+        prop_assert!(try_decode_frame(&partial[offset..], WireVersion::V2).unwrap().is_none());
     }
 
     #[test]

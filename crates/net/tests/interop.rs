@@ -1,0 +1,105 @@
+//! v1 ↔ v2 interop: a v2 server must serve legacy v1 clients (which never
+//! send `Opcode::Hello`) alongside pipelined v2 clients on the same port,
+//! and the handshake must reject unknown versions cleanly — a v1-framed
+//! `version_mismatch` error, then EOF, never a hang or a garbage frame.
+
+use std::net::TcpStream;
+
+use mmlib_net::protocol::{read_frame, write_frame, WireError};
+use mmlib_net::{Frame, Opcode, RegistryServer, RemoteStore, PROTOCOL_V1, PROTOCOL_V2};
+use mmlib_store::{ModelStorage, StorageBackend};
+use serde_json::json;
+
+fn server(dir: &std::path::Path) -> RegistryServer {
+    let storage = ModelStorage::open(dir).unwrap();
+    RegistryServer::bind(storage, "127.0.0.1:0").unwrap()
+}
+
+#[test]
+fn v1_pinned_client_round_trips_against_a_v2_server() {
+    let dir = tempfile::tempdir().unwrap();
+    let server = server(dir.path());
+
+    // A version-pinned builder speaks the legacy serial protocol: no Hello,
+    // no request ids, one exchange at a time.
+    let v1 = RemoteStore::builder(server.addr())
+        .pool_size(1)
+        .protocol_version(PROTOCOL_V1)
+        .build()
+        .unwrap();
+    let doc = v1.insert_doc("interop", json!({"writer": "v1"})).unwrap();
+    let blob: Vec<u8> = (0..200_000u32).map(|i| (i.wrapping_mul(97) >> 2) as u8).collect();
+    let file = v1.put_file(&blob).unwrap();
+    assert_eq!(v1.get_file(&file).unwrap(), blob);
+
+    let metrics = server.metrics();
+    assert_eq!(metrics.requests(Opcode::Hello), 0, "v1 clients never handshake");
+
+    // A default (v2) client shares the same server and sees v1's writes.
+    let v2 = RemoteStore::builder(server.addr()).pool_size(1).build().unwrap();
+    assert_eq!(v2.get_doc(&doc).unwrap().body["writer"], "v1");
+    assert_eq!(v2.get_file(&file).unwrap(), blob);
+    assert_eq!(metrics.requests(Opcode::Hello), 1, "the v2 pool handshakes once");
+
+    // And the v1 client still works after v2 traffic: versions are
+    // per-connection state, not server state.
+    assert_eq!(v1.get_doc(&doc).unwrap().body["writer"], "v1");
+}
+
+#[test]
+fn unknown_version_handshake_is_rejected_cleanly() {
+    let dir = tempfile::tempdir().unwrap();
+    let server = server(dir.path());
+
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    write_frame(&mut stream, &Frame::new(Opcode::Hello, json!({"version": 99}))).unwrap();
+
+    // The rejection is v1-framed (the only framing an unknown client is
+    // guaranteed to parse) and names the supported range.
+    let reply = read_frame(&mut stream).unwrap();
+    assert_eq!(reply.opcode, Opcode::Err);
+    assert_eq!(reply.header["code"], "version_mismatch");
+    let detail = reply.header["message"].as_str().unwrap();
+    assert!(detail.contains(&PROTOCOL_V1.to_string()), "{detail}");
+    assert!(detail.contains(&PROTOCOL_V2.to_string()), "{detail}");
+
+    // Then the server hangs up: a clean EOF, not a stalled socket.
+    assert!(matches!(read_frame(&mut stream), Err(WireError::Closed)));
+}
+
+#[test]
+fn hello_pinning_version_one_keeps_the_connection_on_v1_framing() {
+    let dir = tempfile::tempdir().unwrap();
+    let server = server(dir.path());
+
+    // A client may handshake and still pin v1 — useful for middleboxes
+    // that parse the stream. The agreement must hold: replies after the
+    // handshake stay v1-framed (no request-id word).
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    write_frame(&mut stream, &Frame::new(Opcode::Hello, json!({"version": 1}))).unwrap();
+    let reply = read_frame(&mut stream).unwrap();
+    assert_eq!(reply.opcode, Opcode::Ok);
+    assert_eq!(reply.header["version"], 1u64);
+
+    write_frame(&mut stream, &Frame::new(Opcode::Ping, json!({"version": 1}))).unwrap();
+    let pong = read_frame(&mut stream).unwrap();
+    assert_eq!(pong.opcode, Opcode::Ok, "{:?}", pong.header);
+}
+
+#[test]
+fn hello_after_the_first_frame_is_a_protocol_error() {
+    let dir = tempfile::tempdir().unwrap();
+    let server = server(dir.path());
+
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    write_frame(&mut stream, &Frame::new(Opcode::Ping, json!({"version": 1}))).unwrap();
+    assert_eq!(read_frame(&mut stream).unwrap().opcode, Opcode::Ok);
+
+    // Renegotiating mid-stream would desynchronise framing; the server
+    // refuses and closes.
+    write_frame(&mut stream, &Frame::new(Opcode::Hello, json!({"version": 2}))).unwrap();
+    let reply = read_frame(&mut stream).unwrap();
+    assert_eq!(reply.opcode, Opcode::Err);
+    assert_eq!(reply.header["code"], "protocol");
+    assert!(matches!(read_frame(&mut stream), Err(WireError::Closed)));
+}

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use mmlib_net::{RegistryServer, RemoteStore, ServerConfig};
+use mmlib_net::{RegistryServer, RemoteStore, ServerConfig, ShardConfig, WireConfig};
 use mmlib_store::{DocId, FileId, ModelStorage, StorageBackend, StoreError};
 use serde_json::json;
 
@@ -119,12 +119,13 @@ fn stats_text_serves_prometheus_exposition() {
 fn client_reconnects_after_connection_loss() {
     let dir = tempfile::tempdir().unwrap();
     let storage = ModelStorage::open(dir.path()).unwrap();
-    // An aggressive server read timeout drops idle connections fast.
+    // An aggressive idle timeout drops quiet connections fast.
     let server = RegistryServer::bind_with_config(
         storage,
         "127.0.0.1:0",
         ServerConfig {
-            read_timeout: Some(std::time::Duration::from_millis(50)),
+            wire: WireConfig::default()
+                .with_idle_timeout(Some(std::time::Duration::from_millis(50))),
             ..ServerConfig::default()
         },
     )
@@ -148,7 +149,7 @@ fn stress_eight_concurrent_clients_round_trip_byte_exact() {
     let server = RegistryServer::bind_with_config(
         storage,
         "127.0.0.1:0",
-        ServerConfig { workers: 8, ..ServerConfig::default() },
+        ServerConfig { shards: ShardConfig { workers: 8 }, ..ServerConfig::default() },
     )
     .unwrap();
     let addr = server.addr();

@@ -69,17 +69,32 @@ pub const TAXONOMY: &[MetricDef] = &[
     MetricDef {
         name: "mmlib_net_bytes_in_total",
         kind: MetricKind::Counter,
-        help: "Bytes received by the registry server (frame payloads and chunks).",
+        help: "Raw socket bytes received by the registry server.",
     },
     MetricDef {
         name: "mmlib_net_bytes_out_total",
         kind: MetricKind::Counter,
-        help: "Bytes written to the wire by the registry server, counted per frame.",
+        help: "Raw socket bytes written to the wire by the registry server.",
     },
     MetricDef {
         name: "mmlib_net_connections_total",
         kind: MetricKind::Counter,
-        help: "Connections accepted and handed to a registry worker.",
+        help: "Connections accepted and adopted by a registry I/O thread.",
+    },
+    MetricDef {
+        name: "mmlib_net_inflight_requests",
+        kind: MetricKind::Gauge,
+        help: "Requests admitted by the registry server and not yet answered.",
+    },
+    MetricDef {
+        name: "mmlib_net_load_shed_total",
+        kind: MetricKind::Counter,
+        help: "Requests the registry server answered with Busy under admission control.",
+    },
+    MetricDef {
+        name: "mmlib_net_pool_connections",
+        kind: MetricKind::Gauge,
+        help: "Pooled client connections currently open to registry servers.",
     },
     MetricDef {
         name: "mmlib_net_request_seconds",

@@ -18,6 +18,17 @@ if ! MMLIB_FAULT_SEED_BASE="$FAULT_SEED_BASE" cargo test --test fault_matrix -q;
     exit 1
 fi
 
+# Wire-protocol stress gate: 512 concurrent clients multiplexed over one
+# pipelined RemoteStore pool against the sharded v2 server, asserting zero
+# lost/misrouted responses and exact byte-ledger equality between client
+# and server counters. Release mode keeps the bounded fast run under a few
+# seconds; plain `cargo test` runs the same test at a modest default scale.
+if ! MMLIB_STRESS_CLIENTS=512 cargo test -p mmlib-net --release --test stress -q; then
+    echo "check.sh: wire-protocol stress FAILED at 512 clients" >&2
+    echo "reproduce: MMLIB_STRESS_CLIENTS=512 cargo test -p mmlib-net --release --test stress" >&2
+    exit 1
+fi
+
 # Phase-regression gate: the repro harness in fast mode writes per-approach
 # TTS/TTR/storage phase breakdowns (plus per-save durability sync counts) to
 # BENCH_PR7.json (pinned scale + seed) and gates them against the frozen
