@@ -328,17 +328,19 @@ impl RemoteStore {
     }
 
     /// Like [`RemoteStore::request`], also streaming `blob` after the
-    /// request frame and reading any blob announced by the reply.
+    /// request frame and reading any blob announced by the reply. The blob
+    /// is a `Bytes` so retried attempts re-slice the same buffer instead
+    /// of copying it.
     fn request_blob(
         &self,
         frame: Frame,
-        blob: Option<&[u8]>,
+        blob: Option<Bytes>,
     ) -> Result<(Frame, Option<Vec<u8>>), StoreError> {
         let mut attempt = 0u32;
         loop {
             // Every attempt gets a fresh frame id, so a late reply to a
             // timed-out attempt can never be mistaken for this one's.
-            match self.try_exchange(&frame, blob) {
+            match self.try_exchange(&frame, blob.as_ref()) {
                 Ok(reply) => return Ok(reply),
                 Err(e) => {
                     let shed_hint = match e {
@@ -366,7 +368,7 @@ impl RemoteStore {
     fn try_exchange(
         &self,
         frame: &Frame,
-        blob: Option<&[u8]>,
+        blob: Option<&Bytes>,
     ) -> Result<(Frame, Option<Vec<u8>>), WireError> {
         let slot = &self.pool[self.next_slot.fetch_add(1, Ordering::Relaxed) % self.pool.len()];
         let (reply, reply_blob) = match self.config.protocol_version {
@@ -393,7 +395,7 @@ impl RemoteStore {
         &self,
         slot: &PoolSlot,
         frame: &Frame,
-        blob: Option<&[u8]>,
+        blob: Option<&Bytes>,
     ) -> Result<(Frame, Option<Vec<u8>>), WireError> {
         let conn = {
             let mut guard = slot.conn.lock();
@@ -459,7 +461,7 @@ impl RemoteStore {
         &self,
         slot: &PoolSlot,
         frame: &Frame,
-        blob: Option<&[u8]>,
+        blob: Option<&Bytes>,
     ) -> Result<(Frame, Option<Vec<u8>>), WireError> {
         let mut guard = slot.conn.lock();
         if !matches!(&*guard, Some(PooledConn::V1(_))) {
@@ -480,7 +482,7 @@ impl RemoteStore {
         &self,
         conn: &mut V1Conn,
         frame: &Frame,
-        blob: Option<&[u8]>,
+        blob: Option<&Bytes>,
     ) -> Result<(Frame, Option<Vec<u8>>), WireError> {
         self.write_request(&mut conn.stream, frame, blob, WireVersion::V1)?;
         let (reply, n) = read_frame_counted(&mut conn.stream, WireVersion::V1)?;
@@ -516,18 +518,18 @@ impl RemoteStore {
     }
 
     /// Writes one request frame (and its blob as chunk frames) to `w`,
-    /// counting exact wire bytes. Payloads are written straight from the
-    /// caller's buffers — no intermediate copy.
+    /// counting exact wire bytes. Chunk payloads are zero-copy slices of
+    /// the request's one `Bytes` buffer — no per-attempt copy.
     fn write_request(
         &self,
         w: &mut impl Write,
         frame: &Frame,
-        blob: Option<&[u8]>,
+        blob: Option<&Bytes>,
         version: WireVersion,
     ) -> Result<(), WireError> {
         let mut wrote = self.write_one(w, frame, version)?;
         if let Some(blob) = blob {
-            for chunk in chunk_frames(frame.request_id, &Bytes::from(blob.to_vec())) {
+            for chunk in chunk_frames(frame.request_id, blob) {
                 wrote += self.write_one(w, &chunk, version)?;
             }
         }
@@ -1010,7 +1012,9 @@ impl StorageBackend for RemoteStore {
 
     fn put_file(&self, bytes: &[u8]) -> Result<FileId, StoreError> {
         let announce = Frame::new(Opcode::FilePut, json!({"len": bytes.len() as u64}));
-        let (reply, _) = self.request_blob(announce, Some(bytes))?;
+        // One copy at the trait boundary (the backend only lends a slice);
+        // every attempt and chunk frame below slices this same buffer.
+        let (reply, _) = self.request_blob(announce, Some(Bytes::copy_from_slice(bytes)))?;
         let header = expect_ok(reply)?;
         let id = header_str(&header, "id").map_err(remote)?;
         Ok(FileId::from_string(id.to_string()))

@@ -404,7 +404,9 @@ impl RegistryServer {
         &self.metrics
     }
 
-    /// Stops accepting, drains in-flight connections, joins all threads.
+    /// Stops accepting, drains in-flight requests and queued responses
+    /// (bounded by a short grace period for stalled peers), joins all
+    /// threads.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(thread) = self.thread.take() {
@@ -668,7 +670,15 @@ fn serve(
     }
 }
 
+/// How long an I/O thread keeps servicing its connections after the stop
+/// flag is set, waiting for in-flight requests and outbound queues to
+/// drain. Quiescent connections drain instantly; the grace only bounds a
+/// peer that stalls mid-request or stops reading.
+const SHUTDOWN_DRAIN_GRACE: Duration = Duration::from_secs(2);
+
 /// One I/O thread: adopt, read, decode, dispatch, write — never block.
+/// On stop, drains in-flight requests and queued responses (bounded by
+/// [`SHUTDOWN_DRAIN_GRACE`]) before exiting.
 fn io_loop(
     state: &ServerState,
     intake: &Mutex<Vec<TcpStream>>,
@@ -678,23 +688,29 @@ fn io_loop(
 ) {
     let mut conns: Vec<IoConn> = Vec::new();
     let mut scratch = vec![0u8; 64 * 1024];
-    while !stop.load(Ordering::SeqCst) {
+    let mut drain_deadline: Option<Instant> = None;
+    loop {
+        let stopping = stop.load(Ordering::SeqCst);
         let mut progressed = false;
-        for stream in intake.lock().drain(..) {
-            if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
-                continue;
+        if stopping {
+            drain_deadline.get_or_insert_with(|| Instant::now() + SHUTDOWN_DRAIN_GRACE);
+        } else {
+            for stream in intake.lock().drain(..) {
+                if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                    continue;
+                }
+                state.metrics.connections.add(1);
+                conns.push(IoConn {
+                    stream,
+                    shared: Arc::new(ConnShared::new()),
+                    recv: RecvBuf::new(),
+                    pending_blobs: HashMap::new(),
+                    last_activity: Instant::now(),
+                    saw_frame: false,
+                    eof: false,
+                });
+                progressed = true;
             }
-            state.metrics.connections.add(1);
-            conns.push(IoConn {
-                stream,
-                shared: Arc::new(ConnShared::new()),
-                recv: RecvBuf::new(),
-                pending_blobs: HashMap::new(),
-                last_activity: Instant::now(),
-                saw_frame: false,
-                eof: false,
-            });
-            progressed = true;
         }
 
         let mut i = 0;
@@ -706,15 +722,44 @@ fn io_loop(
                 }
                 Err(()) => {
                     // Fatal for this connection only: drop the socket. Any
-                    // in-flight jobs keep their Arc and finish harmlessly.
-                    conns.swap_remove(i);
+                    // in-flight jobs keep their Arc and finish harmlessly;
+                    // announced-but-incomplete blob transfers never will,
+                    // so their admission budget is released here.
+                    let dead = conns.swap_remove(i);
+                    release_pending(state, &dead);
                     progressed = true;
                 }
             }
         }
 
+        if stopping {
+            let drained = conns.iter().all(|c| {
+                c.shared.inflight.load(Ordering::Acquire) == 0
+                    && c.pending_blobs.is_empty()
+                    && c.shared.out.lock().queue.is_empty()
+            });
+            if drained || drain_deadline.is_some_and(|d| Instant::now() >= d) {
+                break;
+            }
+        }
+
         if !progressed {
             std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    for conn in &conns {
+        release_pending(state, conn);
+    }
+}
+
+/// Releases the admission budget held by blob transfers that were admitted
+/// at announce time but will never complete — the connection carrying them
+/// is going away. Requests already dispatched to a shard are untouched:
+/// they hold their own `Arc` and release through [`run_job`].
+fn release_pending(state: &ServerState, conn: &IoConn) {
+    for pending in conn.pending_blobs.values() {
+        if !pending.discard {
+            finish_inflight(state, &conn.shared);
         }
     }
 }
@@ -978,7 +1023,13 @@ fn handle_chunk(
             .with_request_id(request_id);
         let _ = conn.shared.send_frames(&[reply], version, None);
         conn.shared.out.lock().close_after_flush = true;
-        conn.pending_blobs.remove(&request_id);
+        // The transfer dies without ever dispatching, so the admission
+        // budget it reserved at announce time must be released here.
+        if let Some(dead) = conn.pending_blobs.remove(&request_id) {
+            if !dead.discard {
+                finish_inflight(state, &conn.shared);
+            }
+        }
         return;
     }
     if pending.discard {
@@ -1001,20 +1052,35 @@ fn handle_chunk(
 /// accounting) or sheds it with a `Busy` response. v1 connections are
 /// serial by construction and always admitted.
 fn admit(state: &ServerState, conn: &IoConn, frame: &Frame, version: WireVersion) -> bool {
-    let over_budget = version != WireVersion::V1
-        && (conn.shared.inflight.load(Ordering::Acquire) >= state.admission.per_conn_inflight
-            || state.global_inflight.load(Ordering::Acquire) >= state.admission.global_inflight);
-    if over_budget {
-        state.metrics.load_shed.add(1);
-        let reply = busy_frame(state.admission.retry_after_ms).with_request_id(frame.request_id);
-        let _ = conn.shared.send_frames(&[reply], version, state.faults.as_deref());
-        return false;
+    if version != WireVersion::V1 {
+        // Per-connection budget: only this I/O thread increments it, so a
+        // plain load cannot race another admission.
+        if conn.shared.inflight.load(Ordering::Acquire) >= state.admission.per_conn_inflight {
+            return shed(state, conn, frame, version);
+        }
+        // Global budget: I/O threads race here, so reserve first and undo
+        // on overshoot — check-then-increment could exceed the cap by up
+        // to one admission per concurrent thread.
+        let prev = state.global_inflight.fetch_add(1, Ordering::AcqRel);
+        if prev >= state.admission.global_inflight {
+            state.global_inflight.fetch_sub(1, Ordering::AcqRel);
+            return shed(state, conn, frame, version);
+        }
+    } else {
+        state.global_inflight.fetch_add(1, Ordering::AcqRel);
     }
-    state.global_inflight.fetch_add(1, Ordering::AcqRel);
     conn.shared.inflight.fetch_add(1, Ordering::AcqRel);
     state.metrics.inflight.add(1.0);
     state.metrics.count(frame.opcode);
     true
+}
+
+/// Sheds one request with a `Busy` reply carrying the retry hint.
+fn shed(state: &ServerState, conn: &IoConn, frame: &Frame, version: WireVersion) -> bool {
+    state.metrics.load_shed.add(1);
+    let reply = busy_frame(state.admission.retry_after_ms).with_request_id(frame.request_id);
+    let _ = conn.shared.send_frames(&[reply], version, state.faults.as_deref());
+    false
 }
 
 /// Hands an admitted request to its shard. Routing hashes the id named in

@@ -103,3 +103,62 @@ fn hello_after_the_first_frame_is_a_protocol_error() {
     assert_eq!(reply.header["code"], "protocol");
     assert!(matches!(read_frame(&mut stream), Err(WireError::Closed)));
 }
+
+/// Polls `cond` until it holds or a generous deadline passes.
+fn wait_for(what: &str, cond: impl Fn() -> bool) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while !cond() {
+        assert!(std::time::Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn dead_uploads_release_their_admission_budget() {
+    use bytes::Bytes;
+    use mmlib_net::protocol::{read_frame_v, write_frame_v, WireVersion};
+    use mmlib_store::StorageBackend;
+
+    let dir = tempfile::tempdir().unwrap();
+    let server = server(dir.path());
+    let metrics = server.metrics();
+
+    // Leak path one: a v2 connection announces an upload, streams a
+    // partial chunk, and vanishes. The transfer was admitted at announce
+    // time but can never dispatch; reaping the socket must hand its unit
+    // of the admission budget back.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    write_frame(&mut stream, &Frame::new(Opcode::Hello, json!({"version": PROTOCOL_V2}))).unwrap();
+    assert_eq!(read_frame(&mut stream).unwrap().opcode, Opcode::Ok);
+    let announce = Frame::new(Opcode::FilePut, json!({"len": 200_000u64})).with_request_id(7);
+    write_frame_v(&mut stream, &announce, WireVersion::V2).unwrap();
+    let chunk = Frame::with_payload(Opcode::Chunk, json!({}), Bytes::from(vec![0xAB; 1_000]))
+        .with_request_id(7);
+    write_frame_v(&mut stream, &chunk, WireVersion::V2).unwrap();
+    wait_for("the upload to be admitted", || metrics.inflight() >= 1.0);
+    drop(stream);
+    wait_for("the dropped connection to release its budget", || metrics.inflight() == 0.0);
+
+    // Leak path two: a chunk overrunning its announced length kills the
+    // transfer (and the connection) server-side — same obligation.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    write_frame(&mut stream, &Frame::new(Opcode::Hello, json!({"version": PROTOCOL_V2}))).unwrap();
+    assert_eq!(read_frame(&mut stream).unwrap().opcode, Opcode::Ok);
+    let announce = Frame::new(Opcode::FilePut, json!({"len": 10u64})).with_request_id(1);
+    write_frame_v(&mut stream, &announce, WireVersion::V2).unwrap();
+    let overrun = Frame::with_payload(Opcode::Chunk, json!({}), Bytes::from(vec![1u8; 64]))
+        .with_request_id(1);
+    write_frame_v(&mut stream, &overrun, WireVersion::V2).unwrap();
+    let reply = read_frame_v(&mut stream, WireVersion::V2).unwrap();
+    assert_eq!(reply.opcode, Opcode::Err);
+    assert_eq!(reply.header["code"], "protocol");
+    wait_for("the overrun transfer to release its budget", || metrics.inflight() == 0.0);
+
+    // The budget is genuinely back: a well-behaved client is admitted and
+    // a full upload round-trips.
+    let client = RemoteStore::builder(server.addr()).pool_size(1).build().unwrap();
+    let blob = vec![9u8; 100_000];
+    let id = client.put_file(&blob).unwrap();
+    assert_eq!(client.get_file(&id).unwrap(), blob);
+    assert_eq!(metrics.load_shed(), 0, "nothing should have been shed");
+}
