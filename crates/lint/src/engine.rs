@@ -4,13 +4,16 @@
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
+use crate::pairs::Pairs;
 use crate::pragma::PragmaScope;
-use crate::rules::{c1, d1, f1, m1, p1, x1, Violation};
+use crate::rules::{c1, d1, f1, g1, h1, l1, m1, p1, x1, Violation};
 use crate::source::{FileKind, SourceFile};
 
 /// Crate directories never scanned: vendored dependency shims mirror
-/// external APIs, and the lint does not police itself.
-const EXCLUDED_CRATES: &[&str] = &["shims", "lint"];
+/// external APIs. The lint *does* scan itself (its self-metrics must stay
+/// inside the M1 taxonomy); only its deliberately-bad rule fixtures are
+/// excluded, by the `fixtures` directory skip in [`collect_rs`].
+const EXCLUDED_CRATES: &[&str] = &["shims"];
 
 /// A loaded workspace: every scannable file, lexed once.
 pub struct Workspace {
@@ -51,8 +54,13 @@ impl Workspace {
         Workspace { files }
     }
 
-    /// Runs every rule and applies pragmas. Returns the full report.
+    /// Runs every rule with an empty pair manifest (G1 checks nothing).
     pub fn check(&self, budget: &Budget) -> Report {
+        self.check_full(budget, &Pairs::empty())
+    }
+
+    /// Runs every rule and applies pragmas. Returns the full report.
+    pub fn check_full(&self, budget: &Budget, pairs: &Pairs) -> Report {
         let mut raw = Vec::new();
         for f in &self.files {
             if f.kind == FileKind::Lib {
@@ -66,7 +74,36 @@ impl Workspace {
         }
         x1::check(&self.files, &mut raw);
         m1::check(&self.files, &mut raw);
+        self.check_structural(pairs, &mut raw);
         self.apply_pragmas(raw, budget)
+    }
+
+    /// The structural rules (L1/H1/G1): builds one concurrency model per
+    /// relevant crate and runs each rule family over it.
+    fn check_structural(&self, pairs: &Pairs, raw: &mut Vec<Violation>) {
+        let mut crates: Vec<&str> = l1::CONCURRENT_CRATES.to_vec();
+        for p in &pairs.pairs {
+            if !crates.contains(&p.krate.as_str()) {
+                crates.push(&p.krate);
+            }
+        }
+        for krate in crates {
+            let files: Vec<(usize, &SourceFile)> = self
+                .files
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.crate_name == krate && f.kind == FileKind::Lib)
+                .collect();
+            if files.is_empty() {
+                continue;
+            }
+            let model = crate::callgraph::build(krate, &files);
+            if l1::CONCURRENT_CRATES.contains(&krate) {
+                l1::check(&model, &files, raw);
+                h1::check(&model, &files, raw);
+            }
+            g1::check(&model, &files, pairs, raw);
+        }
     }
 
     /// Splits raw findings into active violations and pragma-suppressed
@@ -156,6 +193,15 @@ impl Workspace {
             }
         }
 
+        // Byte-stable output: findings are sorted, not in rule-emission
+        // order, so `--json` and the ratchet do not depend on which rule
+        // family ran first (or on filesystem enumeration order).
+        let sort_key = |v: &Violation| {
+            (v.path.clone(), v.line, v.col, v.rule, v.message.clone())
+        };
+        violations.sort_by_key(sort_key);
+        allowed.sort_by_key(sort_key);
+
         let files_scanned = self.files.len();
         Report { violations, allowed, allow_counts, files_scanned }
     }
@@ -170,6 +216,11 @@ fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<SourceFile>) -> std::io::Re
     entries.sort();
     for path in entries {
         if path.is_dir() {
+            // Rule fixtures are deliberately-bad code; scanning them would
+            // report their planted violations against the real tree.
+            if path.file_name().is_some_and(|n| n == "fixtures") {
+                continue;
+            }
             collect_rs(&path, root, out)?;
         } else if path.extension().is_some_and(|e| e == "rs") {
             let text = std::fs::read_to_string(&path)?;

@@ -12,9 +12,20 @@
 //! - **C1** truncating-cast audit on net/store wire paths.
 //! - **F1** `#![forbid(unsafe_code)]` in every non-shim crate root.
 //! - **X1** protocol cross-check: every opcode has a server dispatch
-//!   arm, client plumbing, and test coverage.
+//!   arm, client plumbing, and test coverage; error replies must be
+//!   asserted on, not merely mentioned.
 //! - **M1** metric-taxonomy check: every `mmlib_*` metric name is
 //!   declared (once, snake_case) in the central taxonomy and used.
+//!
+//! On top of the token layer sits a **structural pass** ([`structure`],
+//! [`callgraph`]): item-tree recovery by brace matching, guard-scope
+//! tracking, and per-crate call edges, powering the concurrency rules:
+//!
+//! - **L1** lock-order analysis: acquisition-order cycles and double
+//!   acquisition (direct or across intra-crate call edges).
+//! - **H1** I/O while a lock guard is live in scope.
+//! - **G1** guard-balance for paired-accounting APIs declared in
+//!   `lint-pairs.txt` (acquire/release call pairs, with owners).
 //!
 //! Suppression is explicit and budgeted: `// mmlib-lint: allow(RULE,
 //! reason)` pragmas are counted against the committed ratchet file
@@ -22,12 +33,16 @@
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod engine;
 pub mod lexer;
+pub mod pairs;
 pub mod pragma;
 pub mod report;
 pub mod rules;
 pub mod source;
+pub mod structure;
 
 pub use engine::{Budget, Report, Workspace};
+pub use pairs::Pairs;
 pub use rules::Violation;

@@ -1,7 +1,8 @@
 //! mmlib-lint CLI.
 //!
 //! ```text
-//! mmlib-lint --workspace [--root DIR] [--budget FILE] [--json] [--update-budget]
+//! mmlib-lint --workspace [--root DIR] [--budget FILE] [--pairs FILE]
+//!            [--rule ID] [--json] [--metrics] [--update-budget]
 //! ```
 //!
 //! Exit codes: 0 = clean, 1 = violations found, 2 = usage/IO error.
@@ -10,11 +11,14 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use mmlib_lint::engine::{Budget, Workspace};
-use mmlib_lint::report::{render_json, render_text};
+use mmlib_lint::pairs::Pairs;
+use mmlib_lint::report::{render_json, render_self_metrics, render_text};
 
-const USAGE: &str = "usage: mmlib-lint --workspace [--root DIR] [--budget FILE] [--json] [--update-budget]";
+const USAGE: &str = "usage: mmlib-lint --workspace [--root DIR] [--budget FILE] [--pairs FILE] \
+                     [--rule ID] [--json] [--metrics] [--update-budget]";
 
 fn main() -> ExitCode {
     match run() {
@@ -36,21 +40,31 @@ fn main() -> ExitCode {
 fn run() -> Result<bool, String> {
     let mut workspace = false;
     let mut json = false;
+    let mut metrics = false;
     let mut update_budget = false;
     let mut root: Option<PathBuf> = None;
     let mut budget_path: Option<PathBuf> = None;
+    let mut pairs_path: Option<PathBuf> = None;
+    let mut rule: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workspace" => workspace = true,
             "--json" => json = true,
+            "--metrics" => metrics = true,
             "--update-budget" => update_budget = true,
             "--root" => {
                 root = Some(PathBuf::from(args.next().ok_or("--root needs a value")?));
             }
             "--budget" => {
                 budget_path = Some(PathBuf::from(args.next().ok_or("--budget needs a value")?));
+            }
+            "--pairs" => {
+                pairs_path = Some(PathBuf::from(args.next().ok_or("--pairs needs a value")?));
+            }
+            "--rule" => {
+                rule = Some(args.next().ok_or("--rule needs a value")?.to_uppercase());
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -69,12 +83,16 @@ fn run() -> Result<bool, String> {
     };
     let budget_path = budget_path.unwrap_or_else(|| root.join("lint-budget.txt"));
     let budget = Budget::load(&budget_path)?;
+    let pairs_path = pairs_path.unwrap_or_else(|| root.join("lint-pairs.txt"));
+    let pairs = Pairs::load(&pairs_path)?;
 
     let ws = Workspace::load(&root).map_err(|e| format!("loading workspace: {e}"))?;
     if ws.files.is_empty() {
         return Err(format!("no Rust sources found under {}", root.display()));
     }
-    let report = ws.check(&budget);
+    let started = Instant::now();
+    let mut report = ws.check_full(&budget, &pairs);
+    let elapsed = started.elapsed().as_secs_f64();
 
     if update_budget {
         let rendered = Budget::render(&report.allow_counts);
@@ -83,10 +101,20 @@ fn run() -> Result<bool, String> {
         eprintln!("mmlib-lint: wrote {}", budget_path.display());
     }
 
+    // `--rule L1` narrows the report to one rule family — the repro mode
+    // check.sh prints on failure.
+    if let Some(rule) = &rule {
+        report.violations.retain(|v| v.rule == rule);
+        report.allowed.retain(|v| v.rule == rule);
+    }
+
     if json {
         println!("{}", render_json(&report));
     } else {
         print!("{}", render_text(&report));
+    }
+    if metrics {
+        print!("{}", render_self_metrics(&report, elapsed));
     }
     Ok(report.clean())
 }

@@ -1,0 +1,146 @@
+//! G1 pair manifest: declared paired-accounting APIs.
+//!
+//! The manifest (`lint-pairs.txt` at the workspace root) lists resource
+//! acquire/release call pairs the tree must keep balanced:
+//!
+//! ```text
+//! # pair <crate> <acquire-fn> <release-fn> [owner=f1,f2] [scope=fn|block]
+//! pair net admit finish_inflight owner=handle_frame
+//! pair net swap_remove release_pending scope=block
+//! pair store stage_write commit_staged owner=stage
+//! ```
+//!
+//! * `owner=` names functions allowed to call the acquire side without a
+//!   matching release — they hand the obligation off (to a connection
+//!   state, a returned token, ...).
+//! * `scope=fn` (the default) requires a function that calls the acquire
+//!   side to also call the release side, with no `return` or `?` between
+//!   them (a `?` directly on the acquire call itself is exempt — the
+//!   resource was never obtained on that edge).
+//! * `scope=block` requires the release call inside the same `{...}`
+//!   block as each acquire call — for cleanup idioms like
+//!   `let dead = conns.swap_remove(i); release_pending(state, &dead);`
+//!   where the pairing is positional, not function-wide.
+
+/// Balance-checking granularity for one pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairScope {
+    /// Release required somewhere in the same function, no early exit
+    /// between acquire and release.
+    Fn,
+    /// Release required in the innermost block holding the acquire call.
+    Block,
+}
+
+/// One declared acquire/release pair.
+#[derive(Debug, Clone)]
+pub struct Pair {
+    /// Crate the pair applies to (`"net"`, `"store"`).
+    pub krate: String,
+    pub acquire: String,
+    pub release: String,
+    /// Functions allowed to acquire without releasing.
+    pub owners: Vec<String>,
+    pub scope: PairScope,
+}
+
+/// The parsed manifest.
+#[derive(Debug, Clone, Default)]
+pub struct Pairs {
+    pub pairs: Vec<Pair>,
+}
+
+impl Pairs {
+    /// An empty manifest (G1 checks nothing).
+    pub fn empty() -> Pairs {
+        Pairs::default()
+    }
+
+    /// Parses manifest text; `#` starts a comment. `source` names the
+    /// file for error messages.
+    pub fn parse(text: &str, source: &str) -> Result<Pairs, String> {
+        let mut pairs = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let err = |msg: &str| format!("{source}:{}: {msg}", i + 1);
+            if parts.next() != Some("pair") {
+                return Err(err("expected `pair <crate> <acquire> <release> [...]`"));
+            }
+            let (Some(krate), Some(acquire), Some(release)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(err("expected `pair <crate> <acquire> <release> [...]`"));
+            };
+            let mut owners = Vec::new();
+            let mut scope = PairScope::Fn;
+            for opt in parts {
+                if let Some(list) = opt.strip_prefix("owner=") {
+                    owners.extend(list.split(',').map(|s| s.trim().to_string()));
+                } else if let Some(s) = opt.strip_prefix("scope=") {
+                    scope = match s {
+                        "fn" => PairScope::Fn,
+                        "block" => PairScope::Block,
+                        other => return Err(err(&format!("unknown scope `{other}`"))),
+                    };
+                } else {
+                    return Err(err(&format!("unknown option `{opt}`")));
+                }
+            }
+            pairs.push(Pair {
+                krate: krate.to_string(),
+                acquire: acquire.to_string(),
+                release: release.to_string(),
+                owners,
+                scope,
+            });
+        }
+        Ok(Pairs { pairs })
+    }
+
+    /// Loads the manifest file; an absent file is an empty manifest, so
+    /// repos without declared pairs pay nothing.
+    pub fn load(path: &std::path::Path) -> Result<Pairs, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Pairs::parse(&text, &path.display().to_string()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Pairs::empty()),
+            Err(e) => Err(format!("{}: {e}", path.display())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_manifest() {
+        let text = "# comment\n\
+                    pair net admit finish_inflight owner=handle_frame\n\
+                    pair net swap_remove release_pending scope=block\n\
+                    pair store stage_write commit_staged owner=a,b\n";
+        let p = Pairs::parse(text, "t").unwrap();
+        assert_eq!(p.pairs.len(), 3);
+        assert_eq!(p.pairs[0].owners, vec!["handle_frame"]);
+        assert_eq!(p.pairs[0].scope, PairScope::Fn);
+        assert_eq!(p.pairs[1].scope, PairScope::Block);
+        assert_eq!(p.pairs[2].owners, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Pairs::parse("pear net a b", "t").is_err());
+        assert!(Pairs::parse("pair net a", "t").is_err());
+        assert!(Pairs::parse("pair net a b scope=weird", "t").is_err());
+        assert!(Pairs::parse("pair net a b frobnicate=1", "t").is_err());
+    }
+
+    #[test]
+    fn empty_and_comment_only_are_fine() {
+        assert!(Pairs::parse("", "t").unwrap().pairs.is_empty());
+        assert!(Pairs::parse("# nothing\n\n", "t").unwrap().pairs.is_empty());
+    }
+}

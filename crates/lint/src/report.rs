@@ -26,6 +26,33 @@ use std::fmt::Write as _;
 use crate::engine::Report;
 use crate::rules::Violation;
 
+/// Self-metric: findings per rule (active + pragma-allowed). Declared in
+/// the obs taxonomy (`crates/obs/src/taxonomy.rs`) so M1 stays closed
+/// over the lint crate itself.
+pub const LINT_FINDINGS_TOTAL: &str = "mmlib_lint_findings_total";
+/// Self-metric: wall-clock duration of one full analysis run.
+pub const LINT_ANALYSIS_SECONDS: &str = "mmlib_lint_analysis_seconds";
+
+/// Renders the lint's own metrics in Prometheus text exposition format
+/// (for `--metrics`). The lint is dependency-free by design, so this is
+/// hand-rolled rather than routed through `mmlib-obs` — but the names
+/// live in the shared taxonomy and M1 cross-checks them.
+pub fn render_self_metrics(report: &Report, seconds: f64) -> String {
+    let mut per_rule: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for v in report.violations.iter().chain(&report.allowed) {
+        *per_rule.entry(v.rule).or_default() += 1;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "# TYPE {LINT_FINDINGS_TOTAL} counter");
+    for (rule, count) in &per_rule {
+        let _ = writeln!(out, "{LINT_FINDINGS_TOTAL}{{rule=\"{rule}\"}} {count}");
+    }
+    let _ = writeln!(out, "# TYPE {LINT_ANALYSIS_SECONDS} histogram");
+    let _ = writeln!(out, "{LINT_ANALYSIS_SECONDS}_sum {seconds:.6}");
+    let _ = writeln!(out, "{LINT_ANALYSIS_SECONDS}_count 1");
+    out
+}
+
 /// Renders the human-readable report.
 pub fn render_text(report: &Report) -> String {
     let mut out = String::new();
@@ -150,5 +177,13 @@ mod tests {
     #[test]
     fn control_chars_are_escaped() {
         assert_eq!(json_string("a\u{1}b"), "\"a\\u0001b\"");
+    }
+
+    #[test]
+    fn self_metrics_render_per_rule_counts() {
+        let text = render_self_metrics(&sample(), 0.25);
+        assert!(text.contains("mmlib_lint_findings_total{rule=\"P1\"} 1"));
+        assert!(text.contains("mmlib_lint_analysis_seconds_sum 0.250000"));
+        assert!(text.contains("mmlib_lint_analysis_seconds_count 1"));
     }
 }

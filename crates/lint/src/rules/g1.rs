@@ -1,0 +1,232 @@
+//! G1 — guard-balance for declared paired-accounting APIs.
+//!
+//! PR 9's review found the admission budget leaking on dead uploads:
+//! `admit` charged the budget on one path and only some of the N exit
+//! paths gave it back. That bug shape — *acquire on one path, release on
+//! most-but-not-all others* — is exactly what a reviewer misses and a
+//! structural check does not.
+//!
+//! Pairs are declared in `lint-pairs.txt` (see [`crate::pairs`] for the
+//! format). For every library function in the pair's crate that calls
+//! the acquire side, G1 requires one of:
+//!
+//! * the function is a declared **owner** (it hands the obligation off —
+//!   to a connection's pending set, a returned staging token, ...);
+//! * **scope=fn**: the function also calls the release side, and no
+//!   `return` or `?` sits between the acquire call and the release call
+//!   (each such token is an exit edge on which the release is skipped).
+//!   A `?` directly on the acquire call itself is exempt: on that edge
+//!   the resource was never obtained;
+//! * **scope=block**: every acquire call has a release call in its
+//!   innermost `{...}` block — for positional cleanup idioms like the
+//!   reap path `let dead = conns.swap_remove(i); release_pending(...)`.
+
+use crate::callgraph::CrateModel;
+use crate::pairs::{Pair, PairScope, Pairs};
+use crate::rules::Violation;
+use crate::source::SourceFile;
+use crate::structure;
+
+pub fn check(
+    model: &CrateModel,
+    files: &[(usize, &SourceFile)],
+    pairs: &Pairs,
+    out: &mut Vec<Violation>,
+) {
+    for pair in pairs.pairs.iter().filter(|p| p.krate == model.krate) {
+        for f in &model.fns {
+            if f.name == pair.acquire || pair.owners.iter().any(|o| o == &f.name) {
+                continue;
+            }
+            let acquires: Vec<usize> =
+                f.calls.iter().filter(|c| c.name == pair.acquire).map(|c| c.idx).collect();
+            if acquires.is_empty() {
+                continue;
+            }
+            let releases: Vec<usize> =
+                f.calls.iter().filter(|c| c.name == pair.release).map(|c| c.idx).collect();
+            let file = files[f.file].1;
+            match pair.scope {
+                PairScope::Fn => check_fn_scope(f, file, pair, &acquires, &releases, out),
+                PairScope::Block => check_block_scope(f, file, pair, &acquires, &releases, out),
+            }
+        }
+    }
+}
+
+fn check_fn_scope(
+    f: &crate::callgraph::FnFacts,
+    file: &SourceFile,
+    pair: &Pair,
+    acquires: &[usize],
+    releases: &[usize],
+    out: &mut Vec<Violation>,
+) {
+    let first_acq = acquires[0];
+    let at = |idx: usize| (file.tokens[idx].line, file.tokens[idx].col);
+    let Some(&release) = releases.iter().find(|&&r| r > first_acq) else {
+        let (line, col) = at(first_acq);
+        out.push(Violation::at(
+            "G1",
+            file,
+            line,
+            col,
+            format!(
+                "`{}` calls `{}` but never `{}` afterwards — the {}-side obligation \
+                 leaks (declare the function an owner in lint-pairs.txt if it hands \
+                 the obligation off)",
+                f.qualname, pair.acquire, pair.release, pair.acquire
+            ),
+        ));
+        return;
+    };
+    // `?` on the acquire call itself is exempt: that edge never acquired.
+    let toks = &file.tokens;
+    let mut scan_from = first_acq + 1;
+    if toks.get(first_acq + 1).is_some_and(|t| t.is_punct('(')) {
+        if let Some(close) = structure::matching(toks, first_acq + 1, '(', ')') {
+            scan_from = close + 1;
+            if toks.get(scan_from).is_some_and(|t| t.is_punct('?')) {
+                scan_from += 1;
+            }
+        }
+    }
+    for t in &toks[scan_from..release] {
+        if t.is_ident("return") || t.is_punct('?') {
+            let (line, col) = (t.line, t.col);
+            out.push(Violation::at(
+                "G1",
+                file,
+                line,
+                col,
+                format!(
+                    "early exit between `{}` and `{}` in `{}` — on this edge the \
+                     {}-side obligation is never released",
+                    pair.acquire, pair.release, f.qualname, pair.acquire
+                ),
+            ));
+            return; // one finding per function keeps the report readable
+        }
+    }
+}
+
+fn check_block_scope(
+    f: &crate::callgraph::FnFacts,
+    file: &SourceFile,
+    pair: &Pair,
+    acquires: &[usize],
+    releases: &[usize],
+    out: &mut Vec<Violation>,
+) {
+    let Some((body_open, body_close)) = f.body else { return };
+    for &acq in acquires {
+        let (lo, hi) = structure::enclosing_block(&file.tokens, body_open, body_close, acq)
+            .unwrap_or((body_open, body_close));
+        if !releases.iter().any(|&r| r > lo && r < hi) {
+            let t = &file.tokens[acq];
+            out.push(Violation::at(
+                "G1",
+                file,
+                t.line,
+                t.col,
+                format!(
+                    "`{}` called in `{}` without `{}` in the same block — the \
+                     pair is declared scope=block in lint-pairs.txt",
+                    pair.acquire, f.qualname, pair.release
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::build;
+
+    fn run(src: &str, manifest: &str) -> Vec<Violation> {
+        let f = SourceFile::new("crates/net/src/lib.rs", src);
+        let files = vec![(0usize, &f)];
+        let model = build("net", &files);
+        let pairs = Pairs::parse(manifest, "test-manifest").unwrap();
+        let mut out = Vec::new();
+        check(&model, &files, &pairs, &mut out);
+        out
+    }
+
+    const PAIR_FN: &str = "pair net acquire_slot release_slot\n";
+
+    #[test]
+    fn missing_release_is_flagged() {
+        let v = run("fn f() { acquire_slot(); work(); }", PAIR_FN);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("never `release_slot`"));
+    }
+
+    #[test]
+    fn balanced_pair_is_clean() {
+        let v = run("fn f() { acquire_slot(); work(); release_slot(); }", PAIR_FN);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn early_question_mark_between_pair_is_flagged() {
+        let v = run("fn f() -> R { acquire_slot(); work()?; release_slot(); Ok(()) }", PAIR_FN);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("early exit"));
+    }
+
+    #[test]
+    fn early_return_between_pair_is_flagged() {
+        let v = run(
+            "fn f(x: bool) { acquire_slot(); if x { return; } release_slot(); }",
+            PAIR_FN,
+        );
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn question_mark_on_acquire_itself_is_exempt() {
+        let v = run("fn f() -> R { acquire_slot(arg)?; release_slot(); Ok(()) }", PAIR_FN);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn owners_are_exempt() {
+        let v = run(
+            "fn hand_off() { acquire_slot(); stash(); }",
+            "pair net acquire_slot release_slot owner=hand_off\n",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn the_acquire_fn_itself_is_exempt() {
+        // The definition of the acquire side often contains a reserve/undo
+        // retry loop mentioning itself in error paths; only *callers* owe
+        // the release.
+        let v = run("fn acquire_slot() { if busy { acquire_slot(); } }", PAIR_FN);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn block_scope_requires_release_in_same_block() {
+        let manifest = "pair net swap_remove release_pending scope=block\n";
+        let bad = "fn reap(conns: &mut Vec<C>) {\n\
+                   loop {\n  if dead {\n    let d = conns.swap_remove(i);\n  }\n }\n\
+                   for c in conns { release_pending(c); }\n}";
+        let v = run(bad, manifest);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("same block"));
+
+        let good = "fn reap(conns: &mut Vec<C>) {\n\
+                    loop {\n  if dead {\n    let d = conns.swap_remove(i); release_pending(&d);\n  }\n }\n}";
+        assert!(run(good, manifest).is_empty());
+    }
+
+    #[test]
+    fn non_matching_crate_is_ignored() {
+        let v = run("fn f() { acquire_slot(); }", "pair store acquire_slot release_slot\n");
+        assert!(v.is_empty());
+    }
+}

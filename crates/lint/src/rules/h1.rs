@@ -1,0 +1,147 @@
+//! H1 — I/O while holding a lock.
+//!
+//! Socket or file I/O under a live lock guard couples every other thread
+//! contending for that lock to the kernel's timing: a slow peer or a
+//! saturated disk turns a microsecond critical section into a stall of
+//! the whole accept loop (the PR 9 server multiplexes hundreds of
+//! connections over a handful of threads, so one blocked guard-holder
+//! starves them all).
+//!
+//! Flagged shapes, using the per-crate model from [`crate::callgraph`]:
+//!
+//! * a direct I/O site (`write_all`, `read`/`write` with arguments,
+//!   `flush`, `sync_all`/`sync_data`/`fsync`, any `fs::*` call) while the
+//!   held-lock set is non-empty;
+//! * a resolvable call (free or `self.`) made with a lock held to a
+//!   function that transitively performs I/O.
+//!
+//! Sites that are deliberate — a nonblocking socket write, a directory
+//! scan serialized by design — carry `// mmlib-lint: allow(H1, reason)`
+//! pragmas counted against the ratchet budget.
+
+use crate::callgraph::{call_resolves, CrateModel};
+use crate::rules::Violation;
+use crate::source::SourceFile;
+
+pub fn check(model: &CrateModel, files: &[(usize, &SourceFile)], out: &mut Vec<Violation>) {
+    for f in &model.fns {
+        let file = files[f.file].1;
+        for io in &f.io {
+            if io.held.is_empty() {
+                continue;
+            }
+            out.push(Violation::at(
+                "H1",
+                file,
+                io.line,
+                io.col,
+                format!(
+                    "`{}` I/O in `{}` while holding lock `{}` — the guard couples \
+                     lock waiters to I/O latency",
+                    io.what,
+                    f.qualname,
+                    io.held.join("`, `")
+                ),
+            ));
+        }
+        for c in &f.calls {
+            if c.held.is_empty() || !call_resolves(&model.fns, c) {
+                continue;
+            }
+            if model.trans_io.get(&c.name).copied().unwrap_or(false) {
+                out.push(Violation::at(
+                    "H1",
+                    file,
+                    c.line,
+                    c.col,
+                    format!(
+                        "`{}` calls `{}` while holding lock `{}`, and `{}` \
+                         (transitively) performs I/O",
+                        f.qualname,
+                        c.name,
+                        c.held.join("`, `"),
+                        c.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::build;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let f = SourceFile::new("crates/net/src/lib.rs", src);
+        let files = vec![(0usize, &f)];
+        let model = build("net", &files);
+        let mut out = Vec::new();
+        check(&model, &files, &mut out);
+        out
+    }
+
+    const DECLS: &str = "struct S { out: Mutex<Q> }\n";
+
+    #[test]
+    fn write_under_guard_is_flagged() {
+        let src = format!(
+            "{DECLS}impl S {{ fn flush(&self, s: &mut TcpStream) {{ \
+             let g = self.out.lock(); s.write(&g.buf); }} }}"
+        );
+        let v = run(&src);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("`write` I/O"));
+        assert!(v[0].message.contains("`out`"));
+    }
+
+    #[test]
+    fn write_after_guard_drops_is_clean() {
+        let src = format!(
+            "{DECLS}impl S {{ fn flush(&self, s: &mut TcpStream) {{ \
+             let buf = {{ let g = self.out.lock(); g.take() }}; s.write_all(&buf); }} }}"
+        );
+        assert!(run(&src).is_empty());
+    }
+
+    #[test]
+    fn transitive_io_through_call_edge() {
+        let src = format!(
+            "{DECLS}impl S {{\n\
+             fn emit(&self, s: &mut T) {{ s.write_all(b\"x\"); }}\n\
+             fn f(&self, s: &mut T) {{ let g = self.out.lock(); self.emit(s); }}\n\
+             }}"
+        );
+        let v = run(&src);
+        assert!(v.iter().any(|v| v.message.contains("calls `emit`")), "{v:?}");
+    }
+
+    #[test]
+    fn io_with_no_lock_held_is_clean() {
+        let src = format!(
+            "{DECLS}impl S {{ fn f(&self, s: &mut T) {{ s.write_all(b\"x\"); s.flush(); }} }}"
+        );
+        assert!(run(&src).is_empty());
+    }
+
+    #[test]
+    fn fs_call_under_guard_is_flagged() {
+        let src = format!(
+            "{DECLS}impl S {{ fn ids(&self) {{ let _g = self.out.lock(); \
+             let e = std::fs::read_dir(&self.dir); }} }}"
+        );
+        let v = run(&src);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("fs::read_dir"));
+    }
+
+    #[test]
+    fn fmt_write_macro_is_not_io() {
+        let src = format!(
+            "{DECLS}impl S {{ fn render(&self) {{ let g = self.out.lock(); \
+             writeln!(buf, \"x\"); }} }}"
+        );
+        assert!(run(&src).is_empty());
+    }
+}

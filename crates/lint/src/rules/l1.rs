@@ -1,0 +1,233 @@
+//! L1 — lock-order analysis.
+//!
+//! Over each crate's concurrency model ([`crate::callgraph`]) this rule
+//! flags three deadlock shapes:
+//!
+//! 1. **Direct double-acquisition** — a lock acquired while a guard for
+//!    the same lock is already live in the function. With `parking_lot`
+//!    primitives (non-reentrant) this deadlocks the thread outright; with
+//!    `std::sync` it is documented UB-or-deadlock.
+//! 2. **Call-edge double-acquisition** — a call made while holding lock
+//!    `x` to a function whose *transitive* acquisition set contains `x`.
+//!    Same deadlock, hidden behind one or more call edges.
+//! 3. **Acquisition-order cycles** — `a` taken while `b` is held on one
+//!    path and `b` taken while `a` is held on another. Each path is fine
+//!    alone; two threads interleaving them deadlock.
+//!
+//! Order edges are collected from direct acquisitions and propagated
+//! across resolvable intra-crate call edges (free calls and
+//! `self.method(...)` — see the callgraph module for why other receivers
+//! are excluded).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::{call_resolves, CrateModel};
+use crate::rules::Violation;
+use crate::source::SourceFile;
+
+/// Crates with real cross-thread locking, subject to L1 and H1.
+pub const CONCURRENT_CRATES: &[&str] = &["core", "dist", "lineage", "net", "obs", "store"];
+
+pub fn check(model: &CrateModel, files: &[(usize, &SourceFile)], out: &mut Vec<Violation>) {
+    // (held, acquired) -> first site, for cycle reporting.
+    let mut edges: BTreeMap<(String, String), (usize, usize, usize)> = BTreeMap::new();
+    let edge = |held: &str, acq: &str, site: (usize, usize, usize),
+                    edges: &mut BTreeMap<(String, String), (usize, usize, usize)>| {
+        edges.entry((held.to_string(), acq.to_string())).or_insert(site);
+    };
+
+    for f in &model.fns {
+        let file = files[f.file].1;
+        for a in &f.acquires {
+            if a.held.iter().any(|h| h == &a.lock) {
+                out.push(Violation::at(
+                    "L1",
+                    file,
+                    a.line,
+                    a.col,
+                    format!(
+                        "lock `{}` acquired while a guard for it is already live in \
+                         `{}` — self-deadlock (non-reentrant mutex)",
+                        a.lock, f.qualname
+                    ),
+                ));
+            }
+            for h in &a.held {
+                if h != &a.lock {
+                    edge(h, &a.lock, (f.file, a.line, a.col), &mut edges);
+                }
+            }
+        }
+        for c in &f.calls {
+            if c.held.is_empty() || !call_resolves(&model.fns, c) {
+                continue;
+            }
+            let Some(callee_locks) = model.trans_acquires.get(&c.name) else { continue };
+            for h in &c.held {
+                if callee_locks.contains(h) {
+                    out.push(Violation::at(
+                        "L1",
+                        file,
+                        c.line,
+                        c.col,
+                        format!(
+                            "`{}` calls `{}` while holding lock `{h}`, and `{}` \
+                             (transitively) acquires `{h}` — self-deadlock across \
+                             the call edge",
+                            f.qualname, c.name, c.name
+                        ),
+                    ));
+                }
+                for t in callee_locks {
+                    if t != h && !c.held.contains(t) {
+                        edge(h, t, (f.file, c.line, c.col), &mut edges);
+                    }
+                }
+            }
+        }
+    }
+
+    for cycle in find_cycles(&edges) {
+        let (file_idx, line, col) = edges[&(cycle[0].clone(), cycle[1].clone())];
+        let file = files[file_idx].1;
+        let mut path = cycle.join(" -> ");
+        path.push_str(" -> ");
+        path.push_str(&cycle[0]);
+        out.push(Violation::at(
+            "L1",
+            file,
+            line,
+            col,
+            format!(
+                "lock acquisition-order cycle in crate `{}`: {path} — two threads \
+                 interleaving these paths deadlock",
+                model.krate
+            ),
+        ));
+    }
+}
+
+/// Finds elementary cycles in the order graph, deduplicated by rotation
+/// (each reported once, starting from its lexically smallest node).
+/// Returned in deterministic order.
+fn find_cycles(edges: &BTreeMap<(String, String), (usize, usize, usize)>) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from).or_default().push(to);
+    }
+    let mut seen: BTreeSet<Vec<String>> = BTreeSet::new();
+    let mut out = Vec::new();
+    for &start in adj.keys().collect::<Vec<_>>().iter() {
+        let mut stack: Vec<&str> = vec![start];
+        dfs(start, start, &adj, &mut stack, &mut seen, &mut out);
+    }
+    out
+}
+
+fn dfs<'a>(
+    start: &'a str,
+    node: &'a str,
+    adj: &BTreeMap<&'a str, Vec<&'a str>>,
+    stack: &mut Vec<&'a str>,
+    seen: &mut BTreeSet<Vec<String>>,
+    out: &mut Vec<Vec<String>>,
+) {
+    let Some(nexts) = adj.get(node) else { return };
+    for &next in nexts {
+        if next == start {
+            let cycle: Vec<String> = stack.iter().map(|s| s.to_string()).collect();
+            // Canonicalize: only record the rotation starting at the
+            // smallest node, so each cycle is reported exactly once.
+            if cycle.iter().min() == cycle.first() {
+                let mut key = cycle.clone();
+                key.sort();
+                if seen.insert(key) {
+                    out.push(cycle);
+                }
+            }
+        } else if !stack.contains(&next) {
+            stack.push(next);
+            dfs(start, next, adj, stack, seen, out);
+            stack.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::build;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let f = SourceFile::new("crates/net/src/lib.rs", src);
+        let files = vec![(0usize, &f)];
+        let model = build("net", &files);
+        let mut out = Vec::new();
+        check(&model, &files, &mut out);
+        out
+    }
+
+    const DECLS: &str = "struct S { a: Mutex<u32>, b: Mutex<u32> }\n";
+
+    #[test]
+    fn direct_double_acquisition() {
+        let src = format!(
+            "{DECLS}impl S {{ fn f(&self) {{ let g = self.a.lock(); let h = self.a.lock(); }} }}"
+        );
+        let v = run(&src);
+        assert!(v.iter().any(|v| v.rule == "L1" && v.message.contains("self-deadlock")), "{v:?}");
+    }
+
+    #[test]
+    fn call_edge_double_acquisition() {
+        let src = format!(
+            "{DECLS}impl S {{\n\
+             fn leaf(&self) {{ let g = self.a.lock(); }}\n\
+             fn caller(&self) {{ let g = self.a.lock(); self.leaf(); }}\n\
+             }}"
+        );
+        let v = run(&src);
+        assert!(v.iter().any(|v| v.message.contains("across the call edge")), "{v:?}");
+    }
+
+    #[test]
+    fn order_cycle_across_two_fns() {
+        let src = format!(
+            "{DECLS}impl S {{\n\
+             fn ab(&self) {{ let g = self.a.lock(); let h = self.b.lock(); }}\n\
+             fn ba(&self) {{ let h = self.b.lock(); let g = self.a.lock(); }}\n\
+             }}"
+        );
+        let v = run(&src);
+        assert!(v.iter().any(|v| v.message.contains("acquisition-order cycle")), "{v:?}");
+        assert!(v.iter().any(|v| v.message.contains("a -> b -> a")), "{v:?}");
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = format!(
+            "{DECLS}impl S {{\n\
+             fn one(&self) {{ let g = self.a.lock(); let h = self.b.lock(); }}\n\
+             fn two(&self) {{ let g = self.a.lock(); let h = self.b.lock(); }}\n\
+             }}"
+        );
+        assert!(run(&src).is_empty());
+    }
+
+    #[test]
+    fn sequential_acquisitions_are_clean() {
+        let src = format!(
+            "{DECLS}impl S {{ fn f(&self) {{ self.a.lock().push(1); self.a.lock().push(2); }} }}"
+        );
+        assert!(run(&src).is_empty());
+    }
+
+    #[test]
+    fn dropped_guard_allows_reacquisition() {
+        let src = format!(
+            "{DECLS}impl S {{ fn f(&self) {{ let g = self.a.lock(); drop(g); \
+             let h = self.a.lock(); }} }}"
+        );
+        assert!(run(&src).is_empty());
+    }
+}

@@ -8,12 +8,19 @@
 //! | F1 | unsafe-code forbid    | every non-shim crate root               |
 //! | X1 | protocol cross-check  | `net` (protocol/server/client/tests)    |
 //! | M1 | metric taxonomy       | every non-shim crate                    |
+//! | L1 | lock-order analysis   | concurrent crates (see `l1::CONCURRENT_CRATES`) |
+//! | H1 | I/O under a held lock | concurrent crates (see `l1::CONCURRENT_CRATES`) |
+//! | G1 | guard-balance pairs   | crates named in `lint-pairs.txt`        |
 //!
-//! D1/P1/C1 are per-file token scans; F1/X1/M1 need the whole workspace.
+//! D1/P1/C1 are per-file token scans; F1/X1/M1 need the whole workspace;
+//! L1/H1/G1 run on the per-crate structural model (`crate::callgraph`).
 
 pub mod c1;
 pub mod d1;
 pub mod f1;
+pub mod g1;
+pub mod h1;
+pub mod l1;
 pub mod m1;
 pub mod p1;
 pub mod x1;

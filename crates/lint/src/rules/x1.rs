@@ -18,6 +18,11 @@ pub const SERVER: &str = "crates/net/src/server.rs";
 pub const CLIENT: &str = "crates/net/src/client.rs";
 pub const NET_TESTS_DIR: &str = "crates/net/tests/";
 
+/// Server-side error replies. A bare mention in a test is not enough for
+/// these: a test must *assert* on them (an `Err`/`Busy` reply that stops
+/// being emitted regresses silently if nothing checks for it).
+pub const ERROR_REPLIES: &[&str] = &["Err", "Busy"];
+
 pub fn check(files: &[SourceFile], out: &mut Vec<Violation>) {
     let Some(protocol) = files.iter().find(|f| f.path == PROTOCOL) else {
         // No protocol file in this (possibly partial, in-memory) workspace:
@@ -108,6 +113,55 @@ pub fn check(files: &[SourceFile], out: &mut Vec<Violation>) {
             ));
         }
     }
+
+    // Reply-side gap: error replies must appear in assertion context in at
+    // least one test, not merely be mentioned.
+    if !tests.is_empty() {
+        for reply in ERROR_REPLIES {
+            let Some((_, line)) = variants.iter().find(|(v, _)| v == reply) else { continue };
+            if !tests.iter().any(|f| has_asserted_mention(f, reply)) {
+                out.push(Violation::at(
+                    "X1",
+                    protocol,
+                    *line,
+                    0,
+                    format!(
+                        "error reply opcode `{reply}` is never asserted by a test \
+                         under crates/net/tests/ — a server that stops emitting it \
+                         would regress silently"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Whether the file contains `Opcode::<variant>` in assertion context: an
+/// `assert*`/`matches` call within the preceding dozen tokens, or an
+/// adjacent `==` / `=>` (match arm on the reply opcode).
+fn has_asserted_mention(file: &SourceFile, variant: &str) -> bool {
+    let code: Vec<&Token> = file.code_tokens().map(|(_, t)| t).collect();
+    for i in 0..code.len() {
+        if opcode_path_at(&code, i).as_deref() != Some(variant) {
+            continue;
+        }
+        let assertish = (i.saturating_sub(12)..i).any(|j| {
+            matches!(
+                code[j].text.as_str(),
+                "assert" | "assert_eq" | "assert_ne" | "debug_assert" | "debug_assert_eq"
+                    | "matches"
+            ) && code[j].kind == TokenKind::Ident
+        });
+        // `x == Opcode::V`, `Opcode::V == x`, or a `Opcode::V =>` match arm.
+        let eq_before = i >= 2 && code[i - 1].is_punct('=') && code[i - 2].is_punct('=');
+        let after = i + 4; // token past `Opcode :: V`
+        let eq_after = code.get(after).is_some_and(|t| t.is_punct('='))
+            && code.get(after + 1).is_some_and(|t| t.is_punct('=') || t.is_punct('>'));
+        if assertish || eq_before || eq_after {
+            return true;
+        }
+    }
+    false
 }
 
 /// Extracts `enum Opcode { Variant = 0x.., ... }` variant names and the

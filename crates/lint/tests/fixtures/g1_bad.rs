@@ -1,0 +1,33 @@
+//! G1 bad fixture, against the manifest
+//!   pair net admit finish_inflight owner=handle_frame
+//!   pair net swap_remove release_pending scope=block
+//!
+//! `begin_upload` has an early `?` between admit and finish_inflight,
+//! `abort_upload` never releases at all, and `reap` releases outside the
+//! block that removed the connection.
+
+pub fn begin_upload(state: &State, len: usize) -> Result<Token, WireError> {
+    admit(state, len)?;
+    let tok = make_token(state);
+    validate(&tok)?;
+    finish_inflight(state, len);
+    Ok(tok)
+}
+
+pub fn abort_upload(state: &State, len: usize) {
+    admit(state, len);
+    log_abort(state);
+}
+
+pub fn reap(conns: &mut Vec<Conn>, state: &State) {
+    let mut i = 0;
+    while i < conns.len() {
+        if conns[i].dead {
+            let dead = conns.swap_remove(i);
+            drop(dead);
+        } else {
+            i += 1;
+        }
+    }
+    release_pending(state);
+}

@@ -1,0 +1,33 @@
+//! G1 good fixture, against the manifest
+//!   pair net admit finish_inflight owner=handle_frame
+//!   pair net swap_remove release_pending scope=block
+//!
+//! `begin_upload` fails on the admit call itself (never charged) or
+//! releases before any later exit; `handle_frame` is a declared owner and
+//! hands the obligation to the pending set; `reap` releases in the same
+//! block that removed the connection.
+
+pub fn begin_upload(state: &State, len: usize) -> Result<Token, WireError> {
+    admit(state, len)?;
+    let tok = make_token(state);
+    finish_inflight(state, len);
+    validate(&tok)?;
+    Ok(tok)
+}
+
+pub fn handle_frame(state: &State, len: usize) {
+    admit(state, len);
+    park_pending(state, len);
+}
+
+pub fn reap(conns: &mut Vec<Conn>, state: &State) {
+    let mut i = 0;
+    while i < conns.len() {
+        if conns[i].dead {
+            let dead = conns.swap_remove(i);
+            release_pending(state, &dead);
+        } else {
+            i += 1;
+        }
+    }
+}

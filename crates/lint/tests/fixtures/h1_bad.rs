@@ -1,0 +1,28 @@
+//! H1 bad fixture: `flush` writes to the socket while the queue guard is
+//! live, and `checkpoint` reaches file I/O through a call edge
+//! (`persist` does `fs::write`) with the same guard held.
+
+pub struct Out {
+    queue: Mutex<OutQueue>,
+}
+
+impl Out {
+    pub fn flush(&self, stream: &mut TcpStream) -> Result<(), WireError> {
+        let queue = self.queue.lock();
+        for buf in queue.iter() {
+            stream.write_all(buf)?;
+        }
+        Ok(())
+    }
+
+    fn persist(&self, path: &Path, bytes: &[u8]) -> Result<(), WireError> {
+        std::fs::write(path, bytes)?;
+        Ok(())
+    }
+
+    pub fn checkpoint(&self, path: &Path) -> Result<(), WireError> {
+        let queue = self.queue.lock();
+        self.persist(path, queue.tail())?;
+        Ok(())
+    }
+}

@@ -1,0 +1,34 @@
+//! H1 good fixture: the same flush/checkpoint logic with the critical
+//! section narrowed — data is copied out under the guard, and the socket
+//! or file I/O happens after the guard's block closes.
+
+pub struct Out {
+    queue: Mutex<OutQueue>,
+}
+
+impl Out {
+    pub fn flush(&self, stream: &mut TcpStream) -> Result<(), WireError> {
+        let drained = {
+            let mut queue = self.queue.lock();
+            queue.drain_all()
+        };
+        for buf in &drained {
+            stream.write_all(buf)?;
+        }
+        Ok(())
+    }
+
+    fn persist(&self, path: &Path, bytes: &[u8]) -> Result<(), WireError> {
+        std::fs::write(path, bytes)?;
+        Ok(())
+    }
+
+    pub fn checkpoint(&self, path: &Path) -> Result<(), WireError> {
+        let snapshot = {
+            let queue = self.queue.lock();
+            queue.snapshot()
+        };
+        self.persist(path, &snapshot)?;
+        Ok(())
+    }
+}

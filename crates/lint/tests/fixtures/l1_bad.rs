@@ -1,0 +1,34 @@
+//! L1 bad fixture: `broadcast` takes `conns` then `stats`, `tally` takes
+//! `stats` then `conns` — an acquisition-order cycle. `reap` re-acquires
+//! `conns` while its own guard is still live — a direct self-deadlock.
+
+pub struct Shared {
+    conns: Mutex<Vec<Conn>>,
+    stats: Mutex<Stats>,
+}
+
+impl Shared {
+    pub fn broadcast(&self, frame: &Frame) {
+        let conns = self.conns.lock();
+        let mut stats = self.stats.lock();
+        stats.broadcasts += 1;
+        for c in conns.iter() {
+            c.enqueue(frame);
+        }
+    }
+
+    pub fn tally(&self) -> usize {
+        let stats = self.stats.lock();
+        let conns = self.conns.lock();
+        stats.observe(conns.len());
+        conns.len()
+    }
+
+    pub fn reap(&self) {
+        let conns = self.conns.lock();
+        if conns.is_empty() {
+            let again = self.conns.lock();
+            drop(again);
+        }
+    }
+}

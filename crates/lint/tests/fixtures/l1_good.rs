@@ -1,0 +1,37 @@
+//! L1 good fixture: both multi-lock paths take `conns` before `stats`
+//! (one consistent order, no cycle), and `reap` drops its first guard —
+//! by block scope — before re-acquiring.
+
+pub struct Shared {
+    conns: Mutex<Vec<Conn>>,
+    stats: Mutex<Stats>,
+}
+
+impl Shared {
+    pub fn broadcast(&self, frame: &Frame) {
+        let conns = self.conns.lock();
+        let mut stats = self.stats.lock();
+        stats.broadcasts += 1;
+        for c in conns.iter() {
+            c.enqueue(frame);
+        }
+    }
+
+    pub fn tally(&self) -> usize {
+        let conns = self.conns.lock();
+        let stats = self.stats.lock();
+        stats.observe(conns.len());
+        conns.len()
+    }
+
+    pub fn reap(&self) {
+        let n = {
+            let conns = self.conns.lock();
+            conns.len()
+        };
+        if n > 0 {
+            let conns = self.conns.lock();
+            drop(conns);
+        }
+    }
+}

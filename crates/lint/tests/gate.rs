@@ -6,7 +6,7 @@
 
 use std::path::PathBuf;
 
-use mmlib_lint::{report, Budget, Workspace};
+use mmlib_lint::{report, Budget, Pairs, Workspace};
 
 fn root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
@@ -16,13 +16,15 @@ fn read(rel: &str) -> String {
     std::fs::read_to_string(root().join(rel)).unwrap()
 }
 
-/// The committed tree passes its own gate with the committed budget.
+/// The committed tree passes its own gate with the committed budget and
+/// the committed G1 pair manifest.
 #[test]
 fn real_workspace_is_clean_under_the_committed_budget() {
     let root = root();
     let ws = Workspace::load(&root).unwrap();
     let budget = Budget::load(&root.join("lint-budget.txt")).unwrap();
-    let r = ws.check(&budget);
+    let pairs = Pairs::load(&root.join("lint-pairs.txt")).unwrap();
+    let r = ws.check_full(&budget, &pairs);
     assert!(r.clean(), "workspace lint violations:\n{}", report::render_text(&r));
     assert!(r.files_scanned > 50, "workspace scan looks truncated: {}", r.files_scanned);
 }
@@ -69,6 +71,67 @@ fn deleting_a_server_dispatch_arm_fails_x1() {
             .any(|v| v.rule == "X1" && v.message.contains("`DocRemove` has no dispatch arm")),
         "{}",
         report::render_text(&r)
+    );
+}
+
+/// Acceptance check (issue seeded mutation): moving the post-dispatch
+/// `flush_out` call inside the out-guard block in `service_conn` makes the
+/// server call a function that re-acquires the lock it is holding — L1
+/// must catch the reordering. The unmutated file is L1-clean.
+#[test]
+fn holding_the_out_guard_across_flush_out_fails_l1() {
+    let server = read("crates/net/src/server.rs");
+    let anchor = "    active |= flush_out(state, conn)?;\n\n    {\n        let out = conn.shared.out.lock();";
+    assert!(server.contains(anchor), "service_conn flush/guard sequence moved; update this test");
+
+    let l1_of = |text: String| {
+        let ws = Workspace::from_memory(vec![("crates/net/src/server.rs".to_string(), text)]);
+        let r = ws.check(&Budget::zero());
+        r.violations.iter().filter(|v| v.rule == "L1").count()
+    };
+
+    assert_eq!(l1_of(server.clone()), 0, "unmutated server.rs must be L1-clean");
+
+    let mutated = server.replace(
+        anchor,
+        "    {\n        let out = conn.shared.out.lock();\n        active |= flush_out(state, conn)?;",
+    );
+    assert!(
+        l1_of(mutated) > 0,
+        "reordering flush_out under the out guard must fail L1 (call-edge double-acquisition)"
+    );
+}
+
+/// Acceptance check (issue seeded mutation): deleting the
+/// `release_pending` call from the dead-connection reap path re-opens the
+/// PR-9 admission-budget leak — the `swap_remove`/`release_pending`
+/// scope=block pair in lint-pairs.txt must catch it.
+#[test]
+fn removing_release_pending_from_the_reap_path_fails_g1() {
+    let root = root();
+    let server = read("crates/net/src/server.rs");
+    let anchor = "let dead = conns.swap_remove(i);\n                    release_pending(state, &dead);";
+    assert!(server.contains(anchor), "reap path moved; update this test");
+
+    let pairs = Pairs::load(&root.join("lint-pairs.txt")).unwrap();
+    let g1_of = |text: String| {
+        let ws = Workspace::from_memory(vec![("crates/net/src/server.rs".to_string(), text)]);
+        let r = ws.check_full(&Budget::zero(), &pairs);
+        r.violations
+            .iter()
+            .filter(|v| v.rule == "G1")
+            .map(|v| v.message.clone())
+            .collect::<Vec<_>>()
+    };
+
+    assert!(g1_of(server.clone()).is_empty(), "unmutated server.rs must be G1-clean");
+
+    let mutated = server.replace(anchor, "let dead = conns.swap_remove(i);");
+    let findings = g1_of(mutated);
+    assert!(
+        findings.iter().any(|m| m.contains("`swap_remove`")
+            && m.contains("without `release_pending` in the same block")),
+        "removing release_pending must fail G1: {findings:#?}"
     );
 }
 

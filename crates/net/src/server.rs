@@ -851,6 +851,7 @@ fn flush_out(state: &ServerState, conn: &mut IoConn) -> Result<bool, ()> {
     let mut active = false;
     while let Some(front) = out.queue.front() {
         let from = out.front_written;
+        // mmlib-lint: allow(H1, nonblocking socket - write returns WouldBlock instead of stalling and the out queue must stay consistent with what reached the kernel)
         match conn.stream.write(&front[from..]) {
             Ok(0) => return Err(()),
             Ok(n) => {

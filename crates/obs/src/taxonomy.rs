@@ -67,6 +67,16 @@ pub const TAXONOMY: &[MetricDef] = &[
         help: "Lineage queries served, labeled by query kind.",
     },
     MetricDef {
+        name: "mmlib_lint_analysis_seconds",
+        kind: MetricKind::Histogram,
+        help: "Wall-clock duration of one full mmlib-lint workspace analysis.",
+    },
+    MetricDef {
+        name: "mmlib_lint_findings_total",
+        kind: MetricKind::Counter,
+        help: "mmlib-lint findings per rule (active violations plus pragma-allowed).",
+    },
+    MetricDef {
         name: "mmlib_net_bytes_in_total",
         kind: MetricKind::Counter,
         help: "Raw socket bytes received by the registry server.",

@@ -191,6 +191,7 @@ impl DocStore {
     pub fn ids(&self) -> Result<Vec<DocId>, StoreError> {
         let _g = self.init_lock.lock();
         let mut out = Vec::new();
+        // mmlib-lint: allow(H1, diagnostics-only path - the directory scan is serialized against init/compaction by design)
         for entry in std::fs::read_dir(&self.dir)? {
             let name = entry?.file_name();
             if let Some(stem) = name.to_str().and_then(|n| n.strip_suffix(".json")) {

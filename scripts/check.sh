@@ -8,6 +8,19 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test --workspace -q
 
+# Static-analysis gate, run before the expensive stress/bench gates so a
+# lint violation fails fast: determinism hygiene, panic-freedom, cast
+# audit, unsafe-code forbid, protocol/metric cross-checks, and the
+# concurrency passes (L1 lock order, H1 lock-held I/O, G1 guard balance
+# from lint-pairs.txt). Pragma use is bounded by the committed ratchet in
+# lint-budget.txt (decrease-only).
+if ! cargo run --release --quiet -p mmlib-lint -- --workspace; then
+    echo "check.sh: mmlib-lint FAILED (see violations above)" >&2
+    echo "reproduce one rule: cargo run --release -q -p mmlib-lint -- --workspace --rule <ID>" >&2
+    echo "rules and pragma syntax: DESIGN.md 'Static analysis'" >&2
+    exit 1
+fi
+
 # Fault matrix: BA/PUA/MPA x 32 seeded fault plans, pinned to a fixed seed
 # base so every run exercises the identical fault schedule. Failures print
 # the offending plan; reproduce any cell with the same seed base.
@@ -50,15 +63,6 @@ fi
 # chain's TTR exceeds 1.5x a fresh depth-8 chain.
 if ! ./target/release/repro --fast --lineage-json BENCH_PR6.json; then
     echo "check.sh: lineage depth benchmark FAILED (identity or TTR regression)" >&2
-    exit 1
-fi
-
-# Static-analysis gate: determinism hygiene, panic-freedom, cast audit,
-# unsafe-code forbid, protocol and metric cross-checks. Pragma use is
-# bounded by the committed ratchet in lint-budget.txt (decrease-only).
-if ! cargo run --release --quiet -p mmlib-lint -- --workspace; then
-    echo "check.sh: mmlib-lint FAILED (see violations above)" >&2
-    echo "rules and pragma syntax: DESIGN.md 'Static analysis'" >&2
     exit 1
 fi
 
